@@ -1,0 +1,31 @@
+"""Helpers shared by the per-figure benchmarks."""
+
+from repro.evaluation.figures import ALL_FIGURES
+from repro.evaluation.runner import (
+    check_figure_shape,
+    figure_series,
+    figure_table,
+)
+from repro.simmodel.experiment import run_once
+
+from conftest import BENCH_SCALE, BENCH_SEED
+
+
+def time_one_point_and_check(benchmark, figure_id, sweep_result,
+                             representative_x, algorithm):
+    """Benchmark one simulation point, then verify the figure's shape.
+
+    The timed body is a full simulation run of one representative sweep
+    point; the (session-cached) sweep is used to regenerate the figure's
+    series, print its rows, and assert the paper's qualitative claims.
+    """
+    spec = ALL_FIGURES[figure_id]
+    params = spec.sweep.params_for(representative_x, algorithm, BENCH_SCALE,
+                                   seed=BENCH_SEED)
+    benchmark.pedantic(run_once, args=(params,), rounds=1, iterations=1)
+    series = figure_series(spec, sweep_result)
+    print()
+    print(figure_table(series))
+    problems = check_figure_shape(series)
+    assert problems == [], problems
+    return series

@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark suite.
+
+Figures sharing a parameter sweep reuse one session-scoped sweep run (at a
+reduced scale) so the suite stays fast; each figure benchmark separately
+*times* one representative simulation point and then asserts the
+regenerated figure matches the paper's qualitative shape.
+
+For the paper-faithful scale, run ``python -m repro.evaluation --scale
+full`` instead — the harness and these benchmarks share all code.
+"""
+
+import pytest
+
+from repro.evaluation.figures import (
+    CLIENTS_SWEEP_80_20,
+    SCALEUP_SWEEP_80_20,
+    SCALEUP_SWEEP_95_5,
+    Scale,
+)
+from repro.evaluation.runner import run_sweep
+
+#: Reduced scale used by the benchmark suite (endpoints always included).
+BENCH_SCALE = Scale("bench", duration=240.0, warmup=60.0, replications=1,
+                    max_points=3)
+
+BENCH_SEED = 42
+
+
+@pytest.fixture(scope="session")
+def clients_sweep_80_20():
+    """Figures 2/3/4: client-load sweep, 5 secondaries, shopping mix."""
+    return run_sweep(CLIENTS_SWEEP_80_20, BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def scaleup_sweep_80_20():
+    """Figures 5/6/7: scale-up sweep, shopping mix."""
+    return run_sweep(SCALEUP_SWEEP_80_20, BENCH_SCALE, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def scaleup_sweep_95_5():
+    """Figure 8: scale-up sweep, browsing mix."""
+    return run_sweep(SCALEUP_SWEEP_95_5, BENCH_SCALE, seed=BENCH_SEED)

@@ -1,0 +1,34 @@
+"""Ablation: per-operation server requests vs aggregated transaction demand.
+
+The paper's model charges each of a transaction's 5-15 operations to the
+server individually; under processor sharing, back-to-back operations are
+mathematically equivalent to one aggregated request, which the simulator
+exploits.  This benchmark verifies the equivalence empirically.
+"""
+
+import pytest
+
+from repro.core.guarantees import Guarantee
+from repro.simmodel.experiment import run_once
+from repro.simmodel.params import SimulationParameters
+
+
+def _params(per_op):
+    return SimulationParameters(
+        num_sec=2, clients_per_secondary=10, duration=240.0, warmup=60.0,
+        algorithm=Guarantee.WEAK_SI, per_op_requests=per_op, seed=42)
+
+
+def test_ablation_per_op_equivalent_to_aggregate(benchmark):
+    aggregated = benchmark.pedantic(run_once, args=(_params(False),),
+                                    rounds=1, iterations=1)
+    per_op = run_once(_params(True))
+    print(f"\nper-op fidelity ablation:")
+    print(f"  aggregated: tput={aggregated.throughput:.2f} "
+          f"readRT={aggregated.read_response_time:.3f}")
+    print(f"  per-op:     tput={per_op.throughput:.2f} "
+          f"readRT={per_op.read_response_time:.3f}")
+    assert aggregated.throughput == pytest.approx(per_op.throughput,
+                                                  rel=0.2)
+    assert aggregated.read_response_time == pytest.approx(
+        per_op.read_response_time, rel=0.35, abs=0.1)

@@ -1,0 +1,45 @@
+"""Extension experiment: bounded-staleness reads (not in the paper).
+
+Sweeps the freshness bound k between the paper's two extremes — k=0 is
+ALG-STRONG-SI (reads always fully fresh), k=inf is ALG-WEAK-SI (reads
+never wait) — and prints the read-response-time / throughput trade-off
+curve.  The curve must interpolate monotonically-ish between the two
+algorithms, demonstrating that session guarantees and freshness bounds
+are two independent levers on the same mechanism.
+"""
+
+from repro.core.guarantees import Guarantee
+from repro.simmodel.experiment import run_once
+from repro.simmodel.params import SimulationParameters
+
+BOUNDS = (0, 2, 10, 50, None)      # None = unbounded (pure weak SI)
+
+
+def _params(bound):
+    return SimulationParameters(
+        num_sec=3, clients_per_secondary=15, duration=300.0, warmup=60.0,
+        algorithm=Guarantee.WEAK_SI, freshness_bound=bound, seed=42)
+
+
+def test_extension_freshness_bound_tradeoff(benchmark):
+    results = {}
+    for bound in BOUNDS[1:]:
+        results[bound] = run_once(_params(bound))
+    results[0] = benchmark.pedantic(run_once, args=(_params(0),),
+                                    rounds=1, iterations=1)
+    print("\nfreshness-bound sweep (3 secondaries x 15 clients, 80/20):")
+    print(f"  {'bound k':>8} | {'tput (<=3s)':>11} | {'read RT':>8} | "
+          f"{'blocked':>7}")
+    for bound in BOUNDS:
+        r = results[bound]
+        label = "inf" if bound is None else str(bound)
+        print(f"  {label:>8} | {r.throughput:>11.2f} | "
+              f"{r.read_response_time:>8.3f} | {r.blocked_reads:>7}")
+    # Tight bounds cost read response time; loose bounds approach weak SI.
+    assert results[0].read_response_time > \
+        results[None].read_response_time + 1.0
+    assert results[50].read_response_time < \
+        results[0].read_response_time
+    assert results[None].blocked_reads == 0
+    # Throughput (<=3s) improves as the bound loosens.
+    assert results[None].throughput >= results[0].throughput

@@ -1,0 +1,16 @@
+"""Figure 2: transaction throughput vs. number of clients (80/20).
+
+Regenerates the throughput-vs-clients series for all three algorithms and
+asserts the paper's Section 6.2 claims: ALG-STRONG-SESSION-SI performs
+almost as well as ALG-WEAK-SI and significantly better than ALG-STRONG-SI.
+"""
+
+from repro.core.guarantees import Guarantee
+
+from bench_common import time_one_point_and_check
+
+
+def test_figure_2_throughput_vs_clients(benchmark, clients_sweep_80_20):
+    time_one_point_and_check(benchmark, "2", clients_sweep_80_20,
+                             representative_x=100,
+                             algorithm=Guarantee.STRONG_SESSION_SI)

@@ -1,0 +1,14 @@
+"""Figure 3: read-only transaction response time vs. clients (80/20).
+
+Expected shape: a small session-SI penalty over weak SI; strong SI reads
+dominated by freshness waits (roughly the propagation cycle)."""
+
+from repro.core.guarantees import Guarantee
+
+from bench_common import time_one_point_and_check
+
+
+def test_figure_3_read_response_time(benchmark, clients_sweep_80_20):
+    time_one_point_and_check(benchmark, "3", clients_sweep_80_20,
+                             representative_x=100,
+                             algorithm=Guarantee.WEAK_SI)

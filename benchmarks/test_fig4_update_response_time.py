@@ -1,0 +1,16 @@
+"""Figure 4: update transaction response time vs. clients (80/20).
+
+Expected shape: ALG-STRONG-SI shows the *lowest* update response times —
+its long read waits throttle the sequential clients' offered update load
+(Section 6.2's explanation), while weak/session SI push the primary
+harder."""
+
+from repro.core.guarantees import Guarantee
+
+from bench_common import time_one_point_and_check
+
+
+def test_figure_4_update_response_time(benchmark, clients_sweep_80_20):
+    time_one_point_and_check(benchmark, "4", clients_sweep_80_20,
+                             representative_x=250,
+                             algorithm=Guarantee.STRONG_SI)

@@ -1,0 +1,15 @@
+"""Figure 5: throughput scale-up, 20 clients/secondary (80/20).
+
+Expected shape: near-linear scaling for weak/session SI until the primary
+saturates (around 11 secondaries in the paper), then a plateau; strong SI
+scales poorly throughout."""
+
+from repro.core.guarantees import Guarantee
+
+from bench_common import time_one_point_and_check
+
+
+def test_figure_5_scaleup_throughput(benchmark, scaleup_sweep_80_20):
+    time_one_point_and_check(benchmark, "5", scaleup_sweep_80_20,
+                             representative_x=9,
+                             algorithm=Guarantee.STRONG_SESSION_SI)

@@ -1,0 +1,14 @@
+"""Figure 6: read-only response time scale-up (80/20).
+
+Expected shape: weak and session SI stay low and close; strong SI's reads
+are dominated by total-order freshness waits at every system size."""
+
+from repro.core.guarantees import Guarantee
+
+from bench_common import time_one_point_and_check
+
+
+def test_figure_6_scaleup_read_rt(benchmark, scaleup_sweep_80_20):
+    time_one_point_and_check(benchmark, "6", scaleup_sweep_80_20,
+                             representative_x=9,
+                             algorithm=Guarantee.WEAK_SI)

@@ -1,0 +1,15 @@
+"""Figure 7: update response time scale-up (80/20).
+
+Expected shape: update RT rises rapidly for weak/session SI once the
+saturated primary limits scalability; strong SI's throttled update load
+keeps its update RT low."""
+
+from repro.core.guarantees import Guarantee
+
+from bench_common import time_one_point_and_check
+
+
+def test_figure_7_scaleup_update_rt(benchmark, scaleup_sweep_80_20):
+    time_one_point_and_check(benchmark, "7", scaleup_sweep_80_20,
+                             representative_x=15,
+                             algorithm=Guarantee.STRONG_SESSION_SI)

@@ -1,0 +1,19 @@
+"""Figure 8: throughput scale-up with the 95/5 browsing mix.
+
+Expected shape: with only 5% updates the primary saturates far later —
+significantly greater scalability than Figure 5 (the paper reaches ~100+
+tps at dozens of secondaries), session SI still tracking weak SI."""
+
+from repro.core.guarantees import Guarantee
+
+from bench_common import time_one_point_and_check
+from conftest import BENCH_SCALE
+
+
+def test_figure_8_scaleup_95_5(benchmark, scaleup_sweep_95_5):
+    series = time_one_point_and_check(benchmark, "8", scaleup_sweep_95_5,
+                                      representative_x=30,
+                                      algorithm=Guarantee.STRONG_SESSION_SI)
+    # The browsing mix must scale far beyond the 80/20 plateau (~20 tps).
+    session = series.means(Guarantee.STRONG_SESSION_SI)
+    assert max(session.values()) > 40.0

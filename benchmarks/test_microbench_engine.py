@@ -1,0 +1,86 @@
+"""Microbenchmarks of the storage-engine substrate (real wall-clock).
+
+These measure the raw speed of the MVCC engine — useful for sizing how
+large a functional-system experiment is practical, and for catching
+performance regressions in the version-chain and FCW paths.
+"""
+
+from repro.storage.engine import SIDatabase
+
+
+def test_engine_update_commit_throughput(benchmark):
+    db = SIDatabase()
+
+    def txn_cycle():
+        txn = db.begin(update=True)
+        txn.write("hot", 1)
+        txn.write("cold", 2)
+        txn.commit()
+
+    benchmark(txn_cycle)
+
+
+def test_engine_snapshot_read_throughput(benchmark):
+    db = SIDatabase()
+    for i in range(1000):
+        txn = db.begin(update=True)
+        txn.write(f"k{i % 50}", i)
+        txn.commit()
+
+    def read_cycle():
+        txn = db.begin()
+        for i in range(10):
+            txn.read(f"k{i * 5}")
+        txn.commit()
+
+    benchmark(read_cycle)
+
+
+def test_engine_deep_version_chain_read(benchmark):
+    """Reads against a 10k-version chain stay logarithmic."""
+    db = SIDatabase()
+    for i in range(10_000):
+        txn = db.begin(update=True)
+        txn.write("hot", i)
+        txn.commit()
+    old_snapshot = 5_000
+
+    def read_old():
+        txn = db.begin(snapshot_ts=old_snapshot)
+        assert txn.read("hot") == old_snapshot - 1
+        txn.commit()
+
+    benchmark(read_old)
+
+
+def test_engine_scan_throughput(benchmark):
+    db = SIDatabase()
+    txn = db.begin(update=True)
+    for i in range(500):
+        txn.write(f"item:{i:04d}", i)
+    txn.commit()
+
+    def scan_cycle():
+        txn = db.begin()
+        rows = txn.scan("item:0100", "item:0199")
+        txn.commit()
+        assert len(rows) == 100
+
+    benchmark(scan_cycle)
+
+
+def test_engine_fcw_validation_cost(benchmark):
+    """Commit-time validation with a large write set."""
+    db = SIDatabase()
+    seed = db.begin(update=True)
+    for i in range(200):
+        seed.write(f"k{i}", 0)
+    seed.commit()
+
+    def big_commit():
+        txn = db.begin(update=True)
+        for i in range(200):
+            txn.write(f"k{i}", 1)
+        txn.commit()
+
+    benchmark(big_commit)

@@ -1,0 +1,68 @@
+"""Microbenchmarks of the functional replicated system and the kernel."""
+
+from repro.core.guarantees import Guarantee
+from repro.core.system import ReplicatedSystem
+from repro.kernel import Kernel
+from repro.sim.resources import ProcessorSharingServer
+
+
+def test_functional_update_propagate_read_cycle(benchmark):
+    """One full write -> propagate -> refresh -> session read cycle."""
+    system = ReplicatedSystem(num_secondaries=2, propagation_delay=0.1,
+                              record_history=False)
+    session = system.session(Guarantee.STRONG_SESSION_SI)
+    counter = iter(range(10**9))
+
+    def cycle():
+        value = next(counter)
+        session.write("x", value)
+        assert session.read("x") == value
+
+    benchmark(cycle)
+
+
+def test_functional_weak_read_cycle(benchmark):
+    system = ReplicatedSystem(num_secondaries=2, propagation_delay=0.1,
+                              record_history=False)
+    session = system.session(Guarantee.WEAK_SI)
+    session.write("x", 1)
+    system.quiesce()
+
+    def cycle():
+        assert session.read("x") == 1
+
+    benchmark(cycle)
+
+
+def test_kernel_event_throughput(benchmark):
+    """Raw event-loop speed: sleep-chain of 1000 events."""
+
+    def run_chain():
+        kernel = Kernel()
+
+        def chain():
+            for _ in range(1000):
+                yield kernel.sleep(1.0)
+
+        kernel.spawn(chain())
+        kernel.run()
+
+    benchmark(run_chain)
+
+
+def test_ps_server_event_throughput(benchmark):
+    """PS server with heavy arrival churn (200 overlapping jobs)."""
+
+    def run_batch():
+        kernel = Kernel()
+        server = ProcessorSharingServer(kernel)
+
+        def jobproc(delay, demand):
+            yield kernel.sleep(delay)
+            yield server.request(demand)
+
+        for i in range(200):
+            kernel.spawn(jobproc(i * 0.01, 0.5 + (i % 7) * 0.1))
+        kernel.run()
+
+    benchmark(run_batch)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The paper's Section 1 scenario, measured: T_buy / T_check inversions.
+
+An online bookstore runs on a lazy replicated system.  Customers purchase
+books (update transactions at the primary) and immediately check their
+order status (read-only transactions at their replica).  Under plain
+global weak SI the status check can miss the purchase — a *transaction
+inversion*.  Strong session SI eliminates exactly those, at a measured
+blocking cost far below strong SI's.
+
+Run:  python examples/bookstore_inversions.py
+"""
+
+from repro import Guarantee, ReplicatedSystem
+from repro.txn.checkers import (
+    check_strong_session_si,
+    count_transaction_inversions,
+)
+from repro.workload import run_bookstore_workload
+
+
+def run_one(guarantee: Guarantee) -> None:
+    system = ReplicatedSystem(num_secondaries=3, propagation_delay=2.0,
+                              batch_interval=3.0)
+    report = run_bookstore_workload(system, guarantee=guarantee,
+                                    sessions=8, txns_per_session=15,
+                                    seed=7)
+    inversions = count_transaction_inversions(system.recorder)
+    session_ok = check_strong_session_si(system.recorder).ok
+    print(f"{guarantee.value:>18}: {report.transactions} txns "
+          f"({report.purchases} purchases, {report.status_checks} status "
+          f"checks) | customer saw stale status {report.stale_status_checks}x"
+          f" | formal inversions: {inversions}"
+          f" | blocked reads: {report.blocked_reads}"
+          f" (total wait {report.total_read_wait:.1f}s virtual)"
+          f" | strong session SI: {'HOLDS' if session_ok else 'VIOLATED'}")
+
+
+def main() -> None:
+    print("T_buy/T_check inversions by algorithm "
+          "(8 customer sessions x 15 transactions, 2 s propagation):\n")
+    for guarantee in (Guarantee.WEAK_SI, Guarantee.STRONG_SESSION_SI,
+                      Guarantee.STRONG_SI):
+        run_one(guarantee)
+    print(
+        "\nReading the rows: ALG-WEAK-SI never blocks but customers miss "
+        "their own purchases; ALG-STRONG-SESSION-SI blocks only the few "
+        "reads that follow the same session's update inside the "
+        "propagation window; ALG-STRONG-SI blocks on every other "
+        "session's updates too."
+    )
+
+
+if __name__ == "__main__":
+    main()

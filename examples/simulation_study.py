@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""A miniature Section 6 performance study (Figure 2 at reduced scale).
+
+Runs the CSIM-style simulation model for all three algorithms over a small
+client-load sweep and prints the throughput / response-time rows plus an
+ASCII rendition of the figure.  For the paper-faithful version use:
+
+    python -m repro.evaluation --figure 2 --scale full
+
+Run:  python examples/simulation_study.py
+"""
+
+from repro.evaluation.figures import ALL_FIGURES, CLIENTS_SWEEP_80_20, Scale
+from repro.evaluation.runner import (
+    ascii_chart,
+    check_figure_shape,
+    figure_series,
+    figure_table,
+    run_sweep,
+)
+
+MINI_SCALE = Scale("mini", duration=5 * 60.0, warmup=60.0, replications=2,
+                   max_points=4)
+
+
+def main() -> None:
+    print("Running a reduced Figure-2 sweep "
+          f"({MINI_SCALE.duration / 60:.0f} min runs, "
+          f"{MINI_SCALE.replications} replications)...\n")
+    sweep = run_sweep(CLIENTS_SWEEP_80_20, MINI_SCALE, seed=42,
+                      progress=lambda line: print(line))
+    print()
+    for figure_id in ("2", "3", "4"):
+        spec = ALL_FIGURES[figure_id]
+        series = figure_series(spec, sweep)
+        print(figure_table(series))
+        problems = check_figure_shape(series)
+        verdict = "matches the paper" if not problems else \
+            f"DIVERGES: {problems}"
+        print(f"  shape vs Section 6.2: {verdict}\n")
+    print("Figure 2 sketch (S=strong-session, w=weak, x=strong):")
+    print(ascii_chart(figure_series(ALL_FIGURES["2"], sweep)))
+
+
+if __name__ == "__main__":
+    main()

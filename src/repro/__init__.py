@@ -1,0 +1,64 @@
+"""repro - Lazy Database Replication with Snapshot Isolation.
+
+A complete, from-scratch reproduction of Daudjee & Salem, *Lazy Database
+Replication with Snapshot Isolation* (VLDB 2006):
+
+* :mod:`repro.storage` - a multiversion storage engine with local strong
+  SI and first-committer-wins (the per-site DBMS substrate);
+* :mod:`repro.core` - the lazy-master replication middleware: Algorithm
+  3.1 propagation, Algorithm 3.2/3.3 refresh, and the ALG-WEAK-SI /
+  ALG-STRONG-SESSION-SI / ALG-STRONG-SI session guarantees;
+* :mod:`repro.txn` - execution histories, P0-P5 anomaly detectors, and
+  checkers for weak SI, strong SI, strong session SI and completeness;
+* :mod:`repro.kernel` - the deterministic virtual-time kernel everything
+  runs on;
+* :mod:`repro.sim`, :mod:`repro.simmodel` - a CSIM-style discrete-event
+  performance model (Section 5) used to regenerate Figures 2-8;
+* :mod:`repro.workload` - the TPC-W-derived workload generator;
+* :mod:`repro.evaluation` - the figure-regeneration harness
+  (``python -m repro.evaluation``).
+
+Quickstart
+----------
+>>> from repro import ReplicatedSystem, Guarantee
+>>> system = ReplicatedSystem(num_secondaries=2, propagation_delay=1.0)
+>>> with system.session(Guarantee.STRONG_SESSION_SI) as s:
+...     s.write("book:42:stock", 7)      # runs at the primary
+...     s.read("book:42:stock")          # waits for the replica to catch up
+7
+"""
+
+from repro.core.guarantees import Guarantee
+from repro.core.system import ClientSession, ReplicatedSystem
+from repro.errors import (
+    FirstCommitterWinsError,
+    ReproError,
+    TransactionAborted,
+)
+from repro.storage.engine import SIDatabase, Transaction
+from repro.txn.checkers import (
+    check_completeness,
+    check_strong_session_si,
+    check_strong_si,
+    check_weak_si,
+)
+from repro.txn.history import HistoryRecorder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Guarantee",
+    "ReplicatedSystem",
+    "ClientSession",
+    "SIDatabase",
+    "Transaction",
+    "HistoryRecorder",
+    "ReproError",
+    "TransactionAborted",
+    "FirstCommitterWinsError",
+    "check_weak_si",
+    "check_strong_si",
+    "check_strong_session_si",
+    "check_completeness",
+    "__version__",
+]

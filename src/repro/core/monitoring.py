@@ -1,0 +1,188 @@
+"""Operational monitoring for the functional replicated system.
+
+Production replication stacks expose replica lag, queue depths and
+session-blocking statistics; this module provides the same view over a
+:class:`~repro.core.system.ReplicatedSystem`, both as structured data
+(:class:`SystemStatus`) and as a formatted report.  A
+:class:`StalenessProbe` samples lag over virtual time for experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.sim.stats import SummaryStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import ClientSession, ReplicatedSystem
+
+
+@dataclass(frozen=True)
+class SiteStatus:
+    """Point-in-time view of one site."""
+
+    name: str
+    crashed: bool
+    commits: int
+    aborts: int
+    seq_db: Optional[int]           # None for the primary
+    lag: Optional[int]              # commits behind the primary
+    queued_records: Optional[int]
+    pending_refreshes: Optional[int]
+    refreshes_applied: Optional[int]
+    peak_applicators: Optional[int]
+    stored_versions: int
+
+
+@dataclass(frozen=True)
+class SystemStatus:
+    """Point-in-time view of the whole replicated system."""
+
+    now: float
+    primary_commit_ts: int
+    primary: SiteStatus
+    secondaries: tuple[SiteStatus, ...]
+    max_lag: int
+
+    def report(self) -> str:
+        """A human-readable multi-line status report."""
+        lines = [
+            f"replicated system @ t={self.now:.2f}  "
+            f"(primary at commit ts {self.primary_commit_ts})",
+            f"  {'site':<14}{'state':<8}{'commits':>8}{'aborts':>7}"
+            f"{'seq(DBsec)':>11}{'lag':>5}{'queue':>7}{'pending':>8}"
+            f"{'versions':>9}",
+        ]
+        for site in (self.primary,) + self.secondaries:
+            state = "CRASHED" if site.crashed else "up"
+            seq = "-" if site.seq_db is None else str(site.seq_db)
+            lag = "-" if site.lag is None else str(site.lag)
+            queued = "-" if site.queued_records is None \
+                else str(site.queued_records)
+            pending = "-" if site.pending_refreshes is None \
+                else str(site.pending_refreshes)
+            lines.append(
+                f"  {site.name:<14}{state:<8}{site.commits:>8}"
+                f"{site.aborts:>7}{seq:>11}{lag:>5}{queued:>7}"
+                f"{pending:>8}{site.stored_versions:>9}")
+        return "\n".join(lines)
+
+
+def system_status(system: "ReplicatedSystem") -> SystemStatus:
+    """Collect a :class:`SystemStatus` snapshot."""
+    primary_ts = system.primary.latest_commit_ts
+    primary = SiteStatus(
+        name=system.primary.name,
+        crashed=system.primary.engine.crashed,
+        commits=system.primary.engine.commits,
+        aborts=system.primary.engine.aborts,
+        seq_db=None,
+        lag=None,
+        queued_records=None,
+        pending_refreshes=None,
+        refreshes_applied=None,
+        peak_applicators=None,
+        stored_versions=system.primary.engine.version_count,
+    )
+    secondaries = []
+    max_lag = 0
+    for secondary in system.secondaries:
+        lag = None
+        if not secondary.engine.crashed:
+            lag = primary_ts - secondary.seq_db
+            max_lag = max(max_lag, lag)
+        secondaries.append(SiteStatus(
+            name=secondary.name,
+            crashed=secondary.engine.crashed,
+            commits=secondary.engine.commits,
+            aborts=secondary.engine.aborts,
+            seq_db=secondary.seq_db,
+            lag=lag,
+            queued_records=len(secondary.update_queue),
+            pending_refreshes=len(secondary.refresher.pending),
+            refreshes_applied=secondary.refresher.refreshes_applied,
+            peak_applicators=secondary.refresher
+            .max_concurrent_applicators,
+            stored_versions=secondary.engine.version_count,
+        ))
+    return SystemStatus(now=system.kernel.now,
+                        primary_commit_ts=primary_ts,
+                        primary=primary,
+                        secondaries=tuple(secondaries),
+                        max_lag=max_lag)
+
+
+@dataclass
+class SessionStats:
+    """Aggregate statistics over a set of client sessions."""
+
+    sessions: int = 0
+    updates: int = 0
+    reads: int = 0
+    blocked_reads: int = 0
+    total_read_wait: float = 0.0
+    fcw_retries: int = 0
+    freshness_timeouts: int = 0
+
+    @property
+    def blocked_fraction(self) -> float:
+        return self.blocked_reads / self.reads if self.reads else 0.0
+
+    @property
+    def mean_wait_per_blocked_read(self) -> float:
+        return (self.total_read_wait / self.blocked_reads
+                if self.blocked_reads else 0.0)
+
+
+def aggregate_sessions(sessions: list["ClientSession"]) -> SessionStats:
+    """Sum the per-session counters into one :class:`SessionStats`."""
+    stats = SessionStats()
+    for session in sessions:
+        stats.sessions += 1
+        stats.updates += session.updates_committed
+        stats.reads += session.reads_executed
+        stats.blocked_reads += session.blocked_reads
+        stats.total_read_wait += session.total_read_wait
+        stats.fcw_retries += session.fcw_retries
+        stats.freshness_timeouts += session.freshness_timeouts
+    return stats
+
+
+class StalenessProbe:
+    """Samples replica lag over virtual time on the functional system.
+
+    >>> probe = StalenessProbe(system, interval=1.0)
+    >>> probe.start()
+    ... # run workload ...
+    >>> probe.stats.mean           # mean commits-behind across samples
+    """
+
+    def __init__(self, system: "ReplicatedSystem", interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError("probe interval must be positive")
+        self.system = system
+        self.interval = interval
+        self.stats = SummaryStats()
+        self.samples: list[tuple[float, int]] = []
+        self._process = None
+
+    def start(self) -> None:
+        self._process = self.system.kernel.spawn(
+            self._run(), name="staleness-probe", daemon=True)
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self.system.kernel.kill(self._process)
+            self._process = None
+
+    def _run(self):
+        while True:
+            yield self.system.kernel.sleep(self.interval)
+            lag = 0
+            primary_ts = self.system.primary.latest_commit_ts
+            for secondary in self.system.secondaries:
+                if not secondary.engine.crashed:
+                    lag = max(lag, primary_ts - secondary.seq_db)
+            self.stats.add(lag)
+            self.samples.append((self.system.kernel.now, lag))

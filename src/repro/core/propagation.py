@@ -1,0 +1,187 @@
+"""Algorithm 3.1 — primary update propagation.
+
+The propagator is a log sniffer: it observes the primary's logical log
+(outside the local concurrency control) and broadcasts records to every
+attached secondary in log (= timestamp) order:
+
+* ``start_p(T)`` records are forwarded **as soon as they are encountered**,
+  which keeps propagation live even while T is still running (Section 3.2);
+* update records are accumulated into T's *update list*;
+* on ``commit_p(T)`` the whole update list is shipped together with the
+  commit timestamp — updates of transactions that later abort are never
+  propagated, so secondaries waste no work on doomed transactions;
+* on ``abort_p(T)`` an abort notice is shipped (T's start already went out)
+  and the update list is discarded.
+
+Optionally the propagator batches outgoing records and flushes the batch
+after ``batch_interval`` of virtual time, emulating the periodic
+propagation cycle of the paper's simulation model (a 10 s propagator
+"think time").  Records within a batch preserve log order, and batches are
+FIFO, so the ordering lemmas are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.errors import ReplicationError
+from repro.core.records import (
+    PropagatedAbort,
+    PropagatedCommit,
+    PropagatedStart,
+    PropagationRecord,
+)
+from repro.kernel import Kernel
+from repro.storage.wal import (
+    AbortRecord,
+    CommitRecord,
+    LogicalLog,
+    LogRecord,
+    StartRecord,
+    UpdateRecord,
+)
+
+
+class PropagationEndpoint(Protocol):
+    """What the propagator needs from a secondary site."""
+
+    name: str
+
+    def deliver_later(self, record: PropagationRecord, delay: float) -> None:
+        """Schedule delivery of ``record`` after ``delay`` virtual time."""
+
+
+class Propagator:
+    """Broadcasts the primary's committed updates to all secondaries.
+
+    Parameters
+    ----------
+    kernel:
+        The shared virtual-time kernel.
+    log:
+        The primary's logical log to sniff.
+    delay:
+        Network/propagation delay applied to each record (virtual time).
+    batch_interval:
+        If set, records are buffered and flushed together at most every
+        ``batch_interval`` (scheduled lazily so an idle system quiesces).
+    """
+
+    def __init__(self, kernel: Kernel, log: LogicalLog, *,
+                 delay: float = 0.0,
+                 batch_interval: Optional[float] = None,
+                 name: str = "propagator"):
+        if delay < 0:
+            raise ReplicationError("propagation delay must be >= 0")
+        if batch_interval is not None and batch_interval < 0:
+            raise ReplicationError("batch interval must be >= 0")
+        self.kernel = kernel
+        self.log = log
+        self.delay = delay
+        self.batch_interval = batch_interval
+        self.name = name
+        self._endpoints: list[PropagationEndpoint] = []
+        self._update_lists: dict[int, list] = {}
+        self._start_ts: dict[int, int] = {}
+        self._logical_ids: dict[int, str] = {}
+        self._outbox: list[PropagationRecord] = []
+        self._flush_scheduled = False
+        self._paused = False
+        #: All commit records ever broadcast, in commit order — the archive
+        #: used to bring a recovered secondary back up to date (Section 3.4).
+        self.archive: list[PropagatedCommit] = []
+        self.records_sent = 0
+        log.subscribe(self._on_log_record)
+
+    # -- membership -------------------------------------------------------
+    def attach(self, endpoint: PropagationEndpoint) -> None:
+        """Start broadcasting to ``endpoint`` (a secondary site)."""
+        self._endpoints.append(endpoint)
+
+    def detach(self, endpoint: PropagationEndpoint) -> None:
+        self._endpoints.remove(endpoint)
+
+    @property
+    def endpoints(self) -> list[PropagationEndpoint]:
+        return list(self._endpoints)
+
+    # -- flow control (failure injection / staleness experiments) ---------
+    def pause(self) -> None:
+        """Stop emitting records (they keep buffering in log order)."""
+        self._paused = True
+
+    def resume(self) -> None:
+        """Resume emission, flushing everything buffered while paused."""
+        self._paused = False
+        self._flush()
+
+    # -- log sniffing (Algorithm 3.1) --------------------------------------
+    def _on_log_record(self, record: LogRecord) -> None:
+        if isinstance(record, StartRecord):
+            self._start_ts[record.txn_id] = record.start_ts
+            self._update_lists[record.txn_id] = []
+            self._emit(PropagatedStart(
+                txn_id=record.txn_id, start_ts=record.start_ts))
+        elif isinstance(record, UpdateRecord):
+            updates = self._update_lists.get(record.txn_id)
+            if updates is None:
+                raise ReplicationError(
+                    f"update record for unknown transaction {record.txn_id}")
+            updates.append((record.key, record.value, record.deleted))
+        elif isinstance(record, CommitRecord):
+            updates = tuple(self._update_lists.pop(record.txn_id, ()))
+            self._start_ts.pop(record.txn_id, None)
+            commit = PropagatedCommit(
+                txn_id=record.txn_id, commit_ts=record.commit_ts,
+                updates=updates)
+            self.archive.append(commit)
+            self._emit(commit)
+        elif isinstance(record, AbortRecord):
+            self._update_lists.pop(record.txn_id, None)
+            self._start_ts.pop(record.txn_id, None)
+            self._emit(PropagatedAbort(txn_id=record.txn_id))
+
+    # -- emission ----------------------------------------------------------
+    def _emit(self, record: PropagationRecord) -> None:
+        self._outbox.append(record)
+        if self._paused:
+            return
+        if self.batch_interval is None:
+            self._flush()
+        elif not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.kernel.call_at(self.kernel.now + self.batch_interval,
+                                self._flush_batch)
+
+    def _flush_batch(self) -> None:
+        self._flush_scheduled = False
+        if not self._paused:
+            self._flush()
+
+    def _flush(self) -> None:
+        outbox, self._outbox = self._outbox, []
+        for record in outbox:
+            for endpoint in self._endpoints:
+                endpoint.deliver_later(record, self.delay)
+            self.records_sent += 1
+
+    # -- recovery support (Section 3.4) -------------------------------------
+    def replay_to(self, endpoint: PropagationEndpoint,
+                  after_commit_ts: int) -> int:
+        """Replay archived commits newer than ``after_commit_ts``.
+
+        Each replayed transaction is delivered as a start record followed
+        immediately by its commit record, so the recovering secondary
+        installs the missing tail serially through the ordinary refresh
+        mechanism.  Returns the number of transactions replayed.
+        """
+        replayed = 0
+        for commit in self.archive:
+            if commit.commit_ts <= after_commit_ts:
+                continue
+            endpoint.deliver_later(
+                PropagatedStart(txn_id=commit.txn_id,
+                                start_ts=commit.commit_ts - 1), 0.0)
+            endpoint.deliver_later(commit, 0.0)
+            replayed += 1
+        return replayed

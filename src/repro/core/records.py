@@ -1,0 +1,50 @@
+"""Wire-format records broadcast by the propagator to secondaries.
+
+These mirror what Algorithm 3.1 puts on the wire: start timestamps are
+propagated as soon as they appear in the log (for liveness), a committed
+transaction's updates travel together with its commit timestamp, and
+aborts of already-started transactions are announced so secondaries can
+discard the corresponding refresh transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+#: One logical update: (key, value, deleted).
+UpdateTuple = Tuple[Any, Any, bool]
+
+
+@dataclass(frozen=True)
+class PropagatedStart:
+    """start_p(T): T began at the primary with the given start timestamp."""
+
+    txn_id: int
+    start_ts: int
+    logical_id: str = ""
+
+
+@dataclass(frozen=True)
+class PropagatedCommit:
+    """commit_p(T) plus T's full update list, shipped only after commit."""
+
+    txn_id: int
+    commit_ts: int
+    updates: tuple[UpdateTuple, ...]
+    logical_id: str = ""
+
+    @property
+    def update_count(self) -> int:
+        return len(self.updates)
+
+
+@dataclass(frozen=True)
+class PropagatedAbort:
+    """abort_p(T): discard T's refresh transaction."""
+
+    txn_id: int
+    logical_id: str = ""
+
+
+PropagationRecord = PropagatedStart | PropagatedCommit | PropagatedAbort

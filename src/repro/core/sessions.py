@@ -1,0 +1,67 @@
+"""Session sequence numbers — the state behind ALG-STRONG-SESSION-SI.
+
+Section 4 in three sentences: every client session ``c`` has a sequence
+number ``seq(c)``, set to ``commit_p(T)`` whenever an update transaction T
+from ``c`` commits at the primary.  Every secondary maintains
+``seq(DBsec)``, the primary commit timestamp of the last refresh
+transaction it applied.  A read-only transaction from ``c`` waits while
+``seq(c) > seq(DBsec)``; once it runs, local strong SI guarantees it sees a
+state at least as fresh as the session's last update.
+
+ALG-STRONG-SI is the same machinery with a single label for the whole
+system; ALG-WEAK-SI never consults the tracker.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+from repro.core.guarantees import GLOBAL_SESSION_LABEL, Guarantee
+
+
+class SequenceTracker:
+    """Tracks seq(c) for every session label plus the global sequence."""
+
+    def __init__(self) -> None:
+        self._seq: dict[str, int] = defaultdict(int)
+        self._global_seq = 0
+
+    @property
+    def global_seq(self) -> int:
+        """Latest primary commit timestamp observed (the ALG-STRONG-SI
+        single-session sequence number)."""
+        return self._global_seq
+
+    def seq(self, label: str) -> int:
+        """Current seq(c) for session label ``c``."""
+        return self._seq[label]
+
+    def on_primary_commit(self, label: Optional[str], commit_ts: int) -> None:
+        """Record that an update transaction from ``label`` committed."""
+        if commit_ts > self._global_seq:
+            self._global_seq = commit_ts
+        if label is not None and commit_ts > self._seq[label]:
+            self._seq[label] = commit_ts
+
+    def required_sequence(self, guarantee: Guarantee, label: str) -> int:
+        """The seq(DBsec) a read-only transaction from this session must
+        wait for under the given guarantee (captured at submission time).
+
+        Both STRONG_SESSION_SI and PCSI wait for the session's own last
+        update here; the extra ordering between read-only transactions
+        that distinguishes strong session SI is enforced by the client
+        session itself (it remembers the freshest snapshot it observed).
+        """
+        if guarantee is Guarantee.WEAK_SI:
+            return 0
+        if guarantee is Guarantee.STRONG_SI:
+            return self._global_seq
+        return self._seq[label]
+
+    def reset(self) -> None:
+        self._seq.clear()
+        self._global_seq = 0
+
+    def labels(self) -> list[str]:
+        return [label for label in self._seq if label != GLOBAL_SESSION_LABEL]

@@ -1,0 +1,132 @@
+"""Primary and secondary replication sites (Figure 1's boxes).
+
+Each site wraps an autonomous :class:`~repro.storage.SIDatabase` with
+strong SI locally — the paper's architectural assumption.  The primary
+additionally exposes its logical log; each secondary owns the FIFO update
+queue records are delivered into, the refresher that drains it, and the
+``seq(DBsec)`` freshness sequence with its wait condition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.records import PropagationRecord
+from repro.core.refresh import Refresher
+from repro.kernel import Condition, Kernel, Queue
+from repro.storage.engine import SIDatabase, Transaction
+from repro.storage.wal import LogicalLog
+
+
+class PrimarySite:
+    """The single primary: executes all update transactions."""
+
+    def __init__(self, kernel: Kernel, recorder: Any = None,
+                 name: str = "primary"):
+        self.kernel = kernel
+        self.name = name
+        self.log = LogicalLog(name=f"{name}-log")
+        self.engine = SIDatabase(name=name, log=self.log, recorder=recorder,
+                                 clock=lambda: kernel.now)
+
+    def begin_update(self, metadata: Optional[dict] = None) -> Transaction:
+        """Start a forwarded update transaction under local strong SI."""
+        return self.engine.begin(update=True, metadata=metadata)
+
+    @property
+    def latest_commit_ts(self) -> int:
+        return self.engine.latest_commit_ts
+
+    def quiesced_copy(self) -> tuple[dict, int]:
+        """A transaction-consistent copy of the latest committed state
+        plus its commit timestamp (Section 3.4's recovery source)."""
+        ts = self.engine.latest_commit_ts
+        return self.engine.state_at(ts), ts
+
+
+class SecondarySite:
+    """A secondary: executes read-only transactions, applies refreshes."""
+
+    def __init__(self, kernel: Kernel, name: str, recorder: Any = None,
+                 serial_refresh: bool = False):
+        self.kernel = kernel
+        self.name = name
+        self.engine = SIDatabase(name=name, log=None, recorder=recorder,
+                                 clock=lambda: kernel.now)
+        self.update_queue = Queue(kernel, name=f"{name}-update-queue")
+        #: seq(DBsec): primary commit ts of the newest applied refresh.
+        self.seq_db = 0
+        self.seq_cond = Condition(kernel, name=f"{name}-seq")
+        #: Delivery epoch; bumped on crash so in-flight deliveries from
+        #: before the failure are discarded on arrival.
+        self.epoch = 0
+        self.refresher = Refresher(kernel, self, serial=serial_refresh)
+        self.records_dropped = 0
+        #: Records scheduled for delivery but not yet arrived (used by
+        #: :meth:`ReplicatedSystem.quiesce` to detect idleness).
+        self.in_flight = 0
+        #: Records delivered but not yet fully handled by the refresher
+        #: (covers the direct queue->getter handoff window).
+        self.records_unprocessed = 0
+
+    # -- propagation endpoint ----------------------------------------------
+    def deliver_later(self, record: PropagationRecord, delay: float) -> None:
+        """Schedule arrival of ``record`` after ``delay`` (propagator API)."""
+        epoch = self.epoch
+        self.in_flight += 1
+        self.kernel.call_at(self.kernel.now + delay, self._arrive, epoch,
+                            record)
+
+    def _arrive(self, epoch: int, record: PropagationRecord) -> None:
+        self.in_flight -= 1
+        if epoch != self.epoch or self.engine.crashed:
+            self.records_dropped += 1
+            return
+        self.records_unprocessed += 1
+        self.update_queue.put(record)
+
+    def record_handled(self) -> None:
+        """Refresher callback: one delivered record fully processed.
+
+        Records injected directly into the queue (tests do this) never
+        incremented the counter, hence the floor at zero.
+        """
+        if self.records_unprocessed > 0:
+            self.records_unprocessed -= 1
+
+    # -- freshness ----------------------------------------------------------
+    def set_seq_db(self, commit_ts: int) -> None:
+        """Advance seq(DBsec) and wake blocked read-only transactions."""
+        if commit_ts > self.seq_db:
+            self.seq_db = commit_ts
+            self.seq_cond.notify_all()
+
+    def begin_read_only(self, metadata: Optional[dict] = None) -> Transaction:
+        """Start a read-only transaction under local strong SI."""
+        return self.engine.begin(update=False, metadata=metadata)
+
+    # -- failure & recovery (Section 3.4) -------------------------------------
+    def crash(self) -> None:
+        """Fail the site: lose queued updates and all refresh state."""
+        self.epoch += 1
+        self.refresher.stop()
+        self.update_queue.drain()
+        self.records_unprocessed = 0
+        self.engine.crash()
+
+    def recover(self, source_state: dict, source_commit_ts: int) -> None:
+        """Reinstall a quiesced primary copy and restart refresh machinery.
+
+        ``seq(DBsec)`` is reinitialised to the copy's commit timestamp —
+        the sequence number Section 4 obtains via a dummy transaction at
+        the primary.
+        """
+        self.engine.recover_from(source_state, source_commit_ts)
+        self.seq_db = source_commit_ts
+        self.refresher.start()
+        self.seq_cond.notify_all()
+
+    @property
+    def lag(self) -> int:
+        """Number of queued-but-unapplied refresh records (staleness)."""
+        return len(self.update_queue) + len(self.refresher.pending)

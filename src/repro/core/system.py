@@ -1,0 +1,461 @@
+"""The client-facing facade: :class:`ReplicatedSystem` and sessions.
+
+A :class:`ReplicatedSystem` wires together one primary, N secondaries, the
+propagator and per-secondary refreshers on a shared virtual-time kernel.
+Clients open *sessions*; each session is bound to one secondary (clients
+connect to a secondary in Figure 1) and to a :class:`Guarantee`:
+
+* update transactions are forwarded to the primary and executed there
+  under local strong SI (with automatic first-committer-wins retry);
+* read-only transactions run at the session's secondary, blocking first if
+  the session's guarantee requires a fresher ``seq(DBsec)``.
+
+Every call drives the kernel until the operation completes, so client code
+is ordinary synchronous Python while propagation and refresh progress
+underneath in virtual time.
+
+Example
+-------
+>>> from repro import ReplicatedSystem, Guarantee
+>>> system = ReplicatedSystem(num_secondaries=2, propagation_delay=0.5)
+>>> with system.session(Guarantee.STRONG_SESSION_SI) as s:
+...     s.execute_update(lambda t: t.write("x", 1))
+...     s.execute_read_only(lambda t: t.read("x"))
+1
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.guarantees import Guarantee
+from repro.core.propagation import Propagator
+from repro.core.sessions import SequenceTracker
+from repro.core.site import PrimarySite, SecondarySite
+from repro.errors import (
+    ConfigurationError,
+    FirstCommitterWinsError,
+    FreshnessTimeoutError,
+    ReplicationError,
+    SessionClosedError,
+)
+from repro.kernel import Kernel
+from repro.storage.engine import Transaction
+from repro.txn.history import HistoryRecorder
+from repro.txn.ids import IdAllocator
+
+TransactionBody = Callable[[Transaction], Any]
+
+
+class ClientSession:
+    """A client's sequential stream of transactions (Section 4).
+
+    Obtained from :meth:`ReplicatedSystem.session`; usable as a context
+    manager.  Not reentrant: a session submits one transaction at a time,
+    which is exactly the paper's client model.
+    """
+
+    def __init__(self, system: "ReplicatedSystem", label: str,
+                 guarantee: Guarantee, secondary: SecondarySite,
+                 freshness_bound: Optional[int] = None):
+        self.system = system
+        self.label = label
+        self.guarantee = guarantee
+        self.secondary = secondary
+        #: Optional staleness bound k: reads never observe a state more
+        #: than k commits behind the primary (an extension beyond the
+        #: paper; k=0 degenerates to strong SI, k=inf to the base rule).
+        self.freshness_bound = freshness_bound
+        self.closed = False
+        self.updates_committed = 0
+        self.reads_executed = 0
+        self.fcw_retries = 0
+        self.blocked_reads = 0
+        self.total_read_wait = 0.0
+        self.freshness_timeouts = 0
+        #: Freshest seq(DBsec) this session has observed through a read —
+        #: the state strong session SI orders later reads after.  PCSI
+        #: deliberately ignores it (Section 7's distinction).
+        self.last_observed_seq = 0
+
+    # -- context manager ---------------------------------------------------
+    def __enter__(self) -> "ClientSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SessionClosedError(f"session {self.label} is closed")
+
+    # -- update transactions -------------------------------------------------
+    def execute_update(self, work: TransactionBody, *,
+                       max_retries: int = 25) -> Any:
+        """Forward an update transaction to the primary and run it there.
+
+        ``work(txn)`` performs reads and writes through the transaction
+        handle; on a first-committer-wins conflict the transaction is
+        retried against a fresh snapshot up to ``max_retries`` times.
+        Returns ``work``'s return value.
+        """
+        self._check_open()
+        system = self.system
+        attempts = 0
+        while True:
+            txn = system.primary.begin_update(metadata={
+                "logical_id": system._txn_ids.next(),
+                "session": self.label,
+            })
+            try:
+                result = work(txn)
+                commit_ts = txn.commit()
+            except FirstCommitterWinsError:
+                attempts += 1
+                self.fcw_retries += 1
+                if attempts > max_retries:
+                    raise
+                continue
+            break
+        system.tracker.on_primary_commit(self.label, commit_ts)
+        self.updates_committed += 1
+        return result
+
+    def update_transaction(self) -> "_InteractiveUpdate":
+        """Interactive update transaction spanning multiple statements.
+
+        >>> # with session.update_transaction() as txn:
+        >>> #     stock = txn.read("stock")
+        >>> #     txn.write("stock", stock - 1)
+
+        Commits on normal exit (no automatic FCW retry — the caller sees
+        :class:`~repro.errors.FirstCommitterWinsError` and decides);
+        aborts if the body raises.
+        """
+        self._check_open()
+        return _InteractiveUpdate(self)
+
+    # -- read-only transactions ------------------------------------------------
+    def execute_read_only(self, work: TransactionBody, *,
+                          max_wait: Optional[float] = None,
+                          on_timeout: str = "error") -> Any:
+        """Run a read-only transaction at this session's secondary.
+
+        Under ``STRONG_SESSION_SI`` the transaction first waits until
+        ``seq(DBsec) >= seq(c)``; under ``STRONG_SI`` until
+        ``seq(DBsec) >= `` the global sequence at submission; under
+        ``WEAK_SI`` it runs immediately.  The kernel is driven forward
+        (propagation, refresh) while waiting.
+
+        ``max_wait`` caps the freshness wait (virtual time).  On expiry,
+        ``on_timeout='error'`` raises
+        :class:`~repro.errors.FreshnessTimeoutError`; ``'stale'``
+        downgrades this one transaction to the current replica snapshot
+        (an explicit, observable weak-SI escape hatch).
+        """
+        self._check_open()
+        if on_timeout not in ("error", "stale"):
+            raise ConfigurationError(
+                f"on_timeout must be 'error' or 'stale', got {on_timeout!r}")
+        system = self.system
+        required = system.tracker.required_sequence(self.guarantee,
+                                                    self.label)
+        if self.guarantee.orders_reads_within_session:
+            # Monotonic session reads: never go behind a state this
+            # session already observed (matters after move_to()).
+            required = max(required, self.last_observed_seq)
+        if self.freshness_bound is not None:
+            required = max(
+                required, system.tracker.global_seq - self.freshness_bound)
+        process = system.kernel.spawn(
+            self._read_process(work, required, max_wait, on_timeout),
+            name=f"read@{self.label}")
+        return system.kernel.run_until_complete(process)
+
+    def execute_read_only_at(self, sequence: int,
+                             work: TransactionBody) -> Any:
+        """Time-travel read: run ``work`` against the snapshot the primary
+        produced with commit timestamp ``sequence``.
+
+        Secondary refresh commits mirror primary commit numbering, so any
+        ``sequence <= seq(DBsec)`` is served locally from the replica's
+        version history (the weak-SI time-travel facility of the related
+        work the paper cites); newer sequences wait for refresh to catch
+        up first.  Vacuumed-away history raises.
+        """
+        self._check_open()
+        if sequence < 0:
+            raise ConfigurationError("sequence must be >= 0")
+
+        def body():
+            secondary = self.secondary
+            if sequence > secondary.seq_db:
+                self.blocked_reads += 1
+                started = self.system.kernel.now
+                yield secondary.seq_cond.wait_for(
+                    lambda: secondary.seq_db >= sequence)
+                self.total_read_wait += self.system.kernel.now - started
+            txn = secondary.engine.begin(snapshot_ts=sequence, metadata={
+                "logical_id": self.system._txn_ids.next(),
+                # Time-travel reads opt out of session ordering: they are
+                # historical by construction, so give them their own
+                # label rather than flagging them as inversions.
+                "session": f"{self.label}@t{sequence}",
+            })
+            result = work(txn)
+            txn.commit()
+            self.reads_executed += 1
+            return result
+
+        process = self.system.kernel.spawn(
+            body(), name=f"timetravel@{self.label}")
+        return self.system.kernel.run_until_complete(process)
+
+    def _read_process(self, work: TransactionBody, required: int,
+                      max_wait: Optional[float], on_timeout: str):
+        from repro.kernel import Timeout, TimeoutExpired
+        secondary = self.secondary
+        if required > secondary.seq_db:
+            self.blocked_reads += 1
+            started = self.system.kernel.now
+            wait = secondary.seq_cond.wait_for(
+                lambda: secondary.seq_db >= required)
+            if max_wait is None:
+                yield wait
+            else:
+                try:
+                    yield Timeout(wait, max_wait)
+                except TimeoutExpired:
+                    self.freshness_timeouts += 1
+                    if on_timeout == "error":
+                        self.total_read_wait += (
+                            self.system.kernel.now - started)
+                        raise FreshnessTimeoutError(
+                            f"replica {secondary.name} not at sequence "
+                            f"{required} within {max_wait}s "
+                            f"(seq(DBsec)={secondary.seq_db})")
+                    # 'stale': fall through and read what is there now.
+            self.total_read_wait += self.system.kernel.now - started
+        txn = secondary.begin_read_only(metadata={
+            "logical_id": self.system._txn_ids.next(),
+            "session": self.label,
+        })
+        self.last_observed_seq = max(self.last_observed_seq,
+                                     secondary.seq_db)
+        result = work(txn)
+        txn.commit()
+        self.reads_executed += 1
+        return result
+
+    def move_to(self, secondary_index: int) -> None:
+        """Rebind this session to another secondary (e.g. fail-over).
+
+        Under STRONG_SESSION_SI / STRONG_SI the next read will wait until
+        the new replica is at least as fresh as everything this session
+        already saw; under PCSI and WEAK_SI it may observe time going
+        backwards — which is exactly the behavioural gap between strong
+        session SI and prefix-consistent SI (Section 7).
+        """
+        self._check_open()
+        self.secondary = self.system._secondary_at(secondary_index)
+
+    # -- convenience wrappers -----------------------------------------------
+    def read(self, key: Any, default: Any = None) -> Any:
+        """One-shot read-only transaction returning a single key."""
+        return self.execute_read_only(lambda t: t.read(key, default=default))
+
+    def read_many(self, keys: list[Any], default: Any = None) -> dict:
+        """One-shot read-only transaction returning several keys."""
+        return self.execute_read_only(
+            lambda t: {k: t.read(k, default=default) for k in keys})
+
+    def write(self, key: Any, value: Any) -> None:
+        """One-shot update transaction writing a single key."""
+        self.execute_update(lambda t: t.write(key, value))
+
+    def write_many(self, items: dict) -> None:
+        """One-shot update transaction writing several keys atomically."""
+        def work(txn: Transaction) -> None:
+            for key, value in items.items():
+                txn.write(key, value)
+        self.execute_update(work)
+
+
+class _InteractiveUpdate:
+    """Context manager for a multi-statement update transaction."""
+
+    def __init__(self, session: ClientSession):
+        self.session = session
+        system = session.system
+        self.txn = system.primary.begin_update(metadata={
+            "logical_id": system._txn_ids.next(),
+            "session": session.label,
+        })
+
+    def __enter__(self) -> Transaction:
+        return self.txn
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        from repro.storage.engine import TxnStatus
+        if self.txn.status is not TxnStatus.ACTIVE:
+            # The body committed/aborted explicitly; respect it but still
+            # account for a commit below.
+            pass
+        elif exc_type is not None:
+            self.txn.abort(f"body raised {exc_type.__name__}")
+            return False
+        else:
+            self.txn.commit()
+        if self.txn.status is TxnStatus.COMMITTED:
+            self.session.system.tracker.on_primary_commit(
+                self.session.label, self.txn.commit_ts)
+            self.session.updates_committed += 1
+        return False
+
+
+class ReplicatedSystem:
+    """A lazy-master replicated database (Figure 1).
+
+    Parameters
+    ----------
+    num_secondaries:
+        Number of full replicas executing read-only transactions.
+    propagation_delay:
+        Virtual-time delay applied to each propagated record.
+    batch_interval:
+        Optional propagation batching cycle (the paper's simulation uses
+        10 s); ``None`` propagates each record individually.
+    record_history:
+        Keep a global :class:`HistoryRecorder` (default on) so checkers
+        can audit every execution.
+    serial_refresh:
+        Apply refresh transactions serially instead of concurrently
+        (the ablation baseline; default off).
+    """
+
+    def __init__(self, num_secondaries: int = 1, *,
+                 propagation_delay: float = 0.0,
+                 batch_interval: Optional[float] = None,
+                 record_history: bool = True,
+                 serial_refresh: bool = False,
+                 kernel: Optional[Kernel] = None):
+        if num_secondaries < 1:
+            raise ConfigurationError("need at least one secondary site")
+        self.kernel = kernel or Kernel()
+        self.recorder: Optional[HistoryRecorder] = (
+            HistoryRecorder() if record_history else None)
+        self.primary = PrimarySite(self.kernel, recorder=self.recorder)
+        self.secondaries: list[SecondarySite] = [
+            SecondarySite(self.kernel, name=f"secondary-{i + 1}",
+                          recorder=self.recorder,
+                          serial_refresh=serial_refresh)
+            for i in range(num_secondaries)
+        ]
+        self.propagator = Propagator(self.kernel, self.primary.log,
+                                     delay=propagation_delay,
+                                     batch_interval=batch_interval)
+        for secondary in self.secondaries:
+            self.propagator.attach(secondary)
+        self.tracker = SequenceTracker()
+        self._session_ids = IdAllocator("session")
+        self._txn_ids = IdAllocator("txn")
+        self._next_secondary = 0
+
+    # -- sessions -------------------------------------------------------------
+    def session(self, guarantee: Guarantee = Guarantee.STRONG_SESSION_SI,
+                secondary: Optional[int] = None,
+                freshness_bound: Optional[int] = None) -> ClientSession:
+        """Open a client session bound to a secondary (round-robin default).
+
+        ``freshness_bound`` optionally caps staleness: every read waits
+        until its replica is within that many commits of the primary.
+        """
+        if freshness_bound is not None and freshness_bound < 0:
+            raise ConfigurationError("freshness_bound must be >= 0")
+        if secondary is None:
+            index = self._next_secondary
+            self._next_secondary = (index + 1) % len(self.secondaries)
+        else:
+            index = secondary
+        return ClientSession(self, self._session_ids.next(), guarantee,
+                             self._secondary_at(index),
+                             freshness_bound=freshness_bound)
+
+    def _secondary_at(self, index: int) -> SecondarySite:
+        if not 0 <= index < len(self.secondaries):
+            raise ConfigurationError(
+                f"secondary index {index} out of range "
+                f"[0, {len(self.secondaries)})")
+        return self.secondaries[index]
+
+    # -- global progress --------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the kernel (propagation and refresh make progress)."""
+        self.kernel.run(until=until)
+
+    def quiesce(self) -> None:
+        """Advance until all propagated work has been applied everywhere.
+
+        Unlike a bare ``kernel.run()``, this terminates even when
+        periodic daemons (monitoring probes, batching propagators) keep
+        future events scheduled forever: it steps the kernel only until
+        the *replication pipeline* is idle.
+        """
+        guard = 0
+        while not self._replication_idle():
+            if not self.kernel.step():
+                raise ReplicationError(
+                    "replication pipeline is stuck: unapplied work "
+                    "remains but no event can make progress")
+            guard += 1
+            if guard > 10_000_000:   # pragma: no cover - safety net
+                raise ReplicationError("quiesce did not converge")
+
+    def _replication_idle(self) -> bool:
+        if self.propagator._outbox or self.propagator._flush_scheduled:
+            return False
+        for secondary in self.secondaries:
+            if secondary.engine.crashed:
+                continue
+            if secondary.in_flight or not secondary.refresher.idle:
+                return False
+        return True
+
+    # -- failure injection (Section 3.4) ------------------------------------------
+    def crash_secondary(self, index: int) -> None:
+        """Fail a secondary: queued updates and refresh state are lost."""
+        self.secondaries[index].crash()
+
+    def recover_secondary(self, index: int) -> None:
+        """Recover a secondary per Section 3.4.
+
+        Takes a quiesced copy of the primary, reinstalls it, reinitialises
+        ``seq(DBsec)`` from the copy's commit timestamp, and replays the
+        archived tail of commits through the refresh mechanism.
+        """
+        secondary = self.secondaries[index]
+        state, commit_ts = self.primary.quiesced_copy()
+        secondary.recover(state, commit_ts)
+        self.propagator.replay_to(secondary, after_commit_ts=commit_ts)
+
+    # -- inspection ----------------------------------------------------------------
+    def primary_state(self) -> dict:
+        """Latest committed key-value state at the primary."""
+        return self.primary.engine.state_at()
+
+    def secondary_state(self, index: int) -> dict:
+        """Latest committed key-value state at a secondary."""
+        return self.secondaries[index].engine.state_at()
+
+    def max_staleness(self) -> int:
+        """Largest seq(DBsec) lag across live secondaries, in commits."""
+        latest = self.primary.latest_commit_ts
+        return max((latest - s.seq_db)
+                   for s in self.secondaries if not s.engine.crashed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ReplicatedSystem primary@{self.primary.latest_commit_ts} "
+                f"secondaries={[s.seq_db for s in self.secondaries]}>")

@@ -1,0 +1,105 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch one base class.  Transaction-level outcomes that a client is
+expected to handle (first-committer-wins aborts, explicit aborts) derive from
+:class:`TransactionAborted`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class KernelError(ReproError):
+    """Base class for cooperative-kernel errors."""
+
+
+class DeadlockError(KernelError):
+    """The kernel ran out of runnable work while a caller was still waiting.
+
+    Raised when :meth:`repro.kernel.Kernel.run` is asked to drive a process
+    to completion but every process in the system is blocked and no timed
+    event remains — the virtual-time equivalent of a deadlock.
+    """
+
+
+class ProcessKilled(KernelError):
+    """Injected into a process that was forcibly terminated."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine errors."""
+
+
+class TransactionAborted(StorageError):
+    """Base class for all transaction aborts."""
+
+
+class FirstCommitterWinsError(TransactionAborted):
+    """A write-write conflict with a concurrently-committed transaction.
+
+    Under snapshot isolation the *first committer wins* (FCW) rule aborts a
+    committing transaction if any transaction whose lifespan overlapped it
+    already committed a write to one of its written items (Berenson et al.,
+    and Section 2.1 of the paper).
+    """
+
+    def __init__(self, txn_id: int, key: object, winner_txn_id: int):
+        self.txn_id = txn_id
+        self.key = key
+        self.winner_txn_id = winner_txn_id
+        super().__init__(
+            f"transaction {txn_id} aborted by first-committer-wins on key "
+            f"{key!r}: transaction {winner_txn_id} committed first"
+        )
+
+
+class ExplicitAbort(TransactionAborted):
+    """The client (or a failure-injection hook) asked for the abort."""
+
+
+class TransactionStateError(StorageError):
+    """An operation was attempted on a finished (committed/aborted) txn."""
+
+
+class KeyNotFound(StorageError):
+    """A read referenced a key with no visible committed version."""
+
+    def __init__(self, key: object):
+        self.key = key
+        super().__init__(f"no visible version for key {key!r}")
+
+
+class ReplicationError(ReproError):
+    """Base class for replication-middleware errors."""
+
+
+class SiteUnavailableError(ReplicationError):
+    """A request was routed to a site that has crashed."""
+
+
+class SessionClosedError(ReplicationError):
+    """An operation was issued on a closed client session."""
+
+
+class FreshnessTimeoutError(ReplicationError):
+    """A read-only transaction's freshness wait exceeded its ``max_wait``.
+
+    Raised by :meth:`repro.core.ClientSession.execute_read_only` when the
+    caller set ``max_wait`` with ``on_timeout='error'``.
+    """
+
+
+class CheckerError(ReproError):
+    """A correctness checker was given a malformed history."""
+
+
+class SimulationError(ReproError):
+    """Base class for simulation-model errors."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid experiment or system configuration."""

@@ -1,0 +1,57 @@
+"""Figure/table regeneration harness for the paper's evaluation (Section 6).
+
+One :class:`~repro.evaluation.figures.FigureSpec` exists for every figure
+in the paper (Figures 2-8; Table 1 is the parameter set itself,
+:data:`repro.simmodel.TABLE_1_DEFAULTS`).  Figures sharing a parameter
+sweep (2/3/4 and 5/6/7) are generated from a single sweep run.
+
+Run from the command line::
+
+    python -m repro.evaluation --figure all --scale quick
+    python -m repro.evaluation --figure 2 --scale full --out results/
+
+Scales trade fidelity for wall-clock time: ``full`` is the paper's exact
+methodology (35 simulated minutes, 5-minute warm-up, 5 replications, all
+sweep points); ``quick`` and ``smoke`` shrink runs and subsample sweep
+points while preserving the qualitative shapes.
+"""
+
+from repro.evaluation.figures import (
+    ALL_FIGURES,
+    CLIENTS_SWEEP_80_20,
+    SCALEUP_SWEEP_80_20,
+    SCALEUP_SWEEP_95_5,
+    FigureSpec,
+    Scale,
+    SCALES,
+    SweepSpec,
+)
+from repro.evaluation.runner import (
+    FigureSeries,
+    SweepResult,
+    ascii_chart,
+    check_figure_shape,
+    figure_series,
+    figure_table,
+    run_sweep,
+    write_csv,
+)
+
+__all__ = [
+    "FigureSpec",
+    "SweepSpec",
+    "Scale",
+    "SCALES",
+    "ALL_FIGURES",
+    "CLIENTS_SWEEP_80_20",
+    "SCALEUP_SWEEP_80_20",
+    "SCALEUP_SWEEP_95_5",
+    "SweepResult",
+    "FigureSeries",
+    "run_sweep",
+    "figure_series",
+    "figure_table",
+    "ascii_chart",
+    "check_figure_shape",
+    "write_csv",
+]

@@ -1,0 +1,215 @@
+"""Sweep execution, table/series extraction, plotting and shape checks.
+
+The runner executes a sweep once for all three algorithms and renders any
+figure that shares it.  ``check_figure_shape`` encodes the paper's
+qualitative claims (Section 6.2) as assertions over regenerated series —
+this is the acceptance criterion for the reproduction: absolute numbers
+come from Table 1's synthetic service times, but *who wins, by roughly
+what factor, and where the knees fall* must match.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.core.guarantees import Guarantee
+from repro.errors import ConfigurationError
+from repro.sim.stats import ConfidenceInterval
+from repro.simmodel.experiment import AggregatedResult, run_replications
+from repro.evaluation.figures import (
+    ALGORITHMS,
+    FigureSpec,
+    Scale,
+    SweepSpec,
+)
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass
+class SweepResult:
+    """All aggregated results of one sweep at one scale."""
+
+    sweep: SweepSpec
+    scale: Scale
+    seed: int
+    x_values: tuple[int, ...]
+    points: dict[tuple[str, int], AggregatedResult] = field(
+        default_factory=dict)
+
+    def result(self, algorithm: Guarantee, x: int) -> AggregatedResult:
+        return self.points[(algorithm.value, x)]
+
+
+@dataclass
+class FigureSeries:
+    """One figure's data: per-algorithm series of (x, mean, ci half-width)."""
+
+    spec: FigureSpec
+    series: dict[str, list[tuple[int, float, float]]]
+
+    def means(self, algorithm: Guarantee) -> dict[int, float]:
+        return {x: mean for x, mean, _ in self.series[algorithm.value]}
+
+
+def run_sweep(sweep: SweepSpec, scale: Scale, *,
+              algorithms: Sequence[Guarantee] = ALGORITHMS,
+              seed: int = 42,
+              progress: Optional[ProgressFn] = None) -> SweepResult:
+    """Run every (algorithm, x) point of a sweep at the given scale."""
+    xs = scale.select_points(sweep.x_values)
+    result = SweepResult(sweep=sweep, scale=scale, seed=seed, x_values=xs)
+    for algorithm in algorithms:
+        for x in xs:
+            params = sweep.params_for(x, algorithm, scale, seed=seed)
+            if progress is not None:
+                progress(f"  {sweep.key}: {algorithm} x={x} "
+                         f"({params.num_clients + params.extra_clients} "
+                         f"clients, {params.num_sec} secondaries)")
+            aggregated = run_replications(params)
+            result.points[(algorithm.value, x)] = aggregated
+    return result
+
+
+def _metric_ci(aggregated: AggregatedResult,
+               metric: str) -> ConfidenceInterval:
+    try:
+        return getattr(aggregated, metric)
+    except AttributeError as exc:
+        raise ConfigurationError(f"unknown figure metric {metric!r}") from exc
+
+
+def figure_series(spec: FigureSpec, sweep_result: SweepResult,
+                  algorithms: Sequence[Guarantee] = ALGORITHMS
+                  ) -> FigureSeries:
+    """Extract one figure's metric from a completed sweep."""
+    series: dict[str, list[tuple[int, float, float]]] = {}
+    for algorithm in algorithms:
+        rows = []
+        for x in sweep_result.x_values:
+            ci = _metric_ci(sweep_result.result(algorithm, x), spec.metric)
+            rows.append((x, ci.mean, ci.half_width))
+        series[algorithm.value] = rows
+    return FigureSeries(spec=spec, series=series)
+
+
+def figure_table(figure: FigureSeries) -> str:
+    """Render one figure as a text table (the paper's series as rows)."""
+    spec = figure.spec
+    algorithms = list(figure.series)
+    lines = [
+        f"Figure {spec.figure}: {spec.title}",
+        f"  x = {spec.x_label}; y = {spec.y_label}",
+    ]
+    header = f"  {'x':>6} | " + " | ".join(f"{a:>24}" for a in algorithms)
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    xs = [x for x, _, _ in figure.series[algorithms[0]]]
+    for i, x in enumerate(xs):
+        cells = []
+        for algorithm in algorithms:
+            _, mean, half = figure.series[algorithm][i]
+            cells.append(f"{mean:>14.3f} ± {half:<7.3f}")
+        lines.append(f"  {x:>6} | " + " | ".join(f"{c:>24}" for c in cells))
+    return "\n".join(lines)
+
+
+def ascii_chart(figure: FigureSeries, width: int = 60,
+                height: int = 16) -> str:
+    """A rough terminal line chart of all series (one symbol per alg)."""
+    symbols = {"strong-session-si": "S", "weak-si": "w", "strong-si": "x"}
+    points: list[tuple[float, float, str]] = []
+    for algorithm, rows in figure.series.items():
+        symbol = symbols.get(algorithm, "?")
+        for x, mean, _ in rows:
+            points.append((float(x), mean, symbol))
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, max(ys) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, symbol in points:
+        col = 0 if x_hi == x_lo else int((x - x_lo) / (x_hi - x_lo)
+                                         * (width - 1))
+        row = height - 1 - int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[max(0, min(height - 1, row))][col] = symbol
+    lines = [f"{y_hi:>8.1f} ┤" + "".join(grid[0])]
+    lines += ["         │" + "".join(row) for row in grid[1:-1]]
+    lines.append(f"{y_lo:>8.1f} └" + "─" * width)
+    lines.append(f"          {x_lo:<10.0f}"
+                 + " " * max(0, width - 22) + f"{x_hi:>10.0f}")
+    lines.append("          S=strong-session  w=weak  x=strong")
+    return "\n".join(lines)
+
+
+def write_csv(figure: FigureSeries, path: Path) -> None:
+    """Write one figure's series as CSV (x, alg, mean, ci_half_width)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["x", "algorithm", figure.spec.metric,
+                         "ci_half_width"])
+        for algorithm, rows in figure.series.items():
+            for x, mean, half in rows:
+                writer.writerow([x, algorithm, f"{mean:.6f}", f"{half:.6f}"])
+
+
+# ---------------------------------------------------------------------------
+# Qualitative shape checks (the reproduction acceptance criteria)
+# ---------------------------------------------------------------------------
+
+def _series_maps(figure: FigureSeries) -> tuple[dict, dict, dict]:
+    session = figure.means(Guarantee.STRONG_SESSION_SI)
+    weak = figure.means(Guarantee.WEAK_SI)
+    strong = figure.means(Guarantee.STRONG_SI)
+    return session, weak, strong
+
+
+def check_figure_shape(figure: FigureSeries) -> list[str]:
+    """Check Section 6.2's qualitative claims; return a list of problems.
+
+    Thresholds are deliberately loose: they must hold at reduced scales
+    (short runs, few replications) as well as at the paper's full scale.
+    """
+    spec = figure.spec
+    session, weak, strong = _series_maps(figure)
+    xs = sorted(session)
+    hi = xs[-1]
+    problems: list[str] = []
+
+    def fail(message: str) -> None:
+        problems.append(f"figure {spec.figure}: {message}")
+
+    if spec.metric == "throughput":
+        for x in xs:
+            if session[x] < 0.6 * weak[x]:
+                fail(f"session tput {session[x]:.2f} < 60% of weak "
+                     f"{weak[x]:.2f} at x={x}")
+        if strong[hi] > 0.7 * session[hi]:
+            fail(f"strong tput {strong[hi]:.2f} not well below session "
+                 f"{session[hi]:.2f} at x={hi}")
+        if spec.sweep.mode == "secondaries" and len(xs) >= 2:
+            lo = xs[0]
+            expected_gain = min(2.0, 0.4 * hi / max(lo, 1))
+            if session[hi] < expected_gain * session[lo]:
+                fail(f"session tput did not scale: {session[lo]:.2f} -> "
+                     f"{session[hi]:.2f} over {lo}->{hi} secondaries")
+    elif spec.metric == "read_response_time":
+        if strong[hi] < 2.0 * max(session[hi], 0.05):
+            fail(f"strong read RT {strong[hi]:.2f} not >> session "
+                 f"{session[hi]:.2f} at x={hi}")
+        if weak[hi] > session[hi] * 1.25 + 0.05:
+            fail(f"weak read RT {weak[hi]:.2f} above session "
+                 f"{session[hi]:.2f} at x={hi}")
+    elif spec.metric == "update_response_time":
+        if strong[hi] > weak[hi] + 0.05:
+            fail(f"strong update RT {strong[hi]:.2f} not below weak "
+                 f"{weak[hi]:.2f} at x={hi} (throttled-load effect)")
+    else:
+        fail(f"no shape checks defined for metric {spec.metric!r}")
+    return problems

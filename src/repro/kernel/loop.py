@@ -1,0 +1,401 @@
+"""The event loop: virtual time, processes, and the awaitable protocol.
+
+The kernel keeps a single min-heap of timed events.  Untimed wakeups (a
+queue handing an item to a blocked getter, say) are scheduled at the current
+virtual time; a monotonically increasing sequence number breaks ties, so
+execution order is fully deterministic.
+
+Awaitable protocol
+------------------
+Anything a process ``yield``\\ s must implement ``_block(kernel, process)``:
+arrange for ``kernel._resume(process, value)`` (or ``_throw``) to be called
+later, and return nothing.  Awaitables that support cancellation (so that
+:meth:`Kernel.kill` can detach a blocked process) also implement
+``_cancel(process)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterator, Optional
+
+from repro.errors import DeadlockError, KernelError, ProcessKilled
+
+ProcessBody = Generator[Any, Any, Any]
+
+
+class Process:
+    """A cooperative process: a generator driven by the kernel.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label, used in error messages and traces.
+    alive:
+        True until the generator returns or raises.
+    result:
+        The generator's return value, once finished.
+    exception:
+        The terminating exception, if the process failed.
+    """
+
+    __slots__ = (
+        "kernel",
+        "name",
+        "pid",
+        "_gen",
+        "alive",
+        "result",
+        "exception",
+        "daemon",
+        "_joiners",
+        "_blocked_on",
+    )
+
+    def __init__(self, kernel: "Kernel", gen: ProcessBody, name: str, pid: int,
+                 daemon: bool = False):
+        self.kernel = kernel
+        self.name = name
+        self.pid = pid
+        self._gen = gen
+        self.alive = True
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self.daemon = daemon
+        self._joiners: list[Process] = []
+        # The awaitable this process is currently blocked on (for cancel).
+        self._blocked_on: Any = None
+
+    def join(self) -> "Join":
+        """Awaitable that resumes the caller when this process finishes."""
+        return Join(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "done"
+        return f"<Process {self.pid} {self.name!r} {state}>"
+
+
+class Sleep:
+    """Awaitable: resume the process after ``delay`` units of virtual time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise KernelError(f"cannot sleep for negative delay {delay!r}")
+        self.delay = delay
+
+    def _block(self, kernel: "Kernel", process: Process) -> None:
+        kernel._schedule(kernel.now + self.delay, kernel._resume, process, None)
+
+    def _cancel(self, process: Process) -> None:
+        # The timed event still fires but finds the process dead; harmless.
+        pass
+
+
+class Checkpoint:
+    """Awaitable: yield the processor, resume at the same virtual time.
+
+    Useful for letting other ready processes run (round-robin fairness in
+    middleware loops) without advancing the clock.
+    """
+
+    __slots__ = ()
+
+    def _block(self, kernel: "Kernel", process: Process) -> None:
+        kernel._schedule(kernel.now, kernel._resume, process, None)
+
+    def _cancel(self, process: Process) -> None:
+        pass
+
+
+class TimeoutExpired(KernelError):
+    """Raised inside a process when a ``Timeout``-wrapped wait expires."""
+
+
+class Timeout:
+    """Awaitable combinator: wait on ``inner``, but at most ``limit``.
+
+    Resumes with the inner awaitable's value if it fires in time;
+    raises :class:`TimeoutExpired` in the waiting process otherwise.
+
+    >>> value = yield Timeout(queue.get(), limit=5.0)
+    """
+
+    __slots__ = ("inner", "limit", "_fired", "_kernel", "_proxy")
+
+    def __init__(self, inner: Any, limit: float):
+        if limit < 0:
+            raise KernelError(f"negative timeout {limit!r}")
+        if not hasattr(inner, "_block"):
+            raise KernelError(f"Timeout wraps awaitables, got {inner!r}")
+        self.inner = inner
+        self.limit = limit
+        self._fired = False
+        self._kernel: Optional["Kernel"] = None
+        self._proxy: Optional[Process] = None
+
+    def _block(self, kernel: "Kernel", process: Process) -> None:
+        # A proxy process runs the inner wait; whichever of {proxy done,
+        # deadline} happens first resumes the real process exactly once.
+        timeout = self
+
+        def waiter_body():
+            value = yield timeout.inner
+            return value
+
+        proxy = kernel.spawn(waiter_body(), name="timeout-proxy",
+                             daemon=True)
+        self._kernel = kernel
+        self._proxy = proxy
+
+        def on_done(value: Any, is_error: bool) -> None:
+            if timeout._fired:
+                return
+            timeout._fired = True
+            if is_error:
+                kernel._schedule(kernel.now, kernel._throw, process, value)
+            else:
+                kernel._schedule(kernel.now, kernel._resume, process, value)
+
+        def observer():
+            try:
+                value = yield proxy.join()
+            except BaseException as exc:  # noqa: BLE001 - forwarded
+                on_done(exc, True)
+            else:
+                on_done(value, False)
+
+        def deadline_check() -> None:
+            if timeout._fired:
+                return
+            if not proxy.alive:
+                # The wait completed at this very instant; the observer
+                # (already scheduled) will deliver the value.
+                return
+            kernel.kill(proxy)
+            on_done(TimeoutExpired(
+                f"wait did not complete within {timeout.limit}"), True)
+
+        def deadline_reached() -> None:
+            # One extra scheduling hop so a wait that was *already
+            # satisfiable* when the deadline lands wins the tie.
+            kernel._schedule(kernel.now, deadline_check)
+
+        kernel.spawn(observer(), name="timeout-observer", daemon=True)
+        kernel._schedule(kernel.now + self.limit, deadline_reached)
+
+    def _cancel(self, process: Process) -> None:
+        self._fired = True
+        if self._kernel is not None and self._proxy is not None:
+            self._kernel.kill(self._proxy)
+
+
+class Join:
+    """Awaitable: resume when the target process finishes.
+
+    The awaiting process receives the target's ``result``.  If the target
+    terminated with an exception, that exception is re-raised in the waiter.
+    """
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: Process):
+        self.target = target
+
+    def _block(self, kernel: "Kernel", process: Process) -> None:
+        if not self.target.alive:
+            if self.target.exception is not None:
+                kernel._schedule(kernel.now, kernel._throw, process,
+                                 self.target.exception)
+            else:
+                kernel._schedule(kernel.now, kernel._resume, process,
+                                 self.target.result)
+            return
+        self.target._joiners.append(process)
+
+    def _cancel(self, process: Process) -> None:
+        if process in self.target._joiners:
+            self.target._joiners.remove(process)
+
+
+class Kernel:
+    """A deterministic virtual-time scheduler for cooperative processes."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+        self._seq: int = 0
+        self._next_pid: int = 0
+        self._live_nondaemon: int = 0
+        self._trace: Optional[Callable[[str], None]] = None
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def spawn(self, gen: ProcessBody, name: str = "process",
+              daemon: bool = False) -> Process:
+        """Create a process from a generator and schedule its first step.
+
+        Daemon processes (e.g. infinite middleware loops) do not keep
+        :meth:`run` alive and are not reported as leaks.
+        """
+        if not isinstance(gen, Iterator):
+            raise KernelError(
+                f"spawn() expects a generator, got {type(gen).__name__}; "
+                "did you forget to call the process function?"
+            )
+        pid = self._next_pid
+        self._next_pid += 1
+        process = Process(self, gen, name, pid, daemon=daemon)
+        if not daemon:
+            self._live_nondaemon += 1
+        self._schedule(self._now, self._resume, process, None)
+        return process
+
+    def sleep(self, delay: float) -> Sleep:
+        """Awaitable sleep: ``yield kernel.sleep(2.5)``."""
+        return Sleep(delay)
+
+    def checkpoint(self) -> Checkpoint:
+        """Awaitable that yields control without advancing time."""
+        return Checkpoint()
+
+    def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+        """Run a plain callback at virtual time ``when`` (>= now)."""
+        if when < self._now:
+            raise KernelError(f"call_at({when}) is in the past (now={self._now})")
+        self._schedule(when, fn, *args)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the heap is empty or ``until`` is reached.
+
+        When ``until`` is given, the clock is advanced exactly to ``until``
+        even if the last event fires earlier.
+        """
+        while self._heap:
+            when, _seq, fn, args = self._heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = when
+            fn(*args)
+        if until is not None and self._now < until:
+            self._now = until
+
+    def step(self) -> bool:
+        """Process exactly one event; False if the heap was empty."""
+        if not self._heap:
+            return False
+        when, _seq, fn, args = heapq.heappop(self._heap)
+        self._now = when
+        fn(*args)
+        return True
+
+    def run_until_complete(self, process: Process) -> Any:
+        """Drive the system until ``process`` finishes; return its result.
+
+        Raises
+        ------
+        DeadlockError
+            If the event heap drains while ``process`` is still blocked.
+        """
+        while process.alive:
+            if not self._heap:
+                raise DeadlockError(
+                    f"no runnable work left but {process!r} has not finished"
+                )
+            when, _seq, fn, args = heapq.heappop(self._heap)
+            self._now = when
+            fn(*args)
+        if process.exception is not None:
+            raise process.exception
+        return process.result
+
+    def kill(self, process: Process) -> None:
+        """Forcibly terminate a process (its ``finally`` blocks still run)."""
+        if not process.alive:
+            return
+        blocked_on = process._blocked_on
+        if blocked_on is not None and hasattr(blocked_on, "_cancel"):
+            blocked_on._cancel(process)
+        process._blocked_on = None
+        self._step(process, ProcessKilled(f"{process.name} killed"), throw=True)
+
+    def set_trace(self, fn: Optional[Callable[[str], None]]) -> None:
+        """Install a trace hook receiving one line per process step."""
+        self._trace = fn
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled-but-unfired events (for tests/diagnostics)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _schedule(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, fn, args))
+
+    def _resume(self, process: Process, value: Any) -> None:
+        if not process.alive:
+            return
+        self._step(process, value, throw=False)
+
+    def _throw(self, process: Process, exc: BaseException) -> None:
+        if not process.alive:
+            return
+        self._step(process, exc, throw=True)
+
+    def _step(self, process: Process, value: Any, throw: bool) -> None:
+        process._blocked_on = None
+        if self._trace is not None:  # pragma: no cover - tracing aid
+            self._trace(f"[{self._now:.6f}] step {process.name}")
+        try:
+            if throw:
+                awaited = process._gen.throw(value)
+            else:
+                awaited = process._gen.send(value)
+        except StopIteration as stop:
+            self._finish(process, result=stop.value, exception=None)
+            return
+        except ProcessKilled as exc:
+            self._finish(process, result=None, exception=None if throw else exc)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to joiners
+            self._finish(process, result=None, exception=exc)
+            return
+        if awaited is None:
+            # Bare ``yield`` acts as a checkpoint.
+            awaited = Checkpoint()
+        if not hasattr(awaited, "_block"):
+            err = KernelError(
+                f"process {process.name!r} yielded non-awaitable {awaited!r}"
+            )
+            self._step(process, err, throw=True)
+            return
+        process._blocked_on = awaited
+        awaited._block(self, process)
+
+    def _finish(self, process: Process, result: Any,
+                exception: Optional[BaseException]) -> None:
+        process.alive = False
+        process.result = result
+        process.exception = exception
+        if not process.daemon:
+            self._live_nondaemon -= 1
+        joiners, process._joiners = process._joiners, []
+        for waiter in joiners:
+            if exception is not None:
+                self._schedule(self._now, self._throw, waiter, exception)
+            else:
+                self._schedule(self._now, self._resume, waiter, result)
+        if exception is not None and not joiners:
+            # Surface unobserved failures instead of dropping them silently.
+            raise exception

@@ -1,0 +1,317 @@
+"""The discrete-event model of Section 5, process by process.
+
+Components (all kernel processes on virtual time):
+
+* **clients** — each bound to one secondary; runs sessions of exponential
+  length, thinks exponentially between transactions, then submits an
+  update transaction (to the primary) or a read-only transaction (to its
+  secondary) per the workload mix;
+* **primary concurrency control** — strong SI with first-committer-wins
+  modelled as the paper does: an update transaction consumes its service
+  demand at the primary's shared server and then aborts with probability
+  ``abort_prob``, restarting so the offered load is maintained;
+* **propagator** — accumulates start/commit/abort records and ships them
+  to every secondary each ``propagation_delay`` cycle (a log sniffer: it
+  uses no concurrency control and no modelled network resource);
+* **refresher + applicators** — per secondary; enforce relationships 1-3
+  exactly like :mod:`repro.core.refresh`: start records block until the
+  pending queue is empty, updates are applied by concurrent applicator
+  threads that consume secondary server capacity, commits happen in
+  primary commit order, and each commit advances ``seq(DBsec)``;
+* **ALG blocking rule** — a read-only transaction captures its required
+  sequence number at submission (``0`` for ALG-WEAK-SI, ``seq(c)`` for
+  ALG-STRONG-SESSION-SI, the global sequence for ALG-STRONG-SI) and waits
+  until ``seq(DBsec)`` reaches it.
+
+Read-only transactions are never blocked by refresh transactions at the
+server level other than through server sharing, mirroring "read-only
+transactions ... access committed snapshots of data and do not contend
+with refresh transactions" (Section 5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.core.sessions import SequenceTracker
+from repro.errors import ConfigurationError
+from repro.kernel import Condition, Kernel, Queue
+from repro.sim.rng import RandomStream, RandomStreams
+from repro.sim.resources import (
+    FifoServer,
+    ProcessorSharingServer,
+    RoundRobinServer,
+)
+from repro.sim.stats import MetricsCollector, SummaryStats
+from repro.simmodel.params import SimulationParameters
+
+Server = Union[ProcessorSharingServer, RoundRobinServer, FifoServer]
+
+
+@dataclass(frozen=True)
+class _StartRecord:
+    txn_key: int
+
+
+@dataclass(frozen=True)
+class _AbortRecord:
+    txn_key: int
+
+
+@dataclass(frozen=True)
+class _CommitRecord:
+    txn_key: int
+    commit_ts: int
+    update_ops: int
+
+
+class _SecondaryModel:
+    """State of one secondary site in the simulation."""
+
+    def __init__(self, kernel: Kernel, index: int, server: Server):
+        self.index = index
+        self.server = server
+        self.update_queue = Queue(kernel, name=f"sec{index}-updates")
+        self.seq_db = 0
+        self.seq_cond = Condition(kernel, name=f"sec{index}-seq")
+        self.pending: deque[int] = deque()
+        self.pending_cond = Condition(kernel, name=f"sec{index}-pending")
+        self.started: set[int] = set()
+        self.refreshes_applied = 0
+
+
+@dataclass
+class ModelCounters:
+    """Non-metric counters exposed for tests and diagnostics."""
+
+    update_commits: int = 0
+    update_restarts: int = 0
+    records_propagated: int = 0
+    propagation_cycles: int = 0
+    sessions_started: int = 0
+    max_pending: dict[int, int] = field(default_factory=dict)
+
+
+class LazyReplicationModel:
+    """One simulation run of the lazy replicated system."""
+
+    def __init__(self, params: SimulationParameters, seed: int | None = None):
+        self.params = params
+        self.kernel = Kernel()
+        self.streams = RandomStreams(seed if seed is not None
+                                     else params.seed)
+        self.metrics = MetricsCollector(params.warmup,
+                                        params.fast_threshold)
+        self.tracker = SequenceTracker()
+        self.counters = ModelCounters()
+        self.primary_server = self._make_server("primary")
+        self.secondaries = [
+            _SecondaryModel(self.kernel, i, self._make_server(f"sec{i}"))
+            for i in range(params.num_sec)
+        ]
+        self._commit_counter = 0
+        self._txn_counter = 0
+        self._propagation_buffer: list = []
+        self._session_counter = 0
+        #: Sampled replication lag (commits behind the primary) across all
+        #: secondaries, post-warm-up; sampled every 5 s of virtual time.
+        self.lag_stats = SummaryStats()
+
+    # -- construction helpers ------------------------------------------------
+    def _make_server(self, name: str) -> Server:
+        discipline = self.params.server_discipline
+        if discipline == "ps":
+            return ProcessorSharingServer(self.kernel, name=name)
+        if discipline == "rr":
+            return RoundRobinServer(self.kernel, name=name,
+                                    time_slice=self.params.time_slice)
+        if discipline == "fifo":
+            return FifoServer(self.kernel, name=name)
+        raise ConfigurationError(f"unknown discipline {discipline!r}")
+
+    def _client_assignment(self) -> list[int]:
+        """Secondary index for each client (uniform + round-robin extras)."""
+        assignment = []
+        for sec in range(self.params.num_sec):
+            assignment.extend([sec] * self.params.clients_per_secondary)
+        for extra in range(self.params.extra_clients):
+            assignment.append(extra % self.params.num_sec)
+        return assignment
+
+    # -- execution -------------------------------------------------------------
+    def run(self) -> MetricsCollector:
+        """Run for ``params.duration`` of virtual time; return metrics."""
+        for client_id, sec_index in enumerate(self._client_assignment()):
+            rng = self.streams.stream(f"client-{client_id}")
+            self.kernel.spawn(
+                self._client(client_id, rng, self.secondaries[sec_index]),
+                name=f"client-{client_id}", daemon=True)
+        self.kernel.spawn(self._propagator(), name="propagator", daemon=True)
+        self.kernel.spawn(self._lag_sampler(), name="lag-sampler",
+                          daemon=True)
+        for secondary in self.secondaries:
+            self.kernel.spawn(self._refresher(secondary),
+                              name=f"refresher-{secondary.index}",
+                              daemon=True)
+        self.kernel.run(until=self.params.duration)
+        return self.metrics
+
+    def _lag_sampler(self, interval: float = 5.0):
+        """Sample replication lag across secondaries after warm-up."""
+        while True:
+            yield self.kernel.sleep(interval)
+            if self.kernel.now < self.params.warmup:
+                continue
+            for secondary in self.secondaries:
+                self.lag_stats.add(self._commit_counter - secondary.seq_db)
+
+    # -- client process -----------------------------------------------------------
+    def _client(self, client_id: int, rng: RandomStream,
+                secondary: _SecondaryModel):
+        params = self.params
+        while True:
+            self._session_counter += 1
+            self.counters.sessions_started += 1
+            label = f"c{client_id}/s{self._session_counter}"
+            session_end = (self.kernel.now
+                           + rng.exponential(params.session_time))
+            while self.kernel.now < session_end:
+                yield self.kernel.sleep(rng.exponential(params.think_time))
+                if rng.bernoulli(params.update_tran_prob):
+                    yield from self._update_transaction(rng, label)
+                else:
+                    yield from self._read_transaction(rng, label, secondary)
+
+    def _service(self, server: Server, rng: RandomStream, n_ops: int):
+        """Consume n_ops of service, per-op or aggregated (equivalent
+        under PS; the per-op mode exists for the fidelity ablation)."""
+        op_time = self.params.op_service_time
+        if self.params.per_op_requests:
+            for _ in range(n_ops):
+                yield server.request(op_time)
+        else:
+            yield server.request(n_ops * op_time)
+
+    # -- update transactions (primary) -----------------------------------------------
+    def _update_transaction(self, rng: RandomStream, label: str):
+        params = self.params
+        submitted = self.kernel.now
+        n_ops = rng.randint(params.tran_size_min, params.tran_size_max)
+        update_ops = sum(1 for _ in range(n_ops)
+                         if rng.bernoulli(params.update_op_prob))
+        while True:
+            txn_key = self._txn_counter
+            self._txn_counter += 1
+            # start_p(T) enters the log as soon as T starts.
+            self._propagate(_StartRecord(txn_key))
+            yield from self._service(self.primary_server, rng, n_ops)
+            if rng.bernoulli(params.abort_prob):
+                # First-committer-wins loser: abort and restart to keep
+                # the offered load at the primary (Section 5).
+                self.metrics.record_abort(self.kernel.now)
+                self.counters.update_restarts += 1
+                self._propagate(_AbortRecord(txn_key))
+                continue
+            break
+        self._commit_counter += 1
+        commit_ts = self._commit_counter
+        self.counters.update_commits += 1
+        self._propagate(_CommitRecord(txn_key, commit_ts, update_ops))
+        self.tracker.on_primary_commit(label, commit_ts)
+        self.metrics.record_completion("update", submitted, self.kernel.now)
+
+    # -- read-only transactions (secondary) ---------------------------------------------
+    def _read_transaction(self, rng: RandomStream, label: str,
+                          secondary: _SecondaryModel):
+        params = self.params
+        submitted = self.kernel.now
+        required = self.tracker.required_sequence(params.algorithm, label)
+        if params.freshness_bound is not None:
+            # Extension: bounded staleness — the read must see a state at
+            # most ``freshness_bound`` commits behind the primary.
+            required = max(required,
+                           self._commit_counter - params.freshness_bound)
+        if required > secondary.seq_db:
+            yield secondary.seq_cond.wait_for(
+                lambda: secondary.seq_db >= required)
+            self.metrics.record_block("read", self.kernel.now - submitted,
+                                      self.kernel.now)
+        n_ops = rng.randint(params.tran_size_min, params.tran_size_max)
+        yield from self._service(secondary.server, rng, n_ops)
+        self.metrics.record_completion("read", submitted, self.kernel.now)
+
+    # -- propagation (Algorithm 3.1, batched on a 10 s cycle) ----------------------------
+    def _propagate(self, record) -> None:
+        self._propagation_buffer.append(record)
+
+    def _propagator(self):
+        while True:
+            yield self.kernel.sleep(self.params.propagation_delay)
+            if not self._propagation_buffer:
+                self.counters.propagation_cycles += 1
+                continue
+            batch, self._propagation_buffer = self._propagation_buffer, []
+            self.counters.propagation_cycles += 1
+            self.counters.records_propagated += len(batch)
+            for secondary in self.secondaries:
+                for record in batch:
+                    secondary.update_queue.put(record)
+
+    # -- refresh (Algorithms 3.2/3.3) ------------------------------------------------------
+    def _refresher(self, secondary: _SecondaryModel):
+        while True:
+            record = yield secondary.update_queue.get()
+            if isinstance(record, _StartRecord):
+                yield secondary.pending_cond.wait_for(
+                    lambda: not secondary.pending)
+                secondary.started.add(record.txn_key)
+            elif isinstance(record, _AbortRecord):
+                secondary.started.discard(record.txn_key)
+            else:
+                secondary.started.discard(record.txn_key)
+                secondary.pending.append(record.commit_ts)
+                peak = self.counters.max_pending.get(secondary.index, 0)
+                self.counters.max_pending[secondary.index] = max(
+                    peak, len(secondary.pending))
+                applicator = self.kernel.spawn(
+                    self._applicator(secondary, record),
+                    name=f"applicator-{secondary.index}-{record.txn_key}",
+                    daemon=True)
+                if self.params.serial_refresh:
+                    # Ablation: naive log-sequence replay — apply each
+                    # transaction to completion before the next record.
+                    yield applicator.join()
+
+    def _applicator(self, secondary: _SecondaryModel,
+                    record: _CommitRecord):
+        if record.update_ops:
+            yield secondary.server.request(
+                record.update_ops * self.params.op_service_time)
+        yield secondary.pending_cond.wait_for(
+            lambda: (secondary.pending
+                     and secondary.pending[0] == record.commit_ts))
+        # Commit R, then advance seq(DBsec) before dequeuing (Section 4).
+        if record.commit_ts > secondary.seq_db:
+            secondary.seq_db = record.commit_ts
+        secondary.pending.popleft()
+        secondary.refreshes_applied += 1
+        secondary.pending_cond.notify_all()
+        secondary.seq_cond.notify_all()
+
+    # -- diagnostics -----------------------------------------------------------------------
+    def primary_utilization(self) -> float:
+        return self.primary_server.utilization(self.params.duration)
+
+    def secondary_utilization(self) -> float:
+        """Mean utilisation across secondary servers."""
+        if not self.secondaries:
+            return 0.0
+        return sum(s.server.utilization(self.params.duration)
+                   for s in self.secondaries) / len(self.secondaries)
+
+    def replication_lag(self) -> int:
+        """Commits not yet applied at the most-lagged secondary."""
+        return max(self._commit_counter - s.seq_db
+                   for s in self.secondaries)

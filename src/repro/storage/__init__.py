@@ -1,0 +1,53 @@
+"""A from-scratch multiversion (MVCC) storage engine with snapshot isolation.
+
+Each replication site in the paper is "an autonomous database management
+system with a local concurrency controller that guarantees strong SI and is
+deadlock-free" (Section 3).  This package is that substrate:
+
+* :class:`~repro.storage.engine.SIDatabase` — a multiversion key-value store
+  whose concurrency control provides **strong SI** (every transaction reads
+  the latest committed snapshot) with the **first-committer-wins** rule, and
+  optionally **weak SI** via explicit snapshot selection.
+* :class:`~repro.storage.wal.LogicalLog` — the timestamped logical log of
+  start / update / commit / abort records that Algorithm 3.1's propagator
+  sniffs.
+* :class:`~repro.storage.versions.VersionChain` — per-key committed version
+  history.
+* :class:`~repro.storage.snapshot.SnapshotView` — a read-only view of the
+  database as of a commit timestamp.
+
+Reads never block and never abort; writers abort only on write-write
+conflict with a concurrently *committed* writer — exactly the contract the
+paper's middleware relies on.
+"""
+
+from repro.storage.engine import SIDatabase, Transaction
+from repro.storage.snapshot import SnapshotView
+from repro.storage.tables import Column, Table, TableSchema, open_tables
+from repro.storage.versions import Version, VersionChain
+from repro.storage.wal import (
+    AbortRecord,
+    CommitRecord,
+    LogicalLog,
+    LogRecord,
+    StartRecord,
+    UpdateRecord,
+)
+
+__all__ = [
+    "SIDatabase",
+    "Transaction",
+    "SnapshotView",
+    "Column",
+    "Table",
+    "TableSchema",
+    "open_tables",
+    "Version",
+    "VersionChain",
+    "LogicalLog",
+    "LogRecord",
+    "StartRecord",
+    "UpdateRecord",
+    "CommitRecord",
+    "AbortRecord",
+]

@@ -1,0 +1,478 @@
+"""The snapshot-isolation storage engine (one per replication site).
+
+:class:`SIDatabase` implements the local concurrency control the paper
+assumes at every site (Section 3):
+
+* **strong SI locally** — by default a transaction's ``start(T)`` is the
+  newest commit timestamp, so it sees the latest committed snapshot;
+* **weak SI on request** — callers may pin an older snapshot explicitly
+  (``begin(snapshot_ts=...)``), which is how the definition in Section 2.1
+  allows ``start(T)`` to be "any time less than or equal to the actual
+  start time";
+* **first-committer-wins** — a committing transaction aborts iff a
+  transaction whose lifespan overlapped it already committed a write to one
+  of its written keys;
+* **deadlock freedom** — reads never block and writers never wait, so there
+  is nothing to deadlock on;
+* **read-your-own-writes** — a transaction sees its own uncommitted writes;
+* a **logical log** of start / update / commit / abort records for update
+  transactions, in timestamp order, for Algorithm 3.1's propagator.
+
+Commit timestamps are dense integers 1, 2, 3, ...; timestamp ``i``
+identifies the database state :math:`S^i` produced by the *i*-th committed
+update transaction, matching the state-numbering of Theorem 3.1.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import (
+    FirstCommitterWinsError,
+    KeyNotFound,
+    SiteUnavailableError,
+    TransactionStateError,
+)
+from repro.storage.predicate import OrderedKeyIndex
+from repro.storage.snapshot import SnapshotView
+from repro.storage.versions import Version, VersionChain
+from repro.storage.wal import LogicalLog
+
+_RAISE = object()
+
+
+class TxnStatus(enum.Enum):
+    """Lifecycle states of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """A transaction handle bound to one :class:`SIDatabase`.
+
+    Obtained from :meth:`SIDatabase.begin`.  All reads are served from the
+    snapshot fixed at begin time (plus the transaction's own writes); all
+    writes are buffered until :meth:`commit`.
+    """
+
+    __slots__ = (
+        "db",
+        "txn_id",
+        "start_ts",
+        "is_update",
+        "metadata",
+        "status",
+        "commit_ts",
+        "_writes",
+        "_read_keys",
+        "_scans",
+    )
+
+    def __init__(self, db: "SIDatabase", txn_id: int, start_ts: int,
+                 is_update: bool, metadata: Optional[dict] = None):
+        self.db = db
+        self.txn_id = txn_id
+        self.start_ts = start_ts
+        self.is_update = is_update
+        self.metadata = metadata or {}
+        self.status = TxnStatus.ACTIVE
+        self.commit_ts: Optional[int] = None
+        # key -> (value, deleted); insertion order preserved for replay.
+        self._writes: dict[Any, tuple[Any, bool]] = {}
+        self._read_keys: list[Any] = []
+        self._scans: list[tuple[Any, Any]] = []
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def read_set(self) -> set[Any]:
+        """Keys this transaction has read (point reads)."""
+        return set(self._read_keys)
+
+    @property
+    def write_set(self) -> set[Any]:
+        """Keys this transaction has written (including deletes)."""
+        return set(self._writes)
+
+    @property
+    def writes(self) -> list[tuple[Any, Any, bool]]:
+        """Buffered writes as ``(key, value, deleted)`` in write order."""
+        return [(k, v, d) for k, (v, d) in self._writes.items()]
+
+    def _check_active(self) -> None:
+        if self.status is not TxnStatus.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {self.txn_id} is {self.status.value}")
+
+    def read(self, key: Any, default: Any = _RAISE) -> Any:
+        """Read ``key`` from the snapshot (own writes win).
+
+        Raises :class:`~repro.errors.KeyNotFound` for a missing key unless
+        ``default`` is given.
+        """
+        self._check_active()
+        self.db._check_up()
+        self._read_keys.append(key)
+        if key in self._writes:
+            value, deleted = self._writes[key]
+            if deleted:
+                if default is _RAISE:
+                    raise KeyNotFound(key)
+                return default
+            self.db._record("read", self, key=key, value=value,
+                            producer=self.txn_id)
+            return value
+        chain = self.db._chains.get(key)
+        version = None if chain is None else chain.visible_at(self.start_ts)
+        if version is None or version.deleted:
+            if default is _RAISE:
+                raise KeyNotFound(key)
+            self.db._record("read", self, key=key, value=default,
+                            producer=None)
+            return default
+        self.db._record("read", self, key=key, value=version.value,
+                        producer=version.txn_id)
+        return version.value
+
+    def exists(self, key: Any) -> bool:
+        """True if ``key`` is visible to this transaction."""
+        return self.read(key, default=_RAISE_SENTINEL) is not _RAISE_SENTINEL
+
+    def scan(self, lo: Optional[Any] = None, hi: Optional[Any] = None,
+             *, prefix: Optional[str] = None) -> list[tuple[Any, Any]]:
+        """Range/prefix scan over the snapshot, own writes merged in."""
+        self._check_active()
+        self.db._check_up()
+        if prefix is not None:
+            candidates = self.db._index.prefix(prefix)
+        else:
+            candidates = self.db._index.range(lo, hi)
+        self._scans.append((lo if prefix is None else prefix, hi))
+        out: list[tuple[Any, Any]] = []
+        for key in candidates:
+            if key in self._writes:
+                value, deleted = self._writes[key]
+                if not deleted:
+                    out.append((key, value))
+                continue
+            chain = self.db._chains.get(key)
+            if chain is None:
+                continue
+            exists, value = chain.value_at(self.start_ts)
+            if exists:
+                out.append((key, value))
+        # Own-written brand-new keys may not be in the index slice when the
+        # index is updated only at commit; merge them here.
+        for key, (value, deleted) in self._writes.items():
+            if deleted or any(k == key for k, _ in out):
+                continue
+            if self.db._in_range(key, lo, hi, prefix):
+                out.append((key, value))
+        out.sort(key=lambda kv: kv[0])
+        self.db._record("scan", self, key=(lo, hi, prefix),
+                        value=tuple(k for k, _ in out))
+        return out
+
+    # -- mutations --------------------------------------------------------
+    def write(self, key: Any, value: Any) -> None:
+        """Buffer a write of ``key``; visible to own reads immediately."""
+        self._check_active()
+        self.db._check_up()
+        self._writes[key] = (value, False)
+        self.db._record("write", self, key=key, value=value)
+        if self.is_update and self.db.log is not None:
+            self.db.log.append_update(self.txn_id, key, value, deleted=False)
+
+    def delete(self, key: Any) -> None:
+        """Buffer a delete (tombstone) of ``key``."""
+        self._check_active()
+        self.db._check_up()
+        self._writes[key] = (None, True)
+        self.db._record("write", self, key=key, value=None, deleted=True)
+        if self.is_update and self.db.log is not None:
+            self.db.log.append_update(self.txn_id, key, None, deleted=True)
+
+    def apply_update_records(
+            self, updates: Iterable[tuple[Any, Any, bool]]) -> None:
+        """Replay logged updates ``(key, value, deleted)`` in order.
+
+        This is what an applicator thread does inside a refresh transaction
+        (Algorithm 3.3, line 2).
+        """
+        for key, value, deleted in updates:
+            if deleted:
+                self.delete(key)
+            else:
+                self.write(key, value)
+
+    # -- termination ------------------------------------------------------
+    def commit(self) -> Optional[int]:
+        """Commit under first-committer-wins; return the commit timestamp.
+
+        Read-only, undeclared transactions return ``None`` (they do not
+        advance the database state).
+
+        Raises
+        ------
+        FirstCommitterWinsError
+            On a write-write conflict with a concurrently committed
+            transaction.  The transaction is aborted before raising.
+        """
+        self._check_active()
+        self.db._check_up()
+        return self.db._commit(self)
+
+    def abort(self, reason: str = "explicit abort") -> None:
+        """Abort, discarding buffered writes."""
+        self._check_active()
+        self.db._abort(self, reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Txn {self.txn_id} start={self.start_ts} "
+                f"{self.status.value} on {self.db.name!r}>")
+
+
+_RAISE_SENTINEL = object()
+
+
+class SIDatabase:
+    """A multiversion database providing snapshot isolation at one site.
+
+    Parameters
+    ----------
+    name:
+        Site name, used in logs and histories.
+    log:
+        Optional :class:`LogicalLog`; update transactions' start, update
+        and commit/abort records are appended to it (the primary has one,
+        secondaries do not need one).
+    recorder:
+        Optional history recorder (see :mod:`repro.txn.history`) receiving
+        begin/read/write/commit/abort events for correctness checking.
+    clock:
+        Callable returning the current (virtual) time, recorded in
+        histories; defaults to a constant 0.
+    """
+
+    def __init__(self, name: str = "db", log: Optional[LogicalLog] = None,
+                 recorder: Any = None,
+                 clock: Optional[Callable[[], float]] = None):
+        self.name = name
+        self.log = log
+        self.recorder = recorder
+        self.clock = clock or (lambda: 0.0)
+        self._chains: dict[Any, VersionChain] = {}
+        self._index = OrderedKeyIndex()
+        self._commit_counter = 0
+        self._next_txn_id = 1
+        self._active: dict[int, Transaction] = {}
+        self._crashed = False
+        self._vacuum_horizon = 0
+        self.commits = 0
+        self.aborts = 0
+
+    # -- properties -------------------------------------------------------
+    @property
+    def latest_commit_ts(self) -> int:
+        """Timestamp of the newest committed state (0 = initial state)."""
+        return self._commit_counter
+
+    @property
+    def active_transactions(self) -> list[Transaction]:
+        return list(self._active.values())
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def _check_up(self) -> None:
+        if self._crashed:
+            raise SiteUnavailableError(f"site {self.name!r} has crashed")
+
+    # -- transaction lifecycle ---------------------------------------------
+    def begin(self, *, update: bool = False, snapshot_ts: Optional[int] = None,
+              metadata: Optional[dict] = None) -> Transaction:
+        """Start a transaction.
+
+        ``update=True`` declares an update transaction: its start record is
+        written to the logical log (Section 3's assumption) and its commit
+        always produces a new database state.  ``snapshot_ts`` pins an older
+        snapshot (weak SI / time travel); by default the latest snapshot is
+        used (strong SI).
+        """
+        self._check_up()
+        if snapshot_ts is None:
+            start_ts = self._commit_counter
+        else:
+            if not 0 <= snapshot_ts <= self._commit_counter:
+                raise TransactionStateError(
+                    f"snapshot_ts {snapshot_ts} outside [0, "
+                    f"{self._commit_counter}]")
+            if snapshot_ts < self._vacuum_horizon:
+                raise TransactionStateError(
+                    f"snapshot_ts {snapshot_ts} predates the vacuum "
+                    f"horizon {self._vacuum_horizon}; its versions have "
+                    f"been garbage-collected")
+            start_ts = snapshot_ts
+        txn = Transaction(self, self._next_txn_id, start_ts, update, metadata)
+        self._next_txn_id += 1
+        self._active[txn.txn_id] = txn
+        if update and self.log is not None:
+            self.log.append_start(txn.txn_id, start_ts)
+        self._record("begin", txn)
+        return txn
+
+    def _commit(self, txn: Transaction) -> Optional[int]:
+        # First-committer-wins: any written key whose newest committed
+        # version postdates our snapshot means a concurrent committed writer.
+        for key in txn._writes:
+            chain = self._chains.get(key)
+            if chain is not None and chain.latest_commit_ts > txn.start_ts:
+                winner = chain.latest.txn_id
+                self._abort(txn, f"FCW conflict on {key!r}")
+                raise FirstCommitterWinsError(txn.txn_id, key, winner)
+        if not txn._writes and not txn.is_update:
+            # Read-only: no state transition, no timestamp consumed.
+            txn.status = TxnStatus.COMMITTED
+            del self._active[txn.txn_id]
+            self.commits += 1
+            self._record("commit", txn)
+            return None
+        self._commit_counter += 1
+        commit_ts = self._commit_counter
+        for key, (value, deleted) in txn._writes.items():
+            chain = self._chains.get(key)
+            if chain is None:
+                chain = VersionChain(key)
+                self._chains[key] = chain
+                self._index.add(key)
+            chain.install(Version(commit_ts=commit_ts, value=value,
+                                  txn_id=txn.txn_id, deleted=deleted))
+        txn.status = TxnStatus.COMMITTED
+        txn.commit_ts = commit_ts
+        del self._active[txn.txn_id]
+        self.commits += 1
+        if txn.is_update and self.log is not None:
+            self.log.append_commit(txn.txn_id, commit_ts)
+        self._record("commit", txn)
+        return commit_ts
+
+    def _abort(self, txn: Transaction, reason: str) -> None:
+        txn.status = TxnStatus.ABORTED
+        self._active.pop(txn.txn_id, None)
+        self.aborts += 1
+        if txn.is_update and self.log is not None:
+            self.log.append_abort(txn.txn_id)
+        self._record("abort", txn, reason=reason)
+
+    # -- whole-database views ----------------------------------------------
+    def snapshot(self, commit_ts: Optional[int] = None) -> SnapshotView:
+        """A read-only view at ``commit_ts`` (default: latest)."""
+        if commit_ts is None:
+            commit_ts = self._commit_counter
+        if not 0 <= commit_ts <= self._commit_counter:
+            raise TransactionStateError(
+                f"snapshot ts {commit_ts} outside [0, {self._commit_counter}]")
+        if commit_ts < self._vacuum_horizon:
+            raise TransactionStateError(
+                f"snapshot ts {commit_ts} predates the vacuum horizon "
+                f"{self._vacuum_horizon}")
+        return SnapshotView(self, commit_ts)
+
+    def state_at(self, commit_ts: Optional[int] = None) -> dict[Any, Any]:
+        """Materialised key->value state at ``commit_ts`` (default latest)."""
+        return self.snapshot(commit_ts).materialize()
+
+    def get_committed(self, key: Any, default: Any = None) -> Any:
+        """Convenience: latest committed value of ``key``."""
+        return self.snapshot().get(key, default)
+
+    # -- maintenance -----------------------------------------------------------
+    def gc_horizon(self) -> int:
+        """Oldest snapshot any active transaction may still read."""
+        if self._active:
+            return min(txn.start_ts for txn in self._active.values())
+        return self._commit_counter
+
+    def vacuum(self, before_ts: Optional[int] = None) -> int:
+        """Garbage-collect versions no live snapshot can see.
+
+        Prunes every chain up to ``before_ts`` (default: the GC horizon —
+        the oldest start timestamp among active transactions, or the
+        latest commit when idle).  Snapshots at or after the horizon are
+        unaffected; explicit time-travel reads older than the horizon
+        become invalid, which is the standard MVCC vacuum contract.
+        Returns the number of versions reclaimed.
+        """
+        horizon = self.gc_horizon() if before_ts is None else before_ts
+        if before_ts is not None and before_ts > self.gc_horizon():
+            raise TransactionStateError(
+                f"cannot vacuum past the GC horizon "
+                f"{self.gc_horizon()} (active transactions would break)")
+        self._vacuum_horizon = max(self._vacuum_horizon, horizon)
+        reclaimed = 0
+        empty_keys = []
+        for key, chain in self._chains.items():
+            reclaimed += chain.prune_before(horizon)
+            if len(chain) == 0:
+                empty_keys.append(key)
+        for key in empty_keys:
+            del self._chains[key]
+        return reclaimed
+
+    @property
+    def version_count(self) -> int:
+        """Total versions stored across all chains (for GC diagnostics)."""
+        return sum(len(chain) for chain in self._chains.values())
+
+    # -- failure injection & recovery (Section 3.4) -------------------------
+    def crash(self) -> None:
+        """Simulate a site failure: active txns die, operations refuse."""
+        self._crashed = True
+        for txn in list(self._active.values()):
+            txn.status = TxnStatus.ABORTED
+            self._record("abort", txn, reason="site crash")
+        self._active.clear()
+
+    def recover_from(self, source_state: dict[Any, Any],
+                     source_commit_ts: int) -> None:
+        """Reinstall a quiesced copy of the primary (Section 3.4).
+
+        The whole local multiversion state is replaced by a single-version
+        image of ``source_state``; the local commit counter restarts at the
+        source's commit timestamp so subsequent refresh transactions line
+        up with primary state numbering.
+        """
+        self._chains = {}
+        self._index = OrderedKeyIndex()
+        for key, value in source_state.items():
+            chain = VersionChain(key)
+            chain.install(Version(commit_ts=source_commit_ts, value=value,
+                                  txn_id=0))
+            self._chains[key] = chain
+            self._index.add(key)
+        self._commit_counter = source_commit_ts
+        self._vacuum_horizon = source_commit_ts
+        self._crashed = False
+
+    # -- helpers -------------------------------------------------------------
+    def _in_range(self, key: Any, lo: Any, hi: Any,
+                  prefix: Optional[str]) -> bool:
+        if prefix is not None:
+            return isinstance(key, str) and key.startswith(prefix)
+        if lo is not None and key < lo:
+            return False
+        if hi is not None and key > hi:
+            return False
+        return True
+
+    def _record(self, kind: str, txn: Transaction, **fields: Any) -> None:
+        if self.recorder is not None:
+            self.recorder.record(kind, site=self.name, txn=txn,
+                                 time=self.clock(), **fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SIDatabase {self.name!r} ts={self._commit_counter} "
+                f"keys={len(self._chains)}>")

@@ -1,0 +1,123 @@
+"""Per-key committed version chains.
+
+A :class:`VersionChain` holds the committed history of one key in commit-
+timestamp order.  Chains are append-only: snapshot reads binary-search for
+the newest version at or below a start timestamp, and the first-committer-
+wins check only needs the newest version's timestamp.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class Version:
+    """One committed version of a key.
+
+    ``deleted`` marks a tombstone: the key was visible before this commit
+    timestamp and invisible from it onward.
+    """
+
+    commit_ts: int
+    value: Any
+    txn_id: int
+    deleted: bool = False
+
+
+class VersionChain:
+    """Committed versions of a single key, ordered by commit timestamp."""
+
+    __slots__ = ("key", "_versions", "_commit_tss")
+
+    def __init__(self, key: Any):
+        self.key = key
+        self._versions: list[Version] = []
+        # Parallel array of timestamps for bisect (avoids a key= lambda on
+        # every probe; chains are read far more often than written).
+        self._commit_tss: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def __iter__(self) -> Iterator[Version]:
+        return iter(self._versions)
+
+    @property
+    def latest(self) -> Optional[Version]:
+        """Newest committed version, or None for an empty chain."""
+        return self._versions[-1] if self._versions else None
+
+    @property
+    def latest_commit_ts(self) -> int:
+        """Commit timestamp of the newest version (0 if none)."""
+        return self._commit_tss[-1] if self._commit_tss else 0
+
+    def install(self, version: Version) -> None:
+        """Append a committed version; timestamps must be increasing."""
+        if self._commit_tss and version.commit_ts <= self._commit_tss[-1]:
+            raise ValueError(
+                f"version install out of order on key {self.key!r}: "
+                f"{version.commit_ts} <= {self._commit_tss[-1]}"
+            )
+        self._versions.append(version)
+        self._commit_tss.append(version.commit_ts)
+
+    def visible_at(self, start_ts: int) -> Optional[Version]:
+        """Newest version with ``commit_ts <= start_ts`` (may be a tombstone).
+
+        Returns None when the key had no committed version at that snapshot.
+        """
+        idx = bisect_right(self._commit_tss, start_ts)
+        if idx == 0:
+            return None
+        return self._versions[idx - 1]
+
+    def value_at(self, start_ts: int) -> tuple[bool, Any]:
+        """(exists, value) of the key as of snapshot ``start_ts``."""
+        version = self.visible_at(start_ts)
+        if version is None or version.deleted:
+            return False, None
+        return True, version.value
+
+    def prune_before(self, commit_ts: int) -> int:
+        """Garbage-collect versions invisible to any snapshot >= commit_ts.
+
+        Keeps the newest version with ``commit_ts <= commit_ts`` (it is
+        still the visible version for snapshots at or after the horizon)
+        and everything newer; returns the number of versions dropped.  A
+        kept tombstone at the horizon is also dropped — a missing chain
+        entry and a tombstone read identically.
+        """
+        idx = bisect_right(self._commit_tss, commit_ts)
+        if idx == 0:
+            return 0
+        keep_from = idx - 1
+        if self._versions[keep_from].deleted:
+            keep_from = idx     # tombstone at horizon: drop it too
+        if keep_from == 0:
+            return 0
+        del self._versions[:keep_from]
+        del self._commit_tss[:keep_from]
+        return keep_from
+
+    def truncate_after(self, commit_ts: int) -> int:
+        """Drop versions newer than ``commit_ts``; return how many were cut.
+
+        Used by failure injection to model a secondary losing its tail
+        state (Section 3.4 recovery scenarios).
+        """
+        idx = bisect_right(self._commit_tss, commit_ts)
+        removed = len(self._versions) - idx
+        del self._versions[idx:]
+        del self._commit_tss[idx:]
+        return removed
+
+    def copy(self) -> "VersionChain":
+        """Deep-enough copy (Version objects are immutable)."""
+        clone = VersionChain(self.key)
+        clone._versions = list(self._versions)
+        clone._commit_tss = list(self._commit_tss)
+        return clone

@@ -1,0 +1,56 @@
+"""Transaction histories, anomaly detectors, and SI correctness checkers.
+
+The paper defines its guarantees over *transaction execution histories*
+(Definitions 2.1/2.2).  This package makes those definitions executable:
+
+* :mod:`repro.txn.history` — a recorder that engines report every
+  begin/read/write/scan/commit/abort to, producing a totally-ordered global
+  history across all sites;
+* :mod:`repro.txn.phenomena` — detectors for the SQL phenomena P0-P5 of
+  Appendix A (strict, value-producer-aware interpretations);
+* :mod:`repro.txn.checkers` — checkers for global weak SI (Theorem 3.2),
+  strong SI (Definition 2.1), strong *session* SI (Definition 2.2),
+  completeness (Theorem 3.1), and transaction-inversion counting.
+
+Tests and property-based suites use these to verify the replicated system,
+and — just as importantly — to verify that the *weaker* configurations
+really do exhibit the violations the paper says they exhibit.
+"""
+
+from repro.txn.history import HistoryEvent, HistoryRecorder, TxnView
+from repro.txn.checkers import (
+    CheckResult,
+    Violation,
+    check_completeness,
+    check_strong_session_si,
+    check_strong_si,
+    check_weak_si,
+    count_transaction_inversions,
+)
+from repro.txn.phenomena import (
+    find_dirty_reads,
+    find_dirty_writes,
+    find_fuzzy_reads,
+    find_lost_updates,
+    find_phantoms,
+    find_write_skew,
+)
+
+__all__ = [
+    "HistoryEvent",
+    "HistoryRecorder",
+    "TxnView",
+    "CheckResult",
+    "Violation",
+    "check_weak_si",
+    "check_strong_si",
+    "check_strong_session_si",
+    "check_completeness",
+    "count_transaction_inversions",
+    "find_dirty_writes",
+    "find_dirty_reads",
+    "find_fuzzy_reads",
+    "find_phantoms",
+    "find_lost_updates",
+    "find_write_skew",
+]

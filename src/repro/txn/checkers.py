@@ -1,0 +1,323 @@
+"""Executable correctness criteria: weak SI, strong SI, strong session SI.
+
+The checkers work purely from a recorded multi-site history — they do not
+trust any middleware bookkeeping.  The method:
+
+1. Reconstruct the primary's database-state sequence ``S^0 .. S^n`` from
+   the writes of committed update transactions (Theorem 3.1 numbering).
+2. For every committed client transaction, infer which state(s) its reads
+   are consistent with (its *candidate snapshot indices*).  A transaction
+   whose reads match no prefix state is not even weak SI.
+3. Assign each read-only transaction the freshest admissible snapshot (the
+   greedy-maximum assignment is optimal because all ordering constraints
+   are lower bounds), then test Definition 2.1 / 2.2 pair constraints.
+
+Completeness (Theorem 3.1) is checked separately by comparing each
+secondary's replayed state sequence against the primary's.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import CheckerError
+from repro.txn.history import HistoryRecorder, TxnView
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected violation of a correctness criterion."""
+
+    kind: str
+    message: str
+    txns: tuple = ()
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a checker run."""
+
+    criterion: str
+    ok: bool
+    violations: list[Violation] = field(default_factory=list)
+    checked_transactions: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        return (f"{self.criterion}: {status} over "
+                f"{self.checked_transactions} committed transaction(s)")
+
+
+@dataclass
+class _Analyzed:
+    """A committed client transaction with its inferred snapshot(s).
+
+    For update transactions the snapshot is pinned (the engine's
+    ``start_ts``); for read-only transactions the reads admit a *set* of
+    candidate snapshot indices, and which one to assume is decided per
+    criterion by :func:`_ordering_violations` (choosing minimally, so no
+    phantom constraints are invented for later transactions).
+    """
+
+    view: TxnView
+    admissible: list[int]        # candidate snapshots <= upper, ascending
+    commit_index: Optional[int]  # state index its commit produced (updates)
+    upper: int                   # commits before its begin
+
+    @property
+    def pinned(self) -> bool:
+        """True when the snapshot is uniquely determined."""
+        return self.commit_index is not None
+
+    @property
+    def max_admissible(self) -> int:
+        return self.admissible[-1]
+
+
+def _read_constraints(view: TxnView) -> list[tuple[Any, Any, bool]]:
+    """(key, value, present) constraints from first pre-own-write reads."""
+    constraints: list[tuple[Any, Any, bool]] = []
+    seen: set[Any] = set()
+    written: set[Any] = set()
+    events = sorted(view.reads + view.writes, key=lambda e: e.seq)
+    for event in events:
+        if event.kind == "write":
+            written.add(event.key)
+        elif event.key not in seen and event.key not in written:
+            seen.add(event.key)
+            present = event.producer is not None
+            constraints.append((event.key, event.value, present))
+    return constraints
+
+
+def _satisfied(state: dict[Any, Any],
+               constraints: list[tuple[Any, Any, bool]]) -> bool:
+    for key, value, present in constraints:
+        actual = state.get(key, _MISSING)
+        if present:
+            if actual is _MISSING or actual != value:
+                return False
+        elif actual is not _MISSING:
+            return False
+    return True
+
+
+def _candidates(states: list[dict[Any, Any]],
+                constraints: list[tuple[Any, Any, bool]]) -> list[int]:
+    return [i for i, state in enumerate(states)
+            if _satisfied(state, constraints)]
+
+
+class _HistoryAnalysis:
+    """Shared preprocessing for all criteria over one history."""
+
+    def __init__(self, recorder: HistoryRecorder, primary_site: str):
+        self.recorder = recorder
+        self.primary_site = primary_site
+        self.states = recorder.replay_states(primary_site)
+        # Commit-event sequence numbers of primary update commits, in order;
+        # commit i (1-based) produced state S^i.
+        self.commit_seqs: list[int] = []
+        primary_updates = [v for v in recorder.committed(site=primary_site)
+                           if v.is_update]
+        for index, view in enumerate(primary_updates, start=1):
+            self.commit_seqs.append(view.end_seq)
+            if view.commit_ts is not None and view.commit_ts != index:
+                raise CheckerError(
+                    f"primary commit timestamps not dense: txn "
+                    f"{view.logical_id or view.txn_id} has commit_ts "
+                    f"{view.commit_ts}, expected {index}")
+        self.client_views = [v for v in recorder.committed()
+                             if not v.is_refresh]
+
+    def commits_before(self, seq: int) -> int:
+        """Number of primary update commits whose commit precedes ``seq``."""
+        return bisect_left(self.commit_seqs, seq)
+
+    def analyze(self) -> tuple[list[_Analyzed], list[Violation]]:
+        """Infer candidate snapshots for all committed client txns."""
+        analyzed: list[_Analyzed] = []
+        violations: list[Violation] = []
+        for view in sorted(self.client_views, key=lambda v: v.begin_seq):
+            upper = self.commits_before(view.begin_seq)
+            constraints = _read_constraints(view)
+            if view.site == self.primary_site and view.is_update:
+                snapshot = view.start_ts or 0
+                commit_index = view.commit_ts
+                if snapshot >= len(self.states) or not _satisfied(
+                        self.states[snapshot], constraints):
+                    violations.append(Violation(
+                        kind="inconsistent-update-read",
+                        message=(f"update txn {view.logical_id or view.txn_id}"
+                                 f" reads do not match primary state "
+                                 f"S^{snapshot}"),
+                        txns=(view.key,)))
+                    continue
+                analyzed.append(_Analyzed(view, [snapshot], commit_index,
+                                          upper))
+                continue
+            candidates = _candidates(self.states, constraints)
+            admissible = [i for i in candidates if i <= upper]
+            if not admissible:
+                if candidates:
+                    message = (
+                        f"txn {view.logical_id or view.txn_id} saw a state "
+                        f"(index in {candidates}) newer than any committed "
+                        f"before it began (<= {upper})")
+                    kind = "future-snapshot"
+                else:
+                    message = (
+                        f"txn {view.logical_id or view.txn_id} reads match "
+                        f"no transaction-consistent primary state")
+                    kind = "no-consistent-snapshot"
+                violations.append(Violation(kind=kind, message=message,
+                                            txns=(view.key,)))
+                continue
+            analyzed.append(_Analyzed(view, admissible, None, upper))
+        return analyzed, violations
+
+
+def check_weak_si(recorder: HistoryRecorder,
+                  primary_site: str = "primary") -> CheckResult:
+    """Global weak SI (Theorem 3.2): every committed client transaction
+    observed *some* transaction-consistent primary snapshot no newer than
+    its begin."""
+    analysis = _HistoryAnalysis(recorder, primary_site)
+    analyzed, violations = analysis.analyze()
+    return CheckResult(criterion="weak SI", ok=not violations,
+                       violations=violations,
+                       checked_transactions=len(analysis.client_views))
+
+
+def _ordering_violations(analyzed: list[_Analyzed],
+                         same_session_only: bool) -> list[Violation]:
+    """Definition 2.1/2.2 pair constraints, as constraint satisfaction.
+
+    A history satisfies the criterion iff *some* assignment of snapshot
+    indices (within each transaction's candidate set) satisfies every
+    ordering constraint.  All constraints are lower bounds that propagate
+    forward in begin order, so assigning each read-only transaction the
+    **smallest** feasible candidate is optimal: it can only relax the
+    constraints on later transactions.  (A greedy *maximum* assignment is
+    wrong — it invents phantom freshness obligations for later reads of
+    the same session.)
+    """
+    violations: list[Violation] = []
+    ordered = sorted(analyzed, key=lambda a: a.view.begin_seq)
+    assigned: dict[tuple, int] = {}
+    for j, tj in enumerate(ordered):
+        lower = 0
+        lower_source = None
+        for ti in ordered[:j]:
+            if ti.view.end_seq < 0:
+                continue
+            if ti.view.end_seq >= tj.view.begin_seq:
+                continue   # Ti's commit does not precede Tj's first op
+            if same_session_only and (
+                    ti.view.session is None
+                    or ti.view.session != tj.view.session):
+                continue
+            effective = (ti.commit_index if ti.pinned
+                         else assigned[ti.view.key])
+            if effective > lower:
+                lower = effective
+                lower_source = ti
+        if tj.pinned:
+            snapshot = tj.admissible[0]
+            assigned[tj.view.key] = snapshot
+            feasible = snapshot >= lower
+        else:
+            options = [c for c in tj.admissible if c >= lower]
+            feasible = bool(options)
+            snapshot = options[0] if options else tj.max_admissible
+            assigned[tj.view.key] = snapshot
+        if not feasible:
+            scope = " in the same session" if same_session_only else ""
+            source = (lower_source.view.logical_id
+                      or lower_source.view.txn_id)
+            violations.append(Violation(
+                kind="transaction-inversion",
+                message=(
+                    f"txn {tj.view.logical_id or tj.view.txn_id} saw "
+                    f"state S^{snapshot} (candidates {tj.admissible}) but "
+                    f"{source} (committed earlier{scope}) requires at "
+                    f"least S^{lower}"),
+                txns=(lower_source.view.key, tj.view.key)))
+    return violations
+
+
+def check_strong_si(recorder: HistoryRecorder,
+                    primary_site: str = "primary") -> CheckResult:
+    """Strong SI (Definition 2.1): weak SI plus no transaction inversions
+    between *any* pair of committed transactions."""
+    analysis = _HistoryAnalysis(recorder, primary_site)
+    analyzed, violations = analysis.analyze()
+    violations.extend(_ordering_violations(analyzed, same_session_only=False))
+    return CheckResult(criterion="strong SI", ok=not violations,
+                       violations=violations,
+                       checked_transactions=len(analysis.client_views))
+
+
+def check_strong_session_si(recorder: HistoryRecorder,
+                            primary_site: str = "primary") -> CheckResult:
+    """Strong session SI (Definition 2.2): weak SI plus no transaction
+    inversions between pairs with the same session label."""
+    analysis = _HistoryAnalysis(recorder, primary_site)
+    analyzed, violations = analysis.analyze()
+    violations.extend(_ordering_violations(analyzed, same_session_only=True))
+    return CheckResult(criterion="strong session SI", ok=not violations,
+                       violations=violations,
+                       checked_transactions=len(analysis.client_views))
+
+
+def count_transaction_inversions(recorder: HistoryRecorder,
+                                 primary_site: str = "primary",
+                                 within_sessions: bool = True) -> int:
+    """Count inversion pairs (for demonstrating weak SI's staleness).
+
+    Returns the number of ordered pairs (Ti, Tj) — same-session pairs when
+    ``within_sessions`` — where Tj began after Ti committed yet observed an
+    older state than Ti installed (or saw).
+    """
+    analysis = _HistoryAnalysis(recorder, primary_site)
+    analyzed, _ = analysis.analyze()
+    return len(_ordering_violations(analyzed,
+                                    same_session_only=within_sessions))
+
+
+def check_completeness(recorder: HistoryRecorder,
+                       primary_site: str = "primary") -> CheckResult:
+    """Theorem 3.1: each secondary's state sequence is a prefix of the
+    primary's (it tracks the primary, possibly lagging)."""
+    primary_states = recorder.replay_states(primary_site)
+    violations: list[Violation] = []
+    checked = 0
+    for site in recorder.sites():
+        if site == primary_site:
+            continue
+        secondary_states = recorder.replay_states(site)
+        checked += len(secondary_states)
+        if len(secondary_states) > len(primary_states):
+            violations.append(Violation(
+                kind="secondary-ahead",
+                message=(f"site {site!r} produced {len(secondary_states)-1} "
+                         f"states, primary only "
+                         f"{len(primary_states)-1}")))
+            continue
+        for i, (sec, pri) in enumerate(zip(secondary_states, primary_states)):
+            if sec != pri:
+                violations.append(Violation(
+                    kind="state-divergence",
+                    message=(f"site {site!r} state S^{i} diverges from "
+                             f"primary: {sec!r} != {pri!r}")))
+                break
+    return CheckResult(criterion="completeness", ok=not violations,
+                       violations=violations,
+                       checked_transactions=checked)

@@ -1,0 +1,230 @@
+"""Global transaction-execution histories.
+
+A single :class:`HistoryRecorder` is shared by every site's engine; each
+begin / read / write / scan / commit / abort is appended with a global
+sequence number, producing the totally-ordered history H over which the
+paper's definitions are stated.  :class:`TxnView` aggregates the events of
+one transaction for the checkers.
+
+Transactions carry optional metadata set by the replication layer:
+
+``logical_id``
+    Stable identity of the client transaction (shared by an update
+    transaction at the primary and nothing else; refresh copies get their
+    own local ids but point back via ``refresh_of``).
+``session``
+    The session label L_H(T).
+``refresh_of``
+    For refresh transactions: the logical id of the replayed primary
+    transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One operation in the global history."""
+
+    seq: int
+    time: float
+    kind: str                 # begin | read | write | scan | commit | abort
+    site: str
+    txn_id: int               # engine-local id
+    logical_id: Optional[str]
+    session: Optional[str]
+    refresh_of: Optional[str]
+    start_ts: Optional[int] = None
+    commit_ts: Optional[int] = None
+    key: Any = None
+    value: Any = None
+    deleted: bool = False
+    producer: Optional[int] = None   # local txn id that wrote the value read
+    reason: Optional[str] = None
+    update_declared: bool = False    # begun with update=True
+
+
+@dataclass
+class TxnView:
+    """All recorded facts about one transaction (one site's execution)."""
+
+    site: str
+    txn_id: int
+    logical_id: Optional[str]
+    session: Optional[str]
+    refresh_of: Optional[str]
+    is_update: bool = False
+    begin_seq: int = -1
+    begin_time: float = 0.0
+    end_seq: int = -1
+    end_time: float = 0.0
+    start_ts: Optional[int] = None
+    commit_ts: Optional[int] = None
+    status: str = "active"           # active | committed | aborted
+    reads: list[HistoryEvent] = field(default_factory=list)
+    writes: list[HistoryEvent] = field(default_factory=list)
+    scans: list[HistoryEvent] = field(default_factory=list)
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.site, self.txn_id)
+
+    @property
+    def committed(self) -> bool:
+        return self.status == "committed"
+
+    @property
+    def is_refresh(self) -> bool:
+        return self.refresh_of is not None
+
+    @property
+    def read_set(self) -> set[Any]:
+        return {event.key for event in self.reads}
+
+    @property
+    def write_set(self) -> set[Any]:
+        return {event.key for event in self.writes}
+
+    @property
+    def first_read_values(self) -> dict[Any, Any]:
+        """Value seen by the *first* read of each key, skipping own-writes.
+
+        Later reads of the same key may legitimately return the
+        transaction's own writes; the first pre-write read pins the
+        snapshot.
+        """
+        out: dict[Any, Any] = {}
+        written: set[Any] = set()
+        events = sorted(self.reads + self.writes, key=lambda e: e.seq)
+        for event in events:
+            if event.kind == "write":
+                written.add(event.key)
+            elif event.key not in out and event.key not in written:
+                out[event.key] = event.value
+        return out
+
+    @property
+    def final_writes(self) -> dict[Any, tuple[Any, bool]]:
+        """Last-write-wins view of the write set: key -> (value, deleted)."""
+        out: dict[Any, tuple[Any, bool]] = {}
+        for event in self.writes:
+            out[event.key] = (event.value, event.deleted)
+        return out
+
+
+class HistoryRecorder:
+    """Collects a totally-ordered, multi-site execution history."""
+
+    def __init__(self) -> None:
+        self.events: list[HistoryEvent] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def record(self, kind: str, site: str, txn: Any, time: float,
+               **fields: Any) -> HistoryEvent:
+        """Append one event; called by :class:`~repro.storage.SIDatabase`."""
+        meta = getattr(txn, "metadata", None) or {}
+        event = HistoryEvent(
+            seq=self._seq,
+            time=time,
+            kind=kind,
+            site=site,
+            txn_id=txn.txn_id,
+            logical_id=meta.get("logical_id"),
+            session=meta.get("session"),
+            refresh_of=meta.get("refresh_of"),
+            start_ts=txn.start_ts,
+            commit_ts=getattr(txn, "commit_ts", None),
+            key=fields.get("key"),
+            value=fields.get("value"),
+            deleted=fields.get("deleted", False),
+            producer=fields.get("producer"),
+            reason=fields.get("reason"),
+            update_declared=getattr(txn, "is_update", False),
+        )
+        self._seq += 1
+        self.events.append(event)
+        return event
+
+    # -- aggregation -----------------------------------------------------
+    def transactions(self) -> dict[tuple[str, int], TxnView]:
+        """Aggregate events into per-transaction views, keyed (site, id)."""
+        views: dict[tuple[str, int], TxnView] = {}
+        for event in self.events:
+            key = (event.site, event.txn_id)
+            view = views.get(key)
+            if view is None:
+                view = TxnView(site=event.site, txn_id=event.txn_id,
+                               logical_id=event.logical_id,
+                               session=event.session,
+                               refresh_of=event.refresh_of)
+                views[key] = view
+            if event.kind == "begin":
+                view.begin_seq = event.seq
+                view.begin_time = event.time
+                view.start_ts = event.start_ts
+                view.is_update = event.update_declared
+            elif event.kind == "read":
+                view.reads.append(event)
+            elif event.kind == "write":
+                view.writes.append(event)
+            elif event.kind == "scan":
+                view.scans.append(event)
+            elif event.kind == "commit":
+                view.end_seq = event.seq
+                view.end_time = event.time
+                view.commit_ts = event.commit_ts
+                view.status = "committed"
+            elif event.kind == "abort":
+                view.end_seq = event.seq
+                view.end_time = event.time
+                view.status = "aborted"
+        for view in views.values():
+            if view.writes:
+                view.is_update = True   # writers are update txns regardless
+        return views
+
+    def committed(self, site: Optional[str] = None) -> list[TxnView]:
+        """Committed transactions (optionally one site), in commit order."""
+        views = [v for v in self.transactions().values()
+                 if v.committed and (site is None or v.site == site)]
+        views.sort(key=lambda v: v.end_seq)
+        return views
+
+    def client_transactions(self) -> list[TxnView]:
+        """Committed client transactions (refresh copies excluded)."""
+        return [v for v in self.committed() if not v.is_refresh]
+
+    def events_at(self, site: str) -> list[HistoryEvent]:
+        return [e for e in self.events if e.site == site]
+
+    def sites(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.site, None)
+        return list(seen)
+
+    def replay_states(self, site: str) -> list[dict[Any, Any]]:
+        """Database states S^0, S^1, ... produced at ``site``.
+
+        Reconstructed purely from the recorded write events of committed
+        transactions, in commit order — independent of engine internals, so
+        the completeness checker cannot be fooled by engine bugs.
+        """
+        states: list[dict[Any, Any]] = [{}]
+        current: dict[Any, Any] = {}
+        for view in self.committed(site=site):
+            if not view.is_update:
+                continue
+            for key, (value, deleted) in view.final_writes.items():
+                if deleted:
+                    current.pop(key, None)
+                else:
+                    current[key] = value
+            states.append(dict(current))
+        return states

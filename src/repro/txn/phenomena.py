@@ -1,0 +1,158 @@
+"""Detectors for the SQL phenomena P0-P5 (Appendix A of the paper).
+
+Each detector inspects a recorded history and returns concrete witnesses
+(empty list = phenomenon absent).  We use the *strict* interpretations of
+Berenson et al.: a phenomenon is reported only when the anomaly actually
+materialised (e.g. a dirty read requires the reader to have *seen* the
+uncommitted value), which is the right notion for verifying a multiversion
+engine — under MVCC the loose operation-pattern interpretations fire
+spuriously because readers are simply given older versions.
+
+All detectors operate per site: an anomaly is a property of one database's
+local history.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.txn.history import HistoryEvent, HistoryRecorder, TxnView
+
+
+def _views_at(recorder: HistoryRecorder,
+              site: Optional[str]) -> list[TxnView]:
+    return [v for v in recorder.transactions().values()
+            if site is None or v.site == site]
+
+
+def _end_seq(view: TxnView) -> float:
+    """End of lifespan in sequence order; open transactions never end."""
+    return view.end_seq if view.end_seq >= 0 else float("inf")
+
+
+def _overlap(a: TxnView, b: TxnView) -> bool:
+    """True if the two transactions' lifespans overlap (same site)."""
+    return a.begin_seq < _end_seq(b) and b.begin_seq < _end_seq(a)
+
+
+def find_dirty_writes(recorder: HistoryRecorder,
+                      site: Optional[str] = None) -> list[dict[str, Any]]:
+    """P0: T2 overwrote an item T1 had written while T1 was still active.
+
+    In a multiversion engine writes are buffered privately, so P0 requires
+    two *committed* overlapping transactions to have installed versions of
+    the same key — i.e. an FCW failure.
+    """
+    witnesses = []
+    views = [v for v in _views_at(recorder, site) if v.committed and v.writes]
+    for i, t1 in enumerate(views):
+        for t2 in views[i + 1:]:
+            if t1.site != t2.site or not _overlap(t1, t2):
+                continue
+            common = t1.write_set & t2.write_set
+            if common:
+                witnesses.append({"phenomenon": "P0", "t1": t1.key,
+                                  "t2": t2.key, "keys": common})
+    return witnesses
+
+
+def find_dirty_reads(recorder: HistoryRecorder,
+                     site: Optional[str] = None) -> list[dict[str, Any]]:
+    """P1: a transaction read a value produced by a then-uncommitted txn."""
+    witnesses = []
+    views = {v.key: v for v in _views_at(recorder, site)}
+    for view in views.values():
+        for read in view.reads:
+            if read.producer is None or read.producer == view.txn_id:
+                continue
+            producer = views.get((view.site, read.producer))
+            if producer is None:
+                continue
+            committed_before_read = (producer.committed
+                                     and producer.end_seq < read.seq)
+            if not committed_before_read:
+                witnesses.append({"phenomenon": "P1", "reader": view.key,
+                                  "writer": producer.key, "key": read.key})
+    return witnesses
+
+
+def find_fuzzy_reads(recorder: HistoryRecorder,
+                     site: Optional[str] = None) -> list[dict[str, Any]]:
+    """P2: re-reading a key (before writing it) returned a different value."""
+    witnesses = []
+    for view in _views_at(recorder, site):
+        first_write_seq: dict[Any, int] = {}
+        for write in view.writes:
+            first_write_seq.setdefault(write.key, write.seq)
+        seen: dict[Any, HistoryEvent] = {}
+        for read in sorted(view.reads, key=lambda e: e.seq):
+            if read.seq > first_write_seq.get(read.key, float("inf")):
+                continue   # own write legitimately changes what is read
+            previous = seen.get(read.key)
+            if previous is not None and previous.value != read.value:
+                witnesses.append({"phenomenon": "P2", "txn": view.key,
+                                  "key": read.key,
+                                  "values": (previous.value, read.value)})
+            seen[read.key] = read
+    return witnesses
+
+
+def find_phantoms(recorder: HistoryRecorder,
+                  site: Optional[str] = None) -> list[dict[str, Any]]:
+    """P3: repeating a predicate scan returned a different set of rows."""
+    witnesses = []
+    for view in _views_at(recorder, site):
+        seen: dict[Any, Any] = {}
+        for scan in sorted(view.scans, key=lambda e: e.seq):
+            predicate = scan.key
+            previous = seen.get(predicate)
+            if previous is not None and previous != scan.value:
+                witnesses.append({"phenomenon": "P3", "txn": view.key,
+                                  "predicate": predicate,
+                                  "results": (previous, scan.value)})
+            seen[predicate] = scan.value
+    return witnesses
+
+
+def find_lost_updates(recorder: HistoryRecorder,
+                      site: Optional[str] = None) -> list[dict[str, Any]]:
+    """P4: T1 read x, T2 then committed a write of x, then T1 committed
+    its own (stale-read-based) write of x — T2's update is lost."""
+    witnesses = []
+    views = [v for v in _views_at(recorder, site) if v.committed]
+    writers = [v for v in views if v.writes]
+    for t1 in views:
+        if not t1.writes:
+            continue
+        for read in t1.reads:
+            key = read.key
+            if key not in t1.write_set:
+                continue
+            for t2 in writers:
+                if t2.key == t1.key or t2.site != t1.site:
+                    continue
+                if key not in t2.write_set:
+                    continue
+                # T2 committed between T1's read of key and T1's commit.
+                if read.seq < t2.end_seq < t1.end_seq:
+                    witnesses.append({"phenomenon": "P4", "t1": t1.key,
+                                      "t2": t2.key, "key": key})
+    return witnesses
+
+
+def find_write_skew(recorder: HistoryRecorder,
+                    site: Optional[str] = None) -> list[dict[str, Any]]:
+    """P5: two committed concurrent txns each read something the other
+    wrote, with disjoint write sets — possible under SI, not under 1SR."""
+    witnesses = []
+    views = [v for v in _views_at(recorder, site) if v.committed and v.writes]
+    for i, t1 in enumerate(views):
+        for t2 in views[i + 1:]:
+            if t1.site != t2.site or not _overlap(t1, t2):
+                continue
+            if t1.write_set & t2.write_set:
+                continue
+            if (t1.read_set & t2.write_set) and (t2.read_set & t1.write_set):
+                witnesses.append({"phenomenon": "P5", "t1": t1.key,
+                                  "t2": t2.key})
+    return witnesses

@@ -1,0 +1,34 @@
+"""TPC-W-derived workloads.
+
+The paper's workload parameters come from the TPC-W benchmark: the
+80%/20% read/update transaction mix is TPC-W's "shopping" mix, 95%/5% is
+"browsing", think time is 7 s, sessions average 15 minutes (Section 5).
+
+* :mod:`repro.workload.tpcw` — the mixes and transaction-shape constants;
+* :mod:`repro.workload.generator` — an executable online-bookstore
+  workload for the *functional* replicated system (used by integration
+  and property tests, and by the examples), with purchase / restock /
+  order-status / browse transaction bodies.
+"""
+
+from repro.workload.tpcw import (
+    BROWSING_MIX,
+    ORDERING_MIX,
+    SHOPPING_MIX,
+    WorkloadMix,
+)
+from repro.workload.generator import (
+    BookstoreWorkload,
+    WorkloadReport,
+    run_bookstore_workload,
+)
+
+__all__ = [
+    "WorkloadMix",
+    "SHOPPING_MIX",
+    "BROWSING_MIX",
+    "ORDERING_MIX",
+    "BookstoreWorkload",
+    "WorkloadReport",
+    "run_bookstore_workload",
+]

@@ -1,0 +1,196 @@
+"""An executable online-bookstore workload for the functional system.
+
+This is the paper's motivating scenario (Section 1) grown into a full
+workload: customers purchase books (update transactions, forwarded to the
+primary), check the status of their orders and browse the catalogue
+(read-only transactions at their secondary).  Each customer is one client
+session, so "did I see my own purchase?" is exactly the transaction-
+inversion question strong session SI answers.
+
+:func:`run_bookstore_workload` drives a :class:`~repro.core.ReplicatedSystem`
+with an interleaved stream of such sessions, advancing virtual time between
+transactions so lazy propagation actually lags, and reports both
+application-level staleness (orders a customer could not see) and the raw
+history for the formal checkers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.guarantees import Guarantee
+from repro.core.system import ClientSession, ReplicatedSystem
+from repro.sim.rng import RandomStream, RandomStreams
+from repro.workload.tpcw import SHOPPING_MIX, WorkloadMix
+
+
+@dataclass
+class WorkloadReport:
+    """What happened during one workload run."""
+
+    transactions: int = 0
+    updates: int = 0
+    reads: int = 0
+    purchases: int = 0
+    restocks: int = 0
+    status_checks: int = 0
+    browses: int = 0
+    stale_status_checks: int = 0
+    oversells: int = 0
+    fcw_retries: int = 0
+    blocked_reads: int = 0
+    total_read_wait: float = 0.0
+    per_session: dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (f"{self.transactions} txns ({self.updates} upd/"
+                f"{self.reads} ro), {self.stale_status_checks} stale "
+                f"status checks, {self.blocked_reads} blocked reads "
+                f"({self.total_read_wait:.1f}s total wait)")
+
+
+class BookstoreWorkload:
+    """Transaction bodies over a simple bookstore schema.
+
+    Keys::
+
+        book:<i>:stock     remaining copies of book i
+        book:<i>:price     catalogue price
+        cust:<c>:orders    number of orders customer c has placed
+        order:<c>:<n>      the n-th order of customer c
+    """
+
+    def __init__(self, n_books: int = 25, initial_stock: int = 1000):
+        self.n_books = n_books
+        self.initial_stock = initial_stock
+
+    # -- schema ----------------------------------------------------------
+    def populate(self, system: ReplicatedSystem) -> None:
+        """Load the catalogue through one update transaction and let it
+        propagate so every replica starts from the same state."""
+        with system.session(Guarantee.STRONG_SESSION_SI) as loader:
+            def load(txn):
+                for i in range(self.n_books):
+                    txn.write(f"book:{i}:stock", self.initial_stock)
+                    txn.write(f"book:{i}:price", 10 + (7 * i) % 40)
+            loader.execute_update(load)
+        system.quiesce()
+
+    # -- update transaction bodies -----------------------------------------
+    def purchase(self, customer: str, book: int, quantity: int):
+        """Buy ``quantity`` copies of ``book`` (T_buy of Section 1)."""
+        def work(txn):
+            stock_key = f"book:{book}:stock"
+            stock = txn.read(stock_key, default=0)
+            bought = min(quantity, stock)
+            txn.write(stock_key, stock - bought)
+            orders_key = f"cust:{customer}:orders"
+            n = txn.read(orders_key, default=0) + 1
+            txn.write(orders_key, n)
+            txn.write(f"order:{customer}:{n}",
+                      {"book": book, "qty": bought, "status": "placed"})
+            return n, bought
+        return work
+
+    def restock(self, book: int, amount: int = 100):
+        """Warehouse replenishment."""
+        def work(txn):
+            key = f"book:{book}:stock"
+            txn.write(key, txn.read(key, default=0) + amount)
+        return work
+
+    # -- read-only transaction bodies ----------------------------------------
+    def check_status(self, customer: str):
+        """How many orders does the replica show for me? (T_check)"""
+        def work(txn):
+            n = txn.read(f"cust:{customer}:orders", default=0)
+            last = txn.read(f"order:{customer}:{n}", default=None) if n \
+                else None
+            return n, last
+        return work
+
+    def browse(self, first_book: int, width: int = 5):
+        """Catalogue range scan (price listing)."""
+        lo = f"book:{first_book}:"
+        hi = f"book:{first_book + width}:~"
+        return lambda txn: txn.scan(lo, hi)
+
+
+def run_bookstore_workload(
+        system: ReplicatedSystem, *,
+        sessions: int = 6,
+        txns_per_session: int = 12,
+        guarantee: Guarantee = Guarantee.STRONG_SESSION_SI,
+        mix: WorkloadMix = SHOPPING_MIX,
+        think_time: float = 1.0,
+        seed: int = 7,
+        workload: Optional[BookstoreWorkload] = None) -> WorkloadReport:
+    """Drive ``system`` with interleaved bookstore sessions.
+
+    Between transactions the kernel is advanced by an exponential think
+    time so propagation runs concurrently with (virtual) client thinking.
+    Returns a :class:`WorkloadReport`; the system's recorder holds the
+    history for the SI checkers.
+    """
+    shop = workload or BookstoreWorkload()
+    shop.populate(system)
+    streams = RandomStreams(seed)
+    pick: RandomStream = streams.stream("interleave")
+    client_sessions: list[ClientSession] = []
+    expected_orders: list[int] = []
+    remaining: list[int] = []
+    rngs: list[RandomStream] = []
+    for i in range(sessions):
+        client_sessions.append(system.session(guarantee))
+        expected_orders.append(0)
+        remaining.append(txns_per_session)
+        rngs.append(streams.stream(f"session-{i}"))
+
+    report = WorkloadReport()
+    active = list(range(sessions))
+    while active:
+        i = pick.choice(active)
+        session, rng = client_sessions[i], rngs[i]
+        customer = f"cust{i}"
+        system.run(until=system.kernel.now + rng.exponential(think_time))
+        if rng.bernoulli(mix.update_tran_prob):
+            report.updates += 1
+            if rng.bernoulli(0.85):
+                book = rng.randint(0, shop.n_books - 1)
+                qty = rng.randint(1, 3)
+                n, bought = session.execute_update(
+                    shop.purchase(customer, book, qty))
+                expected_orders[i] = n
+                report.purchases += 1
+                if bought < qty:
+                    report.oversells += 1
+            else:
+                session.execute_update(
+                    shop.restock(rng.randint(0, shop.n_books - 1)))
+                report.restocks += 1
+        else:
+            report.reads += 1
+            if rng.bernoulli(0.5):
+                seen, _last = session.execute_read_only(
+                    shop.check_status(customer))
+                report.status_checks += 1
+                if seen < expected_orders[i]:
+                    report.stale_status_checks += 1
+            else:
+                session.execute_read_only(
+                    shop.browse(rng.randint(0, shop.n_books - 1)))
+                report.browses += 1
+        report.transactions += 1
+        remaining[i] -= 1
+        if remaining[i] == 0:
+            session.close()
+            active.remove(i)
+
+    for i, session in enumerate(client_sessions):
+        report.fcw_retries += session.fcw_retries
+        report.blocked_reads += session.blocked_reads
+        report.total_read_wait += session.total_read_wait
+        report.per_session[session.label] = txns_per_session
+    system.quiesce()
+    return report

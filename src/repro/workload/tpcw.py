@@ -1,0 +1,50 @@
+"""TPC-W interaction mixes and transaction-shape constants.
+
+TPC-W (Web Commerce) specifies three interaction mixes; treating each web
+interaction as one transaction — which the benchmark allows and the paper
+does — gives the read-only/update proportions below.  The paper evaluates
+the shopping mix (Figures 2-7) and the browsing mix (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A read-only/update transaction mix."""
+
+    name: str
+    update_tran_prob: float
+
+    @property
+    def read_only_prob(self) -> float:
+        return 1.0 - self.update_tran_prob
+
+    def describe(self) -> str:
+        read = int(round(self.read_only_prob * 100))
+        return f"{self.name} ({read}/{100 - read})"
+
+
+#: TPC-W "shopping" mix — the paper's default workload (80% read-only).
+SHOPPING_MIX = WorkloadMix("shopping", update_tran_prob=0.20)
+
+#: TPC-W "browsing" mix — used for the Figure 8 scalability study.
+BROWSING_MIX = WorkloadMix("browsing", update_tran_prob=0.05)
+
+#: TPC-W "ordering" mix — not evaluated in the paper, provided for
+#: experimentation with update-heavy workloads.
+ORDERING_MIX = WorkloadMix("ordering", update_tran_prob=0.50)
+
+#: Mean client think time between transactions (seconds), per TPC-W.
+THINK_TIME_MEAN = 7.0
+
+#: Mean client session duration (seconds), per TPC-W.
+SESSION_TIME_MEAN = 15 * 60.0
+
+#: Operations per transaction: uniform on [5, 15] (mean 10), per Table 1.
+TRAN_SIZE_RANGE = (5, 15)
+
+#: Probability that an update transaction's operation is a write.
+UPDATE_OP_PROB = 0.30

@@ -1,0 +1,210 @@
+"""A TPC-W-flavoured relational workload over the table layer.
+
+The paper motivates its system with e-commerce workloads and takes its
+parameters from TPC-W.  This module provides a (reduced) relational TPC-W
+schema — items, customers, orders, order lines — and the classic web
+interactions as transaction bodies for the functional replicated system:
+
+* ``buy_confirm``    — update: place an order, decrement stock (TPC-W's
+  Buy Confirm interaction);
+* ``order_status``   — read-only: a customer's most recent order and its
+  lines (Order Inquiry/Display);
+* ``best_sellers``   — read-only: top sold items in a subject;
+* ``product_detail`` — read-only: one item row;
+* ``admin_update``   — update: change an item's price (Admin Confirm).
+
+The interesting replication behaviour is the same T_buy/T_check pattern
+as Section 1: ``order_status`` right after ``buy_confirm`` in one session
+is exactly the inversion strong session SI exists to prevent — now with
+multi-row, multi-table, index-maintaining transactions underneath.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.guarantees import Guarantee
+from repro.core.system import ReplicatedSystem
+from repro.storage.engine import Transaction
+from repro.storage.tables import Column, Table, TableSchema
+
+ITEM = TableSchema(
+    "item",
+    [Column("i_id", int), Column("i_title", str), Column("i_subject", str),
+     Column("i_cost", int), Column("i_stock", int),
+     Column("i_total_sold", int)],
+    primary_key="i_id",
+    indexes=("i_subject",),
+)
+
+CUSTOMER = TableSchema(
+    "customer",
+    [Column("c_id", int), Column("c_name", str),
+     Column("c_order_count", int)],
+    primary_key="c_id",
+)
+
+ORDERS = TableSchema(
+    "orders",
+    [Column("o_id", int), Column("o_c_id", int), Column("o_total", int),
+     Column("o_status", str)],
+    primary_key="o_id",
+    indexes=("o_c_id",),
+)
+
+ORDER_LINE = TableSchema(
+    "order_line",
+    [Column("ol_id", int), Column("ol_o_id", int), Column("ol_i_id", int),
+     Column("ol_qty", int)],
+    primary_key="ol_id",
+    indexes=("ol_o_id",),
+)
+
+SUBJECTS = ("databases", "systems", "networks", "theory")
+
+TxnBody = Callable[[Transaction], object]
+
+
+def _order_id(customer_id: int, order_number: int) -> int:
+    """Deterministic, collision-free order ids: per-customer sequence."""
+    return customer_id * 1_000_000 + order_number
+
+
+class TPCWTables:
+    """Schema owner + transaction-body factory for the TPC-W workload."""
+
+    def __init__(self, n_items: int = 20, n_customers: int = 8,
+                 initial_stock: int = 10_000):
+        self.n_items = n_items
+        self.n_customers = n_customers
+        self.initial_stock = initial_stock
+
+    # -- population ----------------------------------------------------------
+    def populate(self, system: ReplicatedSystem) -> None:
+        """Load the catalogue and customers; quiesce so replicas agree."""
+        with system.session(Guarantee.STRONG_SESSION_SI) as loader:
+            def load(txn: Transaction) -> None:
+                items = Table(ITEM, txn)
+                customers = Table(CUSTOMER, txn)
+                for i in range(self.n_items):
+                    items.insert({
+                        "i_id": i,
+                        "i_title": f"Book {i}",
+                        "i_subject": SUBJECTS[i % len(SUBJECTS)],
+                        "i_cost": 10 + (7 * i) % 40,
+                        "i_stock": self.initial_stock,
+                        "i_total_sold": 0,
+                    })
+                for c in range(self.n_customers):
+                    customers.insert({"c_id": c, "c_name": f"cust-{c}",
+                                      "c_order_count": 0})
+            loader.execute_update(load)
+        system.quiesce()
+
+    # -- update interactions ---------------------------------------------------
+    def buy_confirm(self, customer_id: int,
+                    cart: Sequence[tuple[int, int]]) -> TxnBody:
+        """Place an order for ``cart`` = [(item_id, qty), ...].
+
+        Returns ``(order_id, total)`` from the transaction body.
+        """
+        def work(txn: Transaction):
+            items = Table(ITEM, txn)
+            customers = Table(CUSTOMER, txn)
+            orders = Table(ORDERS, txn)
+            lines = Table(ORDER_LINE, txn)
+            customer = customers.get(customer_id)
+            order_number = customer["c_order_count"] + 1
+            order_id = _order_id(customer_id, order_number)
+            total = 0
+            for line_no, (item_id, qty) in enumerate(cart):
+                item = items.get(item_id)
+                bought = min(qty, item["i_stock"])
+                items.update(item_id,
+                             i_stock=item["i_stock"] - bought,
+                             i_total_sold=item["i_total_sold"] + bought)
+                lines.insert({"ol_id": order_id * 100 + line_no,
+                              "ol_o_id": order_id, "ol_i_id": item_id,
+                              "ol_qty": bought})
+                total += bought * item["i_cost"]
+            orders.insert({"o_id": order_id, "o_c_id": customer_id,
+                           "o_total": total, "o_status": "pending"})
+            customers.update(customer_id, c_order_count=order_number)
+            return order_id, total
+        return work
+
+    def admin_update(self, item_id: int, new_cost: int) -> TxnBody:
+        """Reprice an item (TPC-W Admin Confirm)."""
+        def work(txn: Transaction):
+            Table(ITEM, txn).update(item_id, i_cost=new_cost)
+        return work
+
+    # -- read-only interactions ---------------------------------------------------
+    def order_status(self, customer_id: int) -> TxnBody:
+        """The customer's newest order with its lines (may be None)."""
+        def work(txn: Transaction):
+            customers = Table(CUSTOMER, txn)
+            orders = Table(ORDERS, txn)
+            lines = Table(ORDER_LINE, txn)
+            customer = customers.get(customer_id)
+            count = customer["c_order_count"] if customer else 0
+            if count == 0:
+                return None
+            order = orders.get(_order_id(customer_id, count))
+            if order is None:
+                # The ORDERS row lags the CUSTOMER row?  Impossible under
+                # SI (single snapshot) — seeing this means a bug.
+                raise AssertionError(
+                    "order count visible without its order row")
+            order_lines = lines.find_by("ol_o_id", order["o_id"])
+            return {"order": order, "lines": order_lines,
+                    "order_count": count}
+        return work
+
+    def best_sellers(self, subject: str, top_n: int = 5) -> TxnBody:
+        """Top-selling items in a subject (index scan + sort)."""
+        def work(txn: Transaction):
+            items = Table(ITEM, txn).find_by("i_subject", subject)
+            items.sort(key=lambda row: (-row["i_total_sold"], row["i_id"]))
+            return items[:top_n]
+        return work
+
+    def product_detail(self, item_id: int) -> TxnBody:
+        def work(txn: Transaction):
+            return Table(ITEM, txn).get(item_id)
+        return work
+
+    # -- invariants (for tests) ------------------------------------------------------
+    def check_invariants(self, txn: Transaction) -> list[str]:
+        """Application-level consistency checks over one snapshot.
+
+        Because SI gives transaction-consistent snapshots, these must
+        hold at *every* replica at *every* time, not only at quiescence.
+        """
+        problems: list[str] = []
+        items = Table(ITEM, txn)
+        customers = Table(CUSTOMER, txn)
+        orders = Table(ORDERS, txn)
+        lines = Table(ORDER_LINE, txn)
+        sold_via_lines: dict[int, int] = {}
+        for line in lines.scan():
+            sold_via_lines[line["ol_i_id"]] = (
+                sold_via_lines.get(line["ol_i_id"], 0) + line["ol_qty"])
+        for item in items.scan():
+            expected = sold_via_lines.get(item["i_id"], 0)
+            if item["i_total_sold"] != expected:
+                problems.append(
+                    f"item {item['i_id']}: i_total_sold="
+                    f"{item['i_total_sold']} but order lines sum to "
+                    f"{expected}")
+            if item["i_stock"] + item["i_total_sold"] != self.initial_stock:
+                problems.append(
+                    f"item {item['i_id']}: stock+sold != initial")
+        for customer in customers.scan():
+            owned = orders.find_by("o_c_id", customer["c_id"])
+            if len(owned) != customer["c_order_count"]:
+                problems.append(
+                    f"customer {customer['c_id']}: c_order_count="
+                    f"{customer['c_order_count']} but has {len(owned)} "
+                    f"orders")
+        return problems

@@ -1,0 +1,138 @@
+"""Failure injection and Section 3.4 recovery tests."""
+
+import pytest
+
+from repro.core.guarantees import Guarantee
+from repro.core.system import ReplicatedSystem
+from repro.errors import SiteUnavailableError
+
+
+def make_system(**kwargs):
+    defaults = dict(num_secondaries=2, propagation_delay=1.0)
+    defaults.update(kwargs)
+    return ReplicatedSystem(**defaults)
+
+
+def test_crashed_secondary_rejects_reads():
+    system = make_system()
+    s = system.session(Guarantee.WEAK_SI, secondary=0)
+    system.crash_secondary(0)
+    with pytest.raises(SiteUnavailableError):
+        s.read("x", default=None)
+
+
+def test_crash_loses_queued_updates():
+    system = make_system(propagation_delay=50.0)
+    writer = system.session(secondary=1)
+    writer.write("x", 1)                    # in flight to both secondaries
+    system.crash_secondary(0)
+    system.quiesce()
+    assert system.secondary_state(1) == {"x": 1}
+    assert system.secondaries[0].engine.crashed
+
+
+def test_other_secondaries_unaffected_by_crash():
+    system = make_system(num_secondaries=3)
+    system.crash_secondary(1)
+    s = system.session(secondary=0)
+    s.write("x", 1)
+    assert s.read("x") == 1
+    system.quiesce()
+    assert system.secondary_state(2) == {"x": 1}
+
+
+def test_recovery_reinstalls_quiesced_primary_copy():
+    system = make_system()
+    writer = system.session(secondary=1)
+    writer.write("x", 1)
+    writer.write("y", 2)
+    system.crash_secondary(0)
+    system.quiesce()
+    system.recover_secondary(0)
+    system.quiesce()
+    assert system.secondary_state(0) == system.primary_state()
+    assert system.secondaries[0].seq_db == system.primary.latest_commit_ts
+
+
+def test_recovery_replays_archived_tail():
+    """Updates committed between the quiesced copy and now are replayed
+    through the ordinary refresh mechanism (Section 3.4)."""
+    system = make_system(propagation_delay=0.0)
+    writer = system.session(secondary=1)
+    writer.write("x", 1)
+    system.quiesce()
+    system.crash_secondary(0)
+    writer.write("y", 2)          # committed while secondary 0 is down
+    # Recover from the current primary copy, then more updates arrive.
+    system.recover_secondary(0)
+    writer.write("z", 3)
+    system.quiesce()
+    assert system.secondary_state(0) == {"x": 1, "y": 2, "z": 3}
+    assert system.secondaries[0].seq_db == 3
+
+
+def test_in_flight_deliveries_from_old_epoch_dropped():
+    system = make_system(propagation_delay=10.0)
+    writer = system.session(secondary=1)
+    writer.write("x", "old-epoch")          # delivery scheduled at t+10
+    system.crash_secondary(0)
+    system.recover_secondary(0)             # recovery includes that commit
+    system.quiesce()                        # old delivery arrives, dropped
+    assert system.secondaries[0].records_dropped >= 1
+    assert system.secondary_state(0) == system.primary_state()
+
+
+def test_reads_after_recovery_see_consistent_state():
+    system = make_system()
+    writer = system.session(secondary=1)
+    writer.write("a", 1)
+    system.crash_secondary(0)
+    writer.write("b", 2)
+    system.recover_secondary(0)
+    reader = system.session(Guarantee.STRONG_SESSION_SI, secondary=0)
+    assert reader.read_many(["a", "b"]) == {"a": 1, "b": 2}
+
+
+def test_session_si_read_your_writes_survives_recovery():
+    """seq(DBsec) is reinitialised so earlier session updates are visible
+    without waiting (the Section 4 dummy-transaction trick)."""
+    system = make_system(propagation_delay=2.0)
+    s = system.session(Guarantee.STRONG_SESSION_SI, secondary=0)
+    s.write("x", 1)
+    system.quiesce()
+    system.crash_secondary(0)
+    system.recover_secondary(0)
+    assert s.read("x") == 1
+
+
+def test_double_crash_and_recover():
+    system = make_system()
+    writer = system.session(secondary=1)
+    for round_ in range(2):
+        writer.write(f"k{round_}", round_)
+        system.crash_secondary(0)
+        system.recover_secondary(0)
+        system.quiesce()
+        assert system.secondary_state(0) == system.primary_state()
+
+
+def test_crash_is_idempotent():
+    system = make_system()
+    system.crash_secondary(0)
+    system.crash_secondary(0)      # second crash must not blow up
+    assert system.secondaries[0].engine.crashed
+
+
+def test_propagator_pause_models_link_failure():
+    """Pausing propagation (a partitioned link) just increases staleness;
+    resume catches everything up in order."""
+    system = make_system(propagation_delay=0.0)
+    s = system.session(Guarantee.WEAK_SI, secondary=0)
+    system.propagator.pause()
+    s.write("x", 1)
+    s.write("x", 2)
+    system.run()
+    assert system.secondary_state(0) == {}
+    system.propagator.resume()
+    system.quiesce()
+    assert system.secondary_state(0) == {"x": 2}

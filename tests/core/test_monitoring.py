@@ -1,0 +1,114 @@
+"""Tests for the monitoring module."""
+
+import pytest
+
+from repro.core.guarantees import Guarantee
+from repro.core.monitoring import (
+    StalenessProbe,
+    aggregate_sessions,
+    system_status,
+)
+from repro.core.system import ReplicatedSystem
+
+
+def make_system(**kwargs):
+    defaults = dict(num_secondaries=2, propagation_delay=2.0)
+    defaults.update(kwargs)
+    return ReplicatedSystem(**defaults)
+
+
+def test_status_reflects_primary_commits():
+    system = make_system()
+    s = system.session()
+    s.write("x", 1)
+    s.write("y", 2)
+    status = system_status(system)
+    assert status.primary_commit_ts == 2
+    assert status.primary.commits == 2
+    assert status.primary.seq_db is None
+
+
+def test_status_shows_lag_before_propagation():
+    system = make_system(propagation_delay=100.0)
+    s = system.session()
+    s.write("x", 1)
+    status = system_status(system)
+    assert status.max_lag == 1
+    assert all(sec.lag == 1 for sec in status.secondaries)
+    system.quiesce()
+    status = system_status(system)
+    assert status.max_lag == 0
+
+
+def test_status_marks_crashed_site():
+    system = make_system()
+    system.crash_secondary(0)
+    status = system_status(system)
+    assert status.secondaries[0].crashed
+    assert status.secondaries[0].lag is None
+    assert not status.secondaries[1].crashed
+
+
+def test_report_renders_all_sites():
+    system = make_system()
+    s = system.session()
+    s.write("x", 1)
+    system.quiesce()
+    report = system_status(system).report()
+    assert "primary" in report
+    assert "secondary-1" in report and "secondary-2" in report
+    assert "CRASHED" not in report
+    system.crash_secondary(1)
+    assert "CRASHED" in system_status(system).report()
+
+
+def test_status_counts_versions_and_refreshes():
+    system = make_system()
+    s = system.session()
+    for i in range(3):
+        s.write("x", i)
+    system.quiesce()
+    status = system_status(system)
+    assert status.primary.stored_versions == 3
+    for sec in status.secondaries:
+        assert sec.refreshes_applied == 3
+        assert sec.stored_versions == 3
+        assert sec.pending_refreshes == 0
+        assert sec.queued_records == 0
+
+
+def test_aggregate_sessions():
+    system = make_system(propagation_delay=3.0)
+    sessions = [system.session(Guarantee.STRONG_SESSION_SI)
+                for _ in range(2)]
+    sessions[0].write("x", 1)
+    sessions[0].read("x")
+    sessions[1].read("x", default=None)
+    stats = aggregate_sessions(sessions)
+    assert stats.sessions == 2
+    assert stats.updates == 1
+    assert stats.reads == 2
+    assert stats.blocked_reads == 1
+    assert stats.blocked_fraction == pytest.approx(0.5)
+    assert stats.mean_wait_per_blocked_read == pytest.approx(3.0)
+
+
+def test_staleness_probe_samples_lag():
+    system = make_system(propagation_delay=5.0)
+    probe = StalenessProbe(system, interval=1.0)
+    probe.start()
+    s = system.session(Guarantee.WEAK_SI)
+    s.write("x", 1)
+    system.run(until=10.0)
+    probe.stop()
+    assert probe.stats.n >= 9
+    assert probe.stats.maximum == 1          # one commit lagged
+    assert probe.samples[-1][1] == 0         # caught up by t=10
+    lags = [lag for _, lag in probe.samples]
+    assert 1 in lags and 0 in lags
+
+
+def test_staleness_probe_interval_validation():
+    system = make_system()
+    with pytest.raises(ValueError):
+        StalenessProbe(system, interval=0.0)

@@ -1,0 +1,149 @@
+"""Tests for read-side options: freshness timeouts and time-travel reads."""
+
+import pytest
+
+from repro.core.guarantees import Guarantee
+from repro.core.system import ReplicatedSystem
+from repro.errors import (
+    ConfigurationError,
+    FreshnessTimeoutError,
+    TransactionStateError,
+)
+
+
+def make_system(**kwargs):
+    defaults = dict(num_secondaries=1, propagation_delay=10.0)
+    defaults.update(kwargs)
+    return ReplicatedSystem(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# max_wait / on_timeout
+# ---------------------------------------------------------------------------
+
+def test_read_within_max_wait_succeeds():
+    system = make_system(propagation_delay=3.0)
+    with system.session(Guarantee.STRONG_SESSION_SI) as s:
+        s.write("x", 1)
+        value = s.execute_read_only(lambda t: t.read("x"), max_wait=5.0)
+    assert value == 1
+
+
+def test_read_times_out_with_error():
+    system = make_system(propagation_delay=50.0)
+    s = system.session(Guarantee.STRONG_SESSION_SI)
+    s.write("x", 1)
+    with pytest.raises(FreshnessTimeoutError, match="not at sequence"):
+        s.execute_read_only(lambda t: t.read("x"), max_wait=5.0)
+    assert s.freshness_timeouts == 1
+    system.quiesce()
+
+
+def test_read_times_out_with_stale_fallback():
+    system = make_system(propagation_delay=50.0)
+    s = system.session(Guarantee.STRONG_SESSION_SI)
+    s.write("x", 1)
+    value = s.execute_read_only(lambda t: t.read("x", default="stale"),
+                                max_wait=5.0, on_timeout="stale")
+    assert value == "stale"
+    assert s.freshness_timeouts == 1
+    system.quiesce()
+
+
+def test_stale_fallback_records_wait_time():
+    system = make_system(propagation_delay=50.0)
+    s = system.session(Guarantee.STRONG_SESSION_SI)
+    s.write("x", 1)
+    s.execute_read_only(lambda t: t.read("x", default=None),
+                        max_wait=4.0, on_timeout="stale")
+    assert s.total_read_wait == pytest.approx(4.0)
+    system.quiesce()
+
+
+def test_invalid_on_timeout_rejected():
+    system = make_system()
+    s = system.session()
+    with pytest.raises(ConfigurationError, match="on_timeout"):
+        s.execute_read_only(lambda t: None, max_wait=1.0,
+                            on_timeout="retry")
+
+
+def test_max_wait_ignored_when_replica_fresh():
+    system = make_system(propagation_delay=1.0)
+    with system.session(Guarantee.WEAK_SI) as s:
+        assert s.execute_read_only(lambda t: t.read("x", default="none"),
+                                   max_wait=0.0) == "none"
+    assert s.freshness_timeouts == 0
+
+
+def test_session_remains_usable_after_timeout():
+    system = make_system(propagation_delay=6.0)
+    s = system.session(Guarantee.STRONG_SESSION_SI)
+    s.write("x", 1)
+    with pytest.raises(FreshnessTimeoutError):
+        s.execute_read_only(lambda t: t.read("x"), max_wait=2.0)
+    # Without the cap, the same read eventually succeeds.
+    assert s.execute_read_only(lambda t: t.read("x")) == 1
+
+
+# ---------------------------------------------------------------------------
+# Time-travel reads
+# ---------------------------------------------------------------------------
+
+def _loaded_system():
+    system = make_system(propagation_delay=0.5)
+    s = system.session(Guarantee.STRONG_SESSION_SI)
+    for i in range(1, 5):
+        s.write("x", i * 10)
+    system.quiesce()
+    return system, s
+
+
+def test_time_travel_reads_past_snapshots():
+    system, s = _loaded_system()
+    for sequence in range(1, 5):
+        value = s.execute_read_only_at(sequence, lambda t: t.read("x"))
+        assert value == sequence * 10
+
+
+def test_time_travel_at_zero_sees_empty_db():
+    system, s = _loaded_system()
+    assert s.execute_read_only_at(
+        0, lambda t: t.read("x", default="empty")) == "empty"
+
+
+def test_time_travel_future_sequence_waits_for_refresh():
+    system = make_system(propagation_delay=4.0)
+    s = system.session(Guarantee.WEAK_SI)
+    s.write("x", 1)
+    # Sequence 1 is not at the replica yet; the call must wait for it.
+    value = s.execute_read_only_at(1, lambda t: t.read("x"))
+    assert value == 1
+    assert s.blocked_reads == 1
+
+
+def test_time_travel_negative_sequence_rejected():
+    system, s = _loaded_system()
+    with pytest.raises(ConfigurationError):
+        s.execute_read_only_at(-1, lambda t: t.read("x"))
+
+
+def test_time_travel_does_not_violate_session_ordering():
+    """Historical reads use their own labels, so the checker does not
+    flag them as session inversions."""
+    from repro.txn.checkers import check_strong_session_si
+    system, s = _loaded_system()
+    s.execute_read_only_at(1, lambda t: t.read("x"))
+    s.execute_read_only(lambda t: t.read("x"))
+    assert check_strong_session_si(system.recorder).ok
+
+
+def test_time_travel_after_vacuum_raises():
+    """Vacuumed history is refused explicitly, never served wrong."""
+    system, s = _loaded_system()
+    secondary = system.secondaries[0]
+    assert secondary.engine.vacuum() > 0    # drop historical versions
+    with pytest.raises(TransactionStateError, match="vacuum"):
+        s.execute_read_only_at(1, lambda t: t.read("x"))
+    # The latest snapshot is of course still readable.
+    assert s.execute_read_only(lambda t: t.read("x")) == 40

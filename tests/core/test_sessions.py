@@ -1,0 +1,84 @@
+"""Tests for the sequence tracker behind ALG-STRONG-SESSION-SI."""
+
+import pytest
+
+from repro.core.guarantees import GLOBAL_SESSION_LABEL, Guarantee
+from repro.core.sessions import SequenceTracker
+
+
+@pytest.fixture
+def tracker():
+    return SequenceTracker()
+
+
+def test_initial_sequences_are_zero(tracker):
+    assert tracker.seq("any") == 0
+    assert tracker.global_seq == 0
+
+
+def test_commit_advances_session_and_global(tracker):
+    tracker.on_primary_commit("c1", 5)
+    assert tracker.seq("c1") == 5
+    assert tracker.seq("c2") == 0
+    assert tracker.global_seq == 5
+
+
+def test_global_tracks_max_over_all_sessions(tracker):
+    tracker.on_primary_commit("c1", 3)
+    tracker.on_primary_commit("c2", 7)
+    tracker.on_primary_commit("c1", 5)
+    assert tracker.global_seq == 7
+    assert tracker.seq("c1") == 5
+    assert tracker.seq("c2") == 7
+
+
+def test_sequences_are_monotonic(tracker):
+    tracker.on_primary_commit("c1", 9)
+    tracker.on_primary_commit("c1", 4)    # stale value must not regress
+    assert tracker.seq("c1") == 9
+
+
+def test_commit_with_none_label_only_moves_global(tracker):
+    tracker.on_primary_commit(None, 8)
+    assert tracker.global_seq == 8
+    assert tracker.labels() == []
+
+
+def test_required_sequence_weak_si_is_zero(tracker):
+    tracker.on_primary_commit("c1", 10)
+    assert tracker.required_sequence(Guarantee.WEAK_SI, "c1") == 0
+
+
+def test_required_sequence_session_si_is_own_seq(tracker):
+    tracker.on_primary_commit("c1", 10)
+    tracker.on_primary_commit("c2", 20)
+    assert tracker.required_sequence(Guarantee.STRONG_SESSION_SI, "c1") == 10
+    assert tracker.required_sequence(Guarantee.STRONG_SESSION_SI, "c3") == 0
+
+
+def test_required_sequence_strong_si_is_global(tracker):
+    tracker.on_primary_commit("c1", 10)
+    tracker.on_primary_commit("c2", 20)
+    assert tracker.required_sequence(Guarantee.STRONG_SI, "c1") == 20
+
+
+def test_guarantee_degenerate_labelings_equivalence(tracker):
+    """Section 2.3: one label per system = strong SI; the tracker's global
+    sequence is exactly the single-session sequence number."""
+    for ts in (1, 2, 3):
+        tracker.on_primary_commit(GLOBAL_SESSION_LABEL, ts)
+    assert (tracker.required_sequence(Guarantee.STRONG_SI, "whatever")
+            == tracker.seq(GLOBAL_SESSION_LABEL))
+
+
+def test_reset(tracker):
+    tracker.on_primary_commit("c1", 5)
+    tracker.reset()
+    assert tracker.global_seq == 0
+    assert tracker.seq("c1") == 0
+
+
+def test_blocks_reads_property():
+    assert not Guarantee.WEAK_SI.blocks_reads
+    assert Guarantee.STRONG_SESSION_SI.blocks_reads
+    assert Guarantee.STRONG_SI.blocks_reads

@@ -1,0 +1,60 @@
+"""Validate the recorded full-scale results shipped in ``results/full``.
+
+When the repository carries CSVs from a full (`--scale full`) evaluation
+run, this suite re-asserts the paper's qualitative shapes against those
+artifacts — so a stale or corrupted results directory cannot silently
+contradict EXPERIMENTS.md.  Skipped when the artifacts are absent.
+"""
+
+import csv
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.figures import ALL_FIGURES
+from repro.evaluation.runner import FigureSeries, check_figure_shape
+
+RESULTS_DIR = Path(__file__).resolve().parents[2] / "results" / "full"
+
+
+def _load_series(figure_id: str) -> FigureSeries:
+    path = RESULTS_DIR / f"figure_{figure_id}.csv"
+    if not path.exists():
+        pytest.skip(f"no recorded results at {path}")
+    spec = ALL_FIGURES[figure_id]
+    series: dict[str, list[tuple[int, float, float]]] = {}
+    with open(path) as handle:
+        for row in csv.DictReader(handle):
+            series.setdefault(row["algorithm"], []).append(
+                (int(row["x"]), float(row[spec.metric]),
+                 float(row["ci_half_width"])))
+    for rows in series.values():
+        rows.sort()
+    return FigureSeries(spec=spec, series=series)
+
+
+@pytest.mark.parametrize("figure_id", sorted(ALL_FIGURES))
+def test_recorded_figure_matches_paper_shape(figure_id):
+    series = _load_series(figure_id)
+    assert set(series.series) == {"strong-session-si", "weak-si",
+                                  "strong-si"}
+    problems = check_figure_shape(series)
+    assert problems == [], problems
+
+
+def test_recorded_figures_cover_full_sweeps():
+    series = _load_series("2")
+    xs = [x for x, _, _ in series.series["weak-si"]]
+    assert xs == list(ALL_FIGURES["2"].sweep.x_values), \
+        "figure_2.csv is not from a full-scale (all points) run"
+
+
+def test_recorded_confidence_intervals_are_tight():
+    """Full-scale runs (5 replications) must have CI half-widths well
+    below the means for the headline throughput curves."""
+    series = _load_series("2")
+    for algorithm, rows in series.series.items():
+        for x, mean, half in rows:
+            if mean > 1.0:
+                assert half < 0.5 * mean, (
+                    f"{algorithm} at x={x}: CI ±{half} vs mean {mean}")

@@ -1,0 +1,144 @@
+"""Tests for the sweep runner, rendering, CSV output and shape checks."""
+
+import pytest
+
+from repro.core.guarantees import Guarantee
+from repro.evaluation.figures import (
+    ALL_FIGURES,
+    FigureSpec,
+    Scale,
+    SweepSpec,
+)
+from repro.evaluation.runner import (
+    FigureSeries,
+    ascii_chart,
+    check_figure_shape,
+    figure_series,
+    figure_table,
+    run_sweep,
+    write_csv,
+)
+
+TINY_SCALE = Scale("tiny", duration=90.0, warmup=15.0, replications=1,
+                   max_points=2)
+
+TINY_SWEEP = SweepSpec(key="tiny", mode="secondaries", x_values=(1, 2),
+                       update_tran_prob=0.2, clients_per_secondary=3)
+
+TINY_FIGURE = FigureSpec(figure="T", title="tiny", sweep=TINY_SWEEP,
+                         metric="throughput", y_label="tps",
+                         expectation="test only")
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    return run_sweep(TINY_SWEEP, TINY_SCALE, seed=3)
+
+
+def test_run_sweep_covers_all_points(sweep_result):
+    assert sweep_result.x_values == (1, 2)
+    assert len(sweep_result.points) == 6       # 3 algorithms x 2 points
+
+
+def test_result_lookup(sweep_result):
+    aggregated = sweep_result.result(Guarantee.WEAK_SI, 1)
+    assert aggregated.throughput.mean > 0
+
+
+def test_figure_series_extracts_metric(sweep_result):
+    series = figure_series(TINY_FIGURE, sweep_result)
+    assert set(series.series) == {"strong-session-si", "weak-si",
+                                  "strong-si"}
+    rows = series.series["weak-si"]
+    assert [x for x, _, _ in rows] == [1, 2]
+    assert all(mean >= 0 for _, mean, _ in rows)
+
+
+def test_figure_table_rendering(sweep_result):
+    series = figure_series(TINY_FIGURE, sweep_result)
+    table = figure_table(series)
+    assert "Figure T" in table
+    assert "weak-si" in table
+    assert "±" in table
+
+
+def test_ascii_chart_renders(sweep_result):
+    series = figure_series(TINY_FIGURE, sweep_result)
+    chart = ascii_chart(series)
+    assert "S" in chart or "w" in chart
+    assert "strong-session" in chart
+
+
+def test_write_csv(tmp_path, sweep_result):
+    series = figure_series(TINY_FIGURE, sweep_result)
+    path = tmp_path / "out" / "figure_T.csv"
+    write_csv(series, path)
+    content = path.read_text().splitlines()
+    assert content[0] == "x,algorithm,throughput,ci_half_width"
+    assert len(content) == 1 + 6
+
+
+def test_progress_callback_invoked():
+    lines = []
+    run_sweep(TINY_SWEEP, Scale("t", 60.0, 10.0, 1, max_points=1),
+              algorithms=[Guarantee.WEAK_SI], progress=lines.append)
+    assert len(lines) == 1 and "weak-si" in lines[0]
+
+
+# ---------------------------------------------------------------------------
+# Shape checker on synthetic series
+# ---------------------------------------------------------------------------
+
+def _synthetic(spec_id, session, weak, strong, xs=(50, 250)):
+    spec = ALL_FIGURES[spec_id]
+    return FigureSeries(spec=spec, series={
+        "strong-session-si": [(x, session[i], 0.0)
+                              for i, x in enumerate(xs)],
+        "weak-si": [(x, weak[i], 0.0) for i, x in enumerate(xs)],
+        "strong-si": [(x, strong[i], 0.0) for i, x in enumerate(xs)],
+    })
+
+
+def test_shape_check_accepts_paper_like_throughput():
+    figure = _synthetic("2", session=[6.0, 16.0], weak=[6.5, 17.0],
+                        strong=[2.0, 3.0])
+    assert check_figure_shape(figure) == []
+
+
+def test_shape_check_rejects_session_far_below_weak():
+    figure = _synthetic("2", session=[2.0, 5.0], weak=[6.5, 17.0],
+                        strong=[2.0, 3.0])
+    assert any("60%" in p for p in check_figure_shape(figure))
+
+
+def test_shape_check_rejects_strong_close_to_session():
+    figure = _synthetic("2", session=[6.0, 16.0], weak=[6.5, 17.0],
+                        strong=[6.0, 15.0])
+    assert check_figure_shape(figure)
+
+
+def test_shape_check_read_rt():
+    good = _synthetic("3", session=[0.5, 1.0], weak=[0.4, 0.9],
+                      strong=[5.0, 8.0])
+    assert check_figure_shape(good) == []
+    bad = _synthetic("3", session=[0.5, 1.0], weak=[3.0, 4.0],
+                     strong=[5.0, 8.0])
+    assert check_figure_shape(bad)
+
+
+def test_shape_check_update_rt():
+    good = _synthetic("4", session=[0.3, 2.0], weak=[0.3, 2.5],
+                      strong=[0.3, 0.7])
+    assert check_figure_shape(good) == []
+    bad = _synthetic("4", session=[0.3, 2.0], weak=[0.3, 2.5],
+                     strong=[0.3, 9.0])
+    assert check_figure_shape(bad)
+
+
+def test_shape_check_scaleup_requires_scaling():
+    flat = _synthetic("5", session=[5.0, 5.5], weak=[5.0, 5.6],
+                      strong=[1.0, 1.5], xs=(1, 15))
+    assert any("did not scale" in p for p in check_figure_shape(flat))
+    scaling = _synthetic("5", session=[2.5, 18.0], weak=[2.7, 19.0],
+                         strong=[1.0, 3.0], xs=(1, 15))
+    assert check_figure_shape(scaling) == []

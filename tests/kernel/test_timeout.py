@@ -1,0 +1,133 @@
+"""Tests for the Timeout awaitable combinator."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernel import Event, Kernel, Queue, Timeout, TimeoutExpired
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+def test_inner_completes_in_time(kernel):
+    q = Queue(kernel)
+
+    def getter():
+        value = yield Timeout(q.get(), limit=10.0)
+        return (kernel.now, value)
+
+    def putter():
+        yield kernel.sleep(3.0)
+        q.put("x")
+
+    get_proc = kernel.spawn(getter())
+    kernel.spawn(putter())
+    kernel.run()
+    assert get_proc.result == (3.0, "x")
+
+
+def test_timeout_expires(kernel):
+    q = Queue(kernel)
+
+    def getter():
+        try:
+            yield Timeout(q.get(), limit=5.0)
+        except TimeoutExpired:
+            return ("timeout", kernel.now)
+
+    process = kernel.spawn(getter())
+    kernel.run()
+    assert process.result == ("timeout", 5.0)
+
+
+def test_timeout_detaches_inner_wait(kernel):
+    """After expiry the queue must have no stale waiter: a later put
+    stays in the queue rather than waking a dead getter."""
+    q = Queue(kernel)
+
+    def getter():
+        try:
+            yield Timeout(q.get(), limit=1.0)
+        except TimeoutExpired:
+            pass
+
+    kernel.spawn(getter())
+    kernel.run()
+    q.put("later")
+    kernel.run()
+    assert len(q) == 1     # nothing consumed it
+
+
+def test_event_after_timeout_not_delivered_twice(kernel):
+    event = Event(kernel)
+    results = []
+
+    def waiter():
+        try:
+            value = yield Timeout(event.wait(), limit=2.0)
+            results.append(("value", value))
+        except TimeoutExpired:
+            results.append(("timeout", kernel.now))
+        yield kernel.sleep(10.0)
+
+    kernel.spawn(waiter())
+    kernel.run(until=5.0)
+    event.fire("late")
+    kernel.run()
+    assert results == [("timeout", 2.0)]
+
+
+def test_zero_timeout_on_ready_awaitable(kernel):
+    """limit=0 with an already-satisfiable wait is a race the kernel must
+    resolve deterministically: readiness is scheduled before the deadline."""
+    q = Queue(kernel)
+    q.put("ready")
+
+    def getter():
+        value = yield Timeout(q.get(), limit=0.0)
+        return value
+
+    process = kernel.spawn(getter())
+    kernel.run()
+    assert process.result == "ready"
+
+
+def test_inner_exception_propagates(kernel):
+    class Exploding:
+        def _block(self, kernel_, process):
+            raise RuntimeError("inner boom")
+
+    def waiter():
+        yield Timeout(Exploding(), limit=5.0)
+
+    process = kernel.spawn(waiter())
+    with pytest.raises(RuntimeError, match="inner boom"):
+        kernel.run_until_complete(process)
+
+
+def test_negative_limit_rejected(kernel):
+    q = Queue(kernel)
+    with pytest.raises(KernelError, match="negative timeout"):
+        Timeout(q.get(), limit=-1.0)
+
+
+def test_non_awaitable_inner_rejected():
+    with pytest.raises(KernelError, match="wraps awaitables"):
+        Timeout(42, limit=1.0)
+
+
+def test_killed_process_cleans_up_timeout(kernel):
+    q = Queue(kernel)
+
+    def waiter():
+        yield Timeout(q.get(), limit=100.0)
+
+    process = kernel.spawn(waiter())
+    kernel.run(until=1.0)
+    kernel.kill(process)
+    kernel.run()
+    q.put("x")
+    kernel.run()
+    assert len(q) == 1     # proxy was evicted from the queue too

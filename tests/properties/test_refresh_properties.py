@@ -1,0 +1,160 @@
+"""Property-based tests of the refresher under random primary schedules.
+
+A random-but-valid primary schedule (interleaved starts/commits/aborts of
+update transactions, in timestamp order) is injected into a secondary's
+update queue; whatever the interleaving, the refresher must commit refresh
+transactions in primary commit order and produce exactly the primary's
+final state.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.records import (
+    PropagatedAbort,
+    PropagatedCommit,
+    PropagatedStart,
+)
+from repro.core.site import SecondarySite
+from repro.kernel import Kernel
+from repro.txn.history import HistoryRecorder
+
+KEYS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def primary_schedules(draw):
+    """Generate a valid primary log: starts interleave arbitrarily, every
+    started txn later commits or aborts, commit timestamps are dense and
+    assigned in commit order, concurrent committers have disjoint writes.
+    """
+    n = draw(st.integers(min_value=1, max_value=8))
+    txns = list(range(1, n + 1))
+    # Build an interleaving: each txn emits "start" then later "end".
+    events = []
+    active = []
+    pending = list(txns)
+    draw_bool = lambda label: draw(st.booleans())  # noqa: E731
+    while pending or active:
+        start_next = pending and (not active or draw_bool("start_next"))
+        if start_next:
+            txn = pending.pop(0)
+            events.append(("start", txn))
+            active.append(txn)
+        else:
+            index = draw(st.integers(min_value=0, max_value=len(active) - 1))
+            txn = active.pop(index)
+            aborts = draw(st.booleans())
+            events.append(("abort" if aborts else "commit", txn))
+    # Assign writes: committers that overlap must not share keys.  Keep it
+    # simple and sound: assign each committed txn one key, round-robin by
+    # commit position — overlap with same key is then impossible for up
+    # to len(KEYS) concurrent txns (n <= 8 with 4 keys can violate that,
+    # so use commit index modulo len(KEYS) only when overlapping; easier:
+    # give every txn a unique synthetic key plus a shared counter-free
+    # value).  Unique keys sidestep FCW entirely while still exercising
+    # ordering.
+    return events
+
+
+@settings(max_examples=60, deadline=None)
+@given(primary_schedules())
+def test_refresher_commits_in_primary_commit_order(events):
+    kernel = Kernel()
+    recorder = HistoryRecorder()
+    site = SecondarySite(kernel, name="secondary-1", recorder=recorder)
+    commit_ts = 0
+    expected_state = {}
+    expected_commit_order = []
+    start_ts = {}
+    for kind, txn in events:
+        if kind == "start":
+            start_ts[txn] = commit_ts
+            site.update_queue.put(
+                PropagatedStart(txn_id=txn, start_ts=commit_ts))
+        elif kind == "abort":
+            site.update_queue.put(PropagatedAbort(txn_id=txn))
+        else:
+            commit_ts += 1
+            updates = ((f"k{txn}", commit_ts, False),)
+            expected_state[f"k{txn}"] = commit_ts
+            expected_commit_order.append(txn)
+            site.update_queue.put(PropagatedCommit(
+                txn_id=txn, commit_ts=commit_ts, updates=updates))
+    kernel.run()
+    assert site.engine.state_at() == expected_state
+    assert site.seq_db == commit_ts
+    committed = [v for v in recorder.committed(site="secondary-1")
+                 if v.is_refresh]
+    observed_order = [int(v.refresh_of.removeprefix("txn-p"))
+                      for v in committed]
+    assert observed_order == expected_commit_order
+
+
+@settings(max_examples=40, deadline=None)
+@given(primary_schedules())
+def test_refresher_relationship_2_start_after_prior_commits(events):
+    """For sequential primary txns (commit_p(T1) < start_p(T2)), R2 must
+    begin after R1 commits at the secondary."""
+    kernel = Kernel()
+    recorder = HistoryRecorder()
+    site = SecondarySite(kernel, name="secondary-1", recorder=recorder)
+    commit_ts = 0
+    commit_pos = {}
+    start_pos = {}
+    position = 0
+    for kind, txn in events:
+        position += 1
+        if kind == "start":
+            start_pos[txn] = position
+            site.update_queue.put(
+                PropagatedStart(txn_id=txn, start_ts=commit_ts))
+        elif kind == "abort":
+            site.update_queue.put(PropagatedAbort(txn_id=txn))
+        else:
+            commit_ts += 1
+            commit_pos[txn] = position
+            site.update_queue.put(PropagatedCommit(
+                txn_id=txn, commit_ts=commit_ts,
+                updates=((f"k{txn}", 1, False),)))
+    kernel.run()
+    begins = {}
+    commits = {}
+    for event in recorder.events:
+        if event.refresh_of is None:
+            continue
+        txn = int(event.refresh_of.removeprefix("txn-p"))
+        if event.kind == "begin":
+            begins[txn] = event.seq
+        elif event.kind == "commit":
+            commits[txn] = event.seq
+    for t1, c1 in commit_pos.items():
+        for t2, s2 in start_pos.items():
+            if c1 < s2 and t1 in commits and t2 in begins:
+                assert commits[t1] < begins[t2], \
+                    f"R{t2} started before R{t1} committed"
+
+
+@settings(max_examples=40, deadline=None)
+@given(primary_schedules(), st.integers(min_value=0, max_value=100))
+def test_serial_and_concurrent_refresher_agree(events, _seed):
+    """Final state and seq(DBsec) are identical for both refresher modes."""
+    states = []
+    for serial in (False, True):
+        kernel = Kernel()
+        site = SecondarySite(kernel, name="secondary-1",
+                             serial_refresh=serial)
+        commit_ts = 0
+        for kind, txn in events:
+            if kind == "start":
+                site.update_queue.put(
+                    PropagatedStart(txn_id=txn, start_ts=commit_ts))
+            elif kind == "abort":
+                site.update_queue.put(PropagatedAbort(txn_id=txn))
+            else:
+                commit_ts += 1
+                site.update_queue.put(PropagatedCommit(
+                    txn_id=txn, commit_ts=commit_ts,
+                    updates=((f"k{txn}", commit_ts, False),)))
+        kernel.run()
+        states.append((site.engine.state_at(), site.seq_db))
+    assert states[0] == states[1]

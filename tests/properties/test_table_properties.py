@@ -1,0 +1,118 @@
+"""Property-based tests of the relational table layer.
+
+The central invariant: after any sequence of inserts/updates/deletes,
+index lookups agree exactly with a full-scan filter, and the table agrees
+with a plain-dict model.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TransactionAborted
+from repro.storage.engine import SIDatabase
+from repro.storage.tables import (
+    Column,
+    DuplicateKeyError,
+    RowNotFound,
+    Table,
+    TableSchema,
+)
+
+SCHEMA = TableSchema(
+    "t",
+    [Column("id", int), Column("group", str), Column("value", int)],
+    primary_key="id",
+    indexes=("group",),
+)
+
+GROUPS = ["g0", "g1", "g2"]
+
+OP = st.one_of(
+    st.tuples(st.just("insert"), st.integers(0, 9),
+              st.sampled_from(GROUPS), st.integers(0, 99)),
+    st.tuples(st.just("update"), st.integers(0, 9),
+              st.sampled_from(GROUPS), st.integers(0, 99)),
+    st.tuples(st.just("delete"), st.integers(0, 9),
+              st.sampled_from(GROUPS), st.integers(0, 99)),
+)
+
+
+def _apply(table, model, op):
+    kind, pk, group, value = op
+    if kind == "insert":
+        row = {"id": pk, "group": group, "value": value}
+        try:
+            table.insert(row)
+            model[pk] = row
+        except DuplicateKeyError:
+            assert pk in model
+    elif kind == "update":
+        try:
+            table.update(pk, group=group, value=value)
+            model[pk] = {"id": pk, "group": group, "value": value}
+        except RowNotFound:
+            assert pk not in model
+    else:
+        try:
+            table.delete(pk)
+            del model[pk]
+        except RowNotFound:
+            assert pk not in model
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(OP, min_size=1, max_size=25))
+def test_table_matches_dict_model_within_one_txn(ops):
+    db = SIDatabase()
+    txn = db.begin(update=True)
+    table = Table(SCHEMA, txn)
+    model: dict = {}
+    for op in ops:
+        _apply(table, model, op)
+    assert {row["id"]: row for row in table.scan()} == model
+    for group in GROUPS:
+        indexed = sorted(row["id"] for row in table.find_by("group", group))
+        filtered = sorted(pk for pk, row in model.items()
+                          if row["group"] == group)
+        assert indexed == filtered
+    txn.commit()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.lists(OP, min_size=1, max_size=4), min_size=1,
+                max_size=8))
+def test_table_matches_dict_model_across_txns(batches):
+    """Same invariant with each batch in its own committed transaction."""
+    db = SIDatabase()
+    model: dict = {}
+    for batch in batches:
+        txn = db.begin(update=True)
+        table = Table(SCHEMA, txn)
+        staged = dict(model)
+        try:
+            for op in batch:
+                _apply(table, staged, op)
+            txn.commit()
+            model = staged
+        except TransactionAborted:   # pragma: no cover - serial, no FCW
+            raise AssertionError("serial transactions must not abort")
+    txn = db.begin()
+    table = Table(SCHEMA, txn)
+    assert {row["id"]: row for row in table.scan()} == model
+    for group in GROUPS:
+        indexed = sorted(row["id"] for row in table.find_by("group", group))
+        filtered = sorted(pk for pk, row in model.items()
+                          if row["group"] == group)
+        assert indexed == filtered
+    txn.commit()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(-50, 50), min_size=1, max_size=20, unique=True))
+def test_pk_scan_order_matches_numeric_sort(pks):
+    db = SIDatabase()
+    txn = db.begin(update=True)
+    table = Table(SCHEMA, txn)
+    for pk in pks:
+        table.insert({"id": pk, "group": "g0", "value": 0})
+    assert [row["id"] for row in table.scan()] == sorted(pks)
+    txn.commit()

@@ -1,0 +1,99 @@
+"""Tests for reproducible random streams."""
+
+import pytest
+
+from repro.sim.rng import RandomStream, RandomStreams
+
+
+def test_same_seed_same_stream_reproducible():
+    a = RandomStreams(1).stream("think")
+    b = RandomStreams(1).stream("think")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(1)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_adding_stream_does_not_perturb_existing():
+    """The simulation-methodology property: new components must not shift
+    the draws of existing ones."""
+    only = RandomStreams(9)
+    values_alone = [only.stream("clients").random() for _ in range(5)]
+    both = RandomStreams(9)
+    both.stream("propagator").random()      # extra stream interleaved
+    values_with_other = [both.stream("clients").random() for _ in range(5)]
+    assert values_alone == values_with_other
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).stream("x")
+    b = RandomStreams(2).stream("x")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_stream_is_cached():
+    streams = RandomStreams(1)
+    assert streams.stream("x") is streams.stream("x")
+    assert streams["x"] is streams.stream("x")
+
+
+def test_exponential_mean():
+    stream = RandomStreams(3).stream("exp")
+    n = 20000
+    mean = sum(stream.exponential(7.0) for _ in range(n)) / n
+    assert mean == pytest.approx(7.0, rel=0.05)
+
+
+def test_exponential_requires_positive_mean():
+    stream = RandomStreams(0).stream("exp")
+    with pytest.raises(ValueError):
+        stream.exponential(0.0)
+
+
+def test_randint_bounds_inclusive():
+    stream = RandomStreams(5).stream("int")
+    values = {stream.randint(5, 15) for _ in range(2000)}
+    assert min(values) == 5
+    assert max(values) == 15
+
+
+def test_bernoulli_probability():
+    stream = RandomStreams(5).stream("coin")
+    n = 20000
+    hits = sum(stream.bernoulli(0.2) for _ in range(n))
+    assert hits / n == pytest.approx(0.2, abs=0.02)
+
+
+def test_bernoulli_validates_probability():
+    stream = RandomStreams(0).stream("coin")
+    with pytest.raises(ValueError):
+        stream.bernoulli(1.5)
+
+
+def test_bernoulli_extremes():
+    stream = RandomStreams(0).stream("coin")
+    assert not any(stream.bernoulli(0.0) for _ in range(100))
+    assert all(stream.bernoulli(1.0) for _ in range(100))
+
+
+def test_uniform_range():
+    stream = RandomStreams(0).stream("u")
+    assert all(1.0 <= stream.uniform(1.0, 2.0) <= 2.0 for _ in range(100))
+
+
+def test_choice_and_sample():
+    stream = RandomStreams(0).stream("c")
+    items = ["a", "b", "c"]
+    assert stream.choice(items) in items
+    assert sorted(stream.sample(items, 2))[0] in items
+
+
+def test_names_listing():
+    streams = RandomStreams(0)
+    streams.stream("one")
+    streams.stream("two")
+    assert set(streams.names()) == {"one", "two"}

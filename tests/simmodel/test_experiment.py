@@ -1,0 +1,99 @@
+"""Tests for the replication-run experiment driver."""
+
+import pytest
+
+from repro.core.guarantees import Guarantee
+from repro.simmodel.experiment import run_once, run_replications
+from repro.simmodel.params import SimulationParameters
+
+
+def tiny_params(**overrides):
+    defaults = dict(num_sec=2, clients_per_secondary=3, duration=120.0,
+                    warmup=20.0, replications=3, seed=5)
+    defaults.update(overrides)
+    return SimulationParameters(**defaults)
+
+
+def test_run_once_produces_metrics():
+    result = run_once(tiny_params())
+    assert result.throughput > 0
+    assert result.read_response_time > 0
+    assert result.update_response_time > 0
+    assert result.read_completions > 0
+    assert result.update_completions > 0
+
+
+def test_run_once_is_deterministic():
+    a = run_once(tiny_params())
+    b = run_once(tiny_params())
+    assert a.throughput == b.throughput
+    assert a.read_response_time == b.read_response_time
+
+
+def test_run_once_seed_override():
+    a = run_once(tiny_params(), seed=100)
+    b = run_once(tiny_params(), seed=200)
+    assert a.seed == 100 and b.seed == 200
+    assert a.throughput != b.throughput
+
+
+def test_run_replications_uses_distinct_seeds():
+    aggregated = run_replications(tiny_params())
+    assert len(aggregated.runs) == 3
+    assert len({run.seed for run in aggregated.runs}) == 3
+
+
+def test_run_replications_override_count():
+    aggregated = run_replications(tiny_params(), replications=2)
+    assert len(aggregated.runs) == 2
+
+
+def test_aggregated_cis():
+    aggregated = run_replications(tiny_params())
+    ci = aggregated.throughput
+    assert ci.n == 3
+    values = [run.throughput for run in aggregated.runs]
+    assert ci.mean == pytest.approx(sum(values) / 3)
+    assert ci.half_width >= 0
+    assert aggregated.read_response_time.mean > 0
+    assert aggregated.update_response_time.mean > 0
+
+
+def test_throughput_not_above_raw_throughput():
+    result = run_once(tiny_params())
+    assert result.throughput <= result.raw_throughput + 1e-9
+
+
+def test_strong_si_blocked_reads_reported():
+    result = run_once(tiny_params(algorithm=Guarantee.STRONG_SI))
+    assert result.blocked_reads > 0
+    assert result.mean_block_time > 0
+
+
+def test_lag_statistics_collected():
+    result = run_once(tiny_params())
+    assert result.mean_lag >= 0
+    assert result.max_lag >= result.mean_lag
+    # With a 10 s propagation cycle and ongoing updates, some lag exists.
+    assert result.max_lag > 0
+
+
+def test_faster_propagation_reduces_lag():
+    slow = run_once(tiny_params(propagation_delay=20.0, duration=300.0))
+    fast = run_once(tiny_params(propagation_delay=1.0, duration=300.0))
+    assert fast.mean_lag < slow.mean_lag
+
+
+def test_percentile_metrics_reported():
+    result = run_once(tiny_params())
+    assert result.read_p95 >= result.read_response_time
+    assert result.update_p95 >= result.update_response_time
+    assert 0.0 <= result.fast_fraction <= 1.0
+
+
+def test_strong_si_fast_fraction_lower_than_weak():
+    weak = run_once(tiny_params(algorithm=Guarantee.WEAK_SI,
+                                duration=300.0))
+    strong = run_once(tiny_params(algorithm=Guarantee.STRONG_SI,
+                                  duration=300.0))
+    assert strong.fast_fraction < weak.fast_fraction

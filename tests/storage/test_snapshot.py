@@ -1,0 +1,76 @@
+"""Tests for SnapshotView."""
+
+import pytest
+
+from repro.errors import KeyNotFound
+from repro.storage.engine import SIDatabase
+
+
+@pytest.fixture
+def db():
+    database = SIDatabase()
+    for i, (key, value) in enumerate([("x", 1), ("y", 2), ("x", 3)]):
+        txn = database.begin(update=True)
+        txn.write(key, value)
+        txn.commit()
+    return database
+
+
+def test_getitem_and_get(db):
+    snap = db.snapshot(2)
+    assert snap["x"] == 1
+    assert snap.get("y") == 2
+    assert snap.get("missing", "dflt") == "dflt"
+
+
+def test_getitem_missing_raises(db):
+    snap = db.snapshot(0)
+    with pytest.raises(KeyNotFound):
+        snap["x"]
+
+
+def test_contains(db):
+    snap = db.snapshot(1)
+    assert "x" in snap
+    assert "y" not in snap
+
+
+def test_keys_sorted(db):
+    assert db.snapshot(2).keys() == ["x", "y"]
+
+
+def test_len_and_iter(db):
+    snap = db.snapshot(2)
+    assert len(snap) == 2
+    assert list(snap) == ["x", "y"]
+
+
+def test_materialize(db):
+    assert db.snapshot(3).materialize() == {"x": 3, "y": 2}
+
+
+def test_snapshot_equality_with_dict_and_snapshot(db):
+    assert db.snapshot(1) == {"x": 1}
+    assert db.snapshot(3) == db.snapshot(3)
+    assert db.snapshot(1) != db.snapshot(3)
+
+
+def test_snapshot_stays_valid_as_db_advances(db):
+    snap = db.snapshot(1)
+    txn = db.begin(update=True)
+    txn.write("x", 100)
+    txn.commit()
+    assert snap["x"] == 1          # chains are append-only
+
+
+def test_snapshot_of_deleted_key():
+    db = SIDatabase()
+    t = db.begin(update=True)
+    t.write("k", 1)
+    t.commit()
+    t = db.begin(update=True)
+    t.delete("k")
+    t.commit()
+    assert "k" in db.snapshot(1)
+    assert "k" not in db.snapshot(2)
+    assert db.snapshot(2).materialize() == {}

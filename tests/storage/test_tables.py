@@ -1,0 +1,268 @@
+"""Tests for the relational table layer over the MVCC engine."""
+
+import pytest
+
+from repro.errors import FirstCommitterWinsError
+from repro.storage.engine import SIDatabase
+from repro.storage.tables import (
+    Column,
+    DuplicateKeyError,
+    RowNotFound,
+    SchemaError,
+    Table,
+    TableSchema,
+    open_tables,
+)
+
+BOOKS = TableSchema(
+    "books",
+    [Column("id", int), Column("title", str),
+     Column("stock", int), Column("genre", str, nullable=True)],
+    primary_key="id",
+    indexes=("genre", "stock"),
+)
+
+
+@pytest.fixture
+def db():
+    return SIDatabase()
+
+
+def _with_table(db, fn):
+    txn = db.begin(update=True)
+    result = fn(Table(BOOKS, txn))
+    txn.commit()
+    return result
+
+
+def _seed(db, *rows):
+    def fn(table):
+        for row in rows:
+            table.insert(row)
+    _with_table(db, fn)
+
+
+ROW1 = {"id": 1, "title": "A", "stock": 5, "genre": "db"}
+ROW2 = {"id": 2, "title": "B", "stock": 3, "genre": "os"}
+ROW3 = {"id": 3, "title": "C", "stock": 5, "genre": "db"}
+
+
+# ---------------------------------------------------------------------------
+# Schema validation
+# ---------------------------------------------------------------------------
+
+def test_schema_rejects_duplicate_columns():
+    with pytest.raises(SchemaError):
+        TableSchema("t", [Column("a", int), Column("a", str)], "a")
+
+
+def test_schema_rejects_unknown_primary_key():
+    with pytest.raises(SchemaError):
+        TableSchema("t", [Column("a", int)], "b")
+
+
+def test_schema_rejects_unknown_index():
+    with pytest.raises(SchemaError):
+        TableSchema("t", [Column("a", int)], "a", indexes=("b",))
+
+
+def test_schema_rejects_slash_in_name():
+    with pytest.raises(SchemaError):
+        TableSchema("a/b", [Column("a", int)], "a")
+
+
+def test_insert_validates_types(db):
+    with pytest.raises(SchemaError, match="expects int"):
+        _with_table(db, lambda t: t.insert(
+            {"id": "one", "title": "A", "stock": 1}))
+
+
+def test_insert_rejects_unknown_column(db):
+    with pytest.raises(SchemaError, match="unknown column"):
+        _with_table(db, lambda t: t.insert(
+            {"id": 1, "title": "A", "stock": 1, "color": "red"}))
+
+
+def test_nullable_column_accepts_none(db):
+    _seed(db, {"id": 1, "title": "A", "stock": 1, "genre": None})
+    row = _with_table(db, lambda t: t.get(1))
+    assert row["genre"] is None
+
+
+def test_non_nullable_column_rejects_none(db):
+    with pytest.raises(SchemaError, match="not nullable"):
+        _with_table(db, lambda t: t.insert(
+            {"id": 1, "title": None, "stock": 1}))
+
+
+# ---------------------------------------------------------------------------
+# CRUD
+# ---------------------------------------------------------------------------
+
+def test_insert_and_get(db):
+    _seed(db, ROW1)
+    assert _with_table(db, lambda t: t.get(1)) == ROW1
+    assert _with_table(db, lambda t: t.get(99)) is None
+
+
+def test_insert_duplicate_pk_rejected(db):
+    _seed(db, ROW1)
+    with pytest.raises(DuplicateKeyError):
+        _with_table(db, lambda t: t.insert(ROW1))
+
+
+def test_insert_requires_pk(db):
+    with pytest.raises(SchemaError, match="without a primary key"):
+        _with_table(db, lambda t: t.insert({"title": "A", "stock": 1}))
+
+
+def test_update_changes_columns(db):
+    _seed(db, ROW1)
+    updated = _with_table(db, lambda t: t.update(1, stock=99))
+    assert updated["stock"] == 99
+    assert _with_table(db, lambda t: t.get(1))["stock"] == 99
+
+
+def test_update_missing_row_raises(db):
+    with pytest.raises(RowNotFound):
+        _with_table(db, lambda t: t.update(42, stock=1))
+
+
+def test_update_cannot_change_pk(db):
+    _seed(db, ROW1)
+    with pytest.raises(SchemaError, match="immutable"):
+        _with_table(db, lambda t: t.update(1, id=9))
+
+
+def test_delete_removes_row(db):
+    _seed(db, ROW1, ROW2)
+    _with_table(db, lambda t: t.delete(1))
+    assert _with_table(db, lambda t: t.get(1)) is None
+    assert _with_table(db, lambda t: t.count()) == 1
+
+
+def test_delete_missing_row_raises(db):
+    with pytest.raises(RowNotFound):
+        _with_table(db, lambda t: t.delete(7))
+
+
+def test_upsert_inserts_then_updates(db):
+    _with_table(db, lambda t: t.upsert(ROW1))
+    _with_table(db, lambda t: t.upsert({"id": 1, "title": "A2",
+                                        "stock": 6, "genre": "db"}))
+    row = _with_table(db, lambda t: t.get(1))
+    assert row["title"] == "A2" and row["stock"] == 6
+
+
+# ---------------------------------------------------------------------------
+# Scans & indexes
+# ---------------------------------------------------------------------------
+
+def test_scan_returns_pk_order(db):
+    _seed(db, ROW3, ROW1, ROW2)
+    rows = _with_table(db, lambda t: t.scan())
+    assert [row["id"] for row in rows] == [1, 2, 3]
+
+
+def test_scan_pk_range(db):
+    _seed(db, ROW1, ROW2, ROW3)
+    rows = _with_table(db, lambda t: t.scan(lo_pk=2, hi_pk=3))
+    assert [row["id"] for row in rows] == [2, 3]
+
+
+def test_integer_pk_order_is_numeric_not_lexicographic(db):
+    _seed(db, {"id": 2, "title": "two", "stock": 0},
+          {"id": 10, "title": "ten", "stock": 0})
+    rows = _with_table(db, lambda t: t.scan())
+    assert [row["id"] for row in rows] == [2, 10]
+
+
+def test_find_by_index(db):
+    _seed(db, ROW1, ROW2, ROW3)
+    dbs = _with_table(db, lambda t: t.find_by("genre", "db"))
+    assert sorted(row["id"] for row in dbs) == [1, 3]
+    assert _with_table(db, lambda t: t.find_by("genre", "none")) == []
+
+
+def test_find_by_requires_index(db):
+    _seed(db, ROW1)
+    with pytest.raises(SchemaError, match="not indexed"):
+        _with_table(db, lambda t: t.find_by("title", "A"))
+
+
+def test_index_maintained_on_update(db):
+    _seed(db, ROW1)
+    _with_table(db, lambda t: t.update(1, genre="os"))
+    assert _with_table(db, lambda t: t.find_by("genre", "db")) == []
+    assert _with_table(db, lambda t: t.find_by("genre", "os"))[0]["id"] == 1
+
+
+def test_index_maintained_on_delete(db):
+    _seed(db, ROW1, ROW3)
+    _with_table(db, lambda t: t.delete(1))
+    remaining = _with_table(db, lambda t: t.find_by("genre", "db"))
+    assert [row["id"] for row in remaining] == [3]
+
+
+def test_select_predicate(db):
+    _seed(db, ROW1, ROW2, ROW3)
+    low_stock = _with_table(db, lambda t: t.select(
+        lambda row: row["stock"] < 5))
+    assert [row["id"] for row in low_stock] == [2]
+
+
+def test_open_tables(db):
+    txn = db.begin(update=True)
+    tables = open_tables(txn, [BOOKS])
+    tables["books"].insert(ROW1)
+    txn.commit()
+    assert _with_table(db, lambda t: t.count()) == 1
+
+
+# ---------------------------------------------------------------------------
+# SI semantics through the relational layer
+# ---------------------------------------------------------------------------
+
+def test_snapshot_isolation_for_index_scans(db):
+    _seed(db, ROW1)
+    reader_txn = db.begin()
+    reader = Table(BOOKS, reader_txn)
+    assert len(reader.find_by("genre", "db")) == 1
+    _seed(db, ROW3)   # committed after the reader began
+    assert len(reader.find_by("genre", "db")) == 1   # no phantom
+    reader_txn.commit()
+
+
+def test_fcw_on_row_conflict(db):
+    _seed(db, ROW1)
+    t1 = db.begin(update=True)
+    t2 = db.begin(update=True)
+    Table(BOOKS, t1).update(1, stock=4)
+    Table(BOOKS, t2).update(1, stock=3)
+    t1.commit()
+    with pytest.raises(FirstCommitterWinsError):
+        t2.commit()
+    assert _with_table(db, lambda t: t.get(1))["stock"] == 4
+
+
+def test_own_writes_visible_in_same_transaction(db):
+    txn = db.begin(update=True)
+    table = Table(BOOKS, txn)
+    table.insert(ROW1)
+    assert table.get(1) == ROW1
+    table.update(1, stock=1)
+    assert table.find_by("stock", 1)[0]["id"] == 1
+    assert table.find_by("stock", 5) == []
+    txn.commit()
+
+
+def test_negative_integer_keys_sort_before_positive(db):
+    schema = TableSchema("t", [Column("id", int), Column("v", int)], "id")
+    txn = db.begin(update=True)
+    table = Table(schema, txn)
+    for pk in (5, -3, 0, -10):
+        table.insert({"id": pk, "v": pk})
+    txn.commit()
+    txn = db.begin()
+    rows = Table(schema, txn).scan()
+    assert [row["id"] for row in rows] == [-10, -3, 0, 5]

@@ -1,0 +1,84 @@
+"""Tests for per-key version chains."""
+
+import pytest
+
+from repro.storage.versions import Version, VersionChain
+
+
+def _chain(*pairs):
+    chain = VersionChain("k")
+    for ts, value in pairs:
+        chain.install(Version(commit_ts=ts, value=value, txn_id=ts))
+    return chain
+
+
+def test_empty_chain():
+    chain = VersionChain("k")
+    assert len(chain) == 0
+    assert chain.latest is None
+    assert chain.latest_commit_ts == 0
+    assert chain.visible_at(100) is None
+
+
+def test_install_and_latest():
+    chain = _chain((1, "a"), (3, "b"))
+    assert chain.latest.value == "b"
+    assert chain.latest_commit_ts == 3
+    assert len(chain) == 2
+
+
+def test_install_out_of_order_rejected():
+    chain = _chain((5, "a"))
+    with pytest.raises(ValueError, match="out of order"):
+        chain.install(Version(commit_ts=5, value="b", txn_id=2))
+    with pytest.raises(ValueError, match="out of order"):
+        chain.install(Version(commit_ts=3, value="c", txn_id=3))
+
+
+def test_visible_at_exact_and_between():
+    chain = _chain((2, "a"), (5, "b"), (9, "c"))
+    assert chain.visible_at(1) is None
+    assert chain.visible_at(2).value == "a"
+    assert chain.visible_at(4).value == "a"
+    assert chain.visible_at(5).value == "b"
+    assert chain.visible_at(8).value == "b"
+    assert chain.visible_at(9).value == "c"
+    assert chain.visible_at(1000).value == "c"
+
+
+def test_value_at_with_tombstone():
+    chain = VersionChain("k")
+    chain.install(Version(commit_ts=1, value="a", txn_id=1))
+    chain.install(Version(commit_ts=2, value=None, txn_id=2, deleted=True))
+    chain.install(Version(commit_ts=3, value="b", txn_id=3))
+    assert chain.value_at(1) == (True, "a")
+    assert chain.value_at(2) == (False, None)
+    assert chain.value_at(3) == (True, "b")
+    assert chain.value_at(0) == (False, None)
+
+
+def test_truncate_after():
+    chain = _chain((1, "a"), (2, "b"), (3, "c"))
+    removed = chain.truncate_after(1)
+    assert removed == 2
+    assert chain.latest_commit_ts == 1
+    assert chain.value_at(3) == (True, "a")
+
+
+def test_truncate_after_noop():
+    chain = _chain((1, "a"))
+    assert chain.truncate_after(5) == 0
+    assert len(chain) == 1
+
+
+def test_copy_is_independent():
+    chain = _chain((1, "a"))
+    clone = chain.copy()
+    chain.install(Version(commit_ts=2, value="b", txn_id=2))
+    assert len(clone) == 1
+    assert len(chain) == 2
+
+
+def test_iteration_in_commit_order():
+    chain = _chain((1, "a"), (4, "b"), (9, "c"))
+    assert [v.commit_ts for v in chain] == [1, 4, 9]

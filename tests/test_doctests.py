@@ -1,0 +1,35 @@
+"""Run the executable doctest examples embedded in module docstrings.
+
+Documentation that drifts from the code is worse than none; the examples
+in the public docstrings are executed here so they cannot rot.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.system
+import repro.kernel
+import repro.storage.tables
+
+
+@pytest.mark.parametrize("module", [
+    repro.kernel,
+    repro.storage.tables,
+    repro.core.system,
+])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False,
+                              optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{results.failed} doctest failure(s)"
+    assert results.attempted > 0, "no doctests found (example removed?)"
+
+
+def test_package_quickstart_docstring():
+    """The quickstart in repro's package docstring must actually work."""
+    from repro import Guarantee, ReplicatedSystem
+    system = ReplicatedSystem(num_secondaries=2, propagation_delay=1.0)
+    with system.session(Guarantee.STRONG_SESSION_SI) as s:
+        s.write("book:42:stock", 7)
+        assert s.read("book:42:stock") == 7

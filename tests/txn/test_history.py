@@ -1,0 +1,153 @@
+"""Tests for the global history recorder and TxnView aggregation."""
+
+import pytest
+
+from repro.storage.engine import SIDatabase
+from repro.txn.history import HistoryRecorder
+
+
+@pytest.fixture
+def recorder():
+    return HistoryRecorder()
+
+
+@pytest.fixture
+def db(recorder):
+    return SIDatabase(name="primary", recorder=recorder)
+
+
+def test_events_get_increasing_seq(db, recorder):
+    txn = db.begin(update=True)
+    txn.write("x", 1)
+    txn.commit()
+    seqs = [e.seq for e in recorder.events]
+    assert seqs == sorted(seqs) == list(range(len(seqs)))
+
+
+def test_event_kinds_for_simple_txn(db, recorder):
+    txn = db.begin(update=True)
+    txn.write("x", 1)
+    txn.read("x")
+    txn.commit()
+    assert [e.kind for e in recorder.events] == [
+        "begin", "write", "read", "commit"]
+
+
+def test_txn_view_aggregation(db, recorder):
+    txn = db.begin(update=True, metadata={"logical_id": "t1",
+                                          "session": "c1"})
+    txn.write("x", 1)
+    txn.read("x")
+    txn.commit()
+    views = recorder.transactions()
+    view = views[("primary", txn.txn_id)]
+    assert view.logical_id == "t1"
+    assert view.session == "c1"
+    assert view.committed
+    assert view.is_update
+    assert view.write_set == {"x"}
+    assert view.read_set == {"x"}
+    assert view.commit_ts == 1
+
+
+def test_aborted_txn_view(db, recorder):
+    txn = db.begin(update=True)
+    txn.write("x", 1)
+    txn.abort()
+    view = recorder.transactions()[("primary", txn.txn_id)]
+    assert view.status == "aborted"
+    assert not view.committed
+
+
+def test_first_read_values_skip_own_writes(db, recorder):
+    seed = db.begin(update=True)
+    seed.write("x", 10)
+    seed.commit()
+    txn = db.begin(update=True)
+    txn.read("x")          # sees 10 — pins the snapshot
+    txn.write("x", 20)
+    txn.read("x")          # sees own 20 — must not repin
+    txn.commit()
+    view = recorder.transactions()[("primary", txn.txn_id)]
+    assert view.first_read_values == {"x": 10}
+
+
+def test_final_writes_last_wins(db, recorder):
+    txn = db.begin(update=True)
+    txn.write("x", 1)
+    txn.write("x", 2)
+    txn.delete("y")
+    txn.commit()
+    view = recorder.transactions()[("primary", txn.txn_id)]
+    assert view.final_writes == {"x": (2, False), "y": (None, True)}
+
+
+def test_committed_in_commit_order(db, recorder):
+    t1 = db.begin(update=True)
+    t2 = db.begin(update=True)
+    t2.write("b", 2)
+    t2.commit()
+    t1.write("a", 1)
+    t1.commit()
+    order = [v.txn_id for v in recorder.committed(site="primary")]
+    assert order == [t2.txn_id, t1.txn_id]
+
+
+def test_client_transactions_exclude_refresh(db, recorder):
+    real = db.begin(update=True, metadata={"logical_id": "t1"})
+    real.write("x", 1)
+    real.commit()
+    refresh = db.begin(update=True, metadata={"refresh_of": "t1"})
+    refresh.write("x", 1)
+    refresh.commit()
+    client_ids = [v.txn_id for v in recorder.client_transactions()]
+    assert client_ids == [real.txn_id]
+
+
+def test_sites_listing(recorder):
+    a = SIDatabase(name="a", recorder=recorder)
+    b = SIDatabase(name="b", recorder=recorder)
+    for db_ in (a, b):
+        txn = db_.begin(update=True)
+        txn.write("x", 1)
+        txn.commit()
+    assert recorder.sites() == ["a", "b"]
+
+
+def test_replay_states_reconstruct_progression(db, recorder):
+    for key, value in [("x", 1), ("y", 2), ("x", 3)]:
+        txn = db.begin(update=True)
+        txn.write(key, value)
+        txn.commit()
+    states = recorder.replay_states("primary")
+    assert states == [{}, {"x": 1}, {"x": 1, "y": 2}, {"x": 3, "y": 2}]
+
+
+def test_replay_states_handle_deletes(db, recorder):
+    t = db.begin(update=True)
+    t.write("x", 1)
+    t.commit()
+    t = db.begin(update=True)
+    t.delete("x")
+    t.commit()
+    assert recorder.replay_states("primary") == [{}, {"x": 1}, {}]
+
+
+def test_replay_states_count_empty_update_txns(db, recorder):
+    t = db.begin(update=True)    # declared update, no writes
+    t.commit()
+    states = recorder.replay_states("primary")
+    assert states == [{}, {}]    # state S^1 exists and equals S^0
+
+
+def test_events_at_site_filter(db, recorder):
+    other = SIDatabase(name="other", recorder=recorder)
+    txn = db.begin(update=True)
+    txn.write("x", 1)
+    txn.commit()
+    ro = other.begin()
+    ro.read("x", default=None)
+    ro.commit()
+    assert all(e.site == "primary" for e in recorder.events_at("primary"))
+    assert all(e.site == "other" for e in recorder.events_at("other"))
+    assert len(recorder.events_at("primary")) == 3

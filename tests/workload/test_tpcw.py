@@ -1,0 +1,41 @@
+"""Tests for TPC-W mix constants."""
+
+from repro.workload.tpcw import (
+    BROWSING_MIX,
+    ORDERING_MIX,
+    SESSION_TIME_MEAN,
+    SHOPPING_MIX,
+    THINK_TIME_MEAN,
+    TRAN_SIZE_RANGE,
+    UPDATE_OP_PROB,
+)
+
+
+def test_shopping_mix_is_80_20():
+    assert SHOPPING_MIX.update_tran_prob == 0.20
+    assert SHOPPING_MIX.read_only_prob == 0.80
+
+
+def test_browsing_mix_is_95_5():
+    assert BROWSING_MIX.update_tran_prob == 0.05
+    assert BROWSING_MIX.read_only_prob == 0.95
+
+
+def test_ordering_mix_is_50_50():
+    assert ORDERING_MIX.update_tran_prob == 0.50
+
+
+def test_describe():
+    assert SHOPPING_MIX.describe() == "shopping (80/20)"
+    assert BROWSING_MIX.describe() == "browsing (95/5)"
+
+
+def test_paper_constants_match_table_1():
+    from repro.simmodel.params import TABLE_1_DEFAULTS
+    assert THINK_TIME_MEAN == TABLE_1_DEFAULTS.think_time
+    assert SESSION_TIME_MEAN == TABLE_1_DEFAULTS.session_time
+    assert TRAN_SIZE_RANGE == (TABLE_1_DEFAULTS.tran_size_min,
+                               TABLE_1_DEFAULTS.tran_size_max)
+    assert UPDATE_OP_PROB == TABLE_1_DEFAULTS.update_op_prob
+    assert SHOPPING_MIX.update_tran_prob == \
+        TABLE_1_DEFAULTS.update_tran_prob
