@@ -9,6 +9,8 @@ For the paper-faithful scale, run ``python -m repro.evaluation --scale
 full`` instead — the harness and these benchmarks share all code.
 """
 
+import os
+
 import pytest
 
 from repro.evaluation.figures import (
@@ -17,6 +19,7 @@ from repro.evaluation.figures import (
     SCALEUP_SWEEP_95_5,
     Scale,
 )
+from repro.evaluation.parallel import default_jobs
 from repro.evaluation.runner import run_sweep
 
 #: Reduced scale used by the benchmark suite (endpoints always included).
@@ -25,20 +28,27 @@ BENCH_SCALE = Scale("bench", duration=240.0, warmup=60.0, replications=1,
 
 BENCH_SEED = 42
 
+#: Sweep fan-out for the fixtures below.  Defaults to all cores; results
+#: are bit-identical either way, so REPRO_BENCH_JOBS=1 only changes speed.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or default_jobs()
+
 
 @pytest.fixture(scope="session")
 def clients_sweep_80_20():
     """Figures 2/3/4: client-load sweep, 5 secondaries, shopping mix."""
-    return run_sweep(CLIENTS_SWEEP_80_20, BENCH_SCALE, seed=BENCH_SEED)
+    return run_sweep(CLIENTS_SWEEP_80_20, BENCH_SCALE, seed=BENCH_SEED,
+                     jobs=BENCH_JOBS)
 
 
 @pytest.fixture(scope="session")
 def scaleup_sweep_80_20():
     """Figures 5/6/7: scale-up sweep, shopping mix."""
-    return run_sweep(SCALEUP_SWEEP_80_20, BENCH_SCALE, seed=BENCH_SEED)
+    return run_sweep(SCALEUP_SWEEP_80_20, BENCH_SCALE, seed=BENCH_SEED,
+                     jobs=BENCH_JOBS)
 
 
 @pytest.fixture(scope="session")
 def scaleup_sweep_95_5():
     """Figure 8: scale-up sweep, browsing mix."""
-    return run_sweep(SCALEUP_SWEEP_95_5, BENCH_SCALE, seed=BENCH_SEED)
+    return run_sweep(SCALEUP_SWEEP_95_5, BENCH_SCALE, seed=BENCH_SEED,
+                     jobs=BENCH_JOBS)

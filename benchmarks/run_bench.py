@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Standalone entry for the perf baseline harness.
+
+Equivalent to ``python -m repro.evaluation --bench``; kept under
+``benchmarks/`` so the perf tooling is discoverable next to the figure
+benchmarks.  Regenerates ``BENCH_evaluation.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--jobs N] [--out PATH]
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.evaluation.bench import run_bench  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", "-j", type=int, default=None)
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+    return run_bench(jobs=args.jobs, out=args.out, seed=args.seed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

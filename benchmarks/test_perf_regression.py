@@ -1,0 +1,69 @@
+"""Regression guard against the committed perf baseline.
+
+Compares freshly measured microbench numbers with
+``BENCH_evaluation.json`` (written by ``python -m repro.evaluation
+--bench``).  The tolerance is deliberately generous — 2.5x — because CI
+machines, laptops and containers differ wildly; the guard only catches
+order-of-magnitude hot-path regressions, not noise.  Skips cleanly when
+no baseline has been generated.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.bench import (
+    RUN_ONCE_SCALE,
+    RUN_ONCE_X,
+    bench_kernel,
+)
+from repro.evaluation.figures import ALGORITHMS, ALL_FIGURES
+from repro.simmodel.experiment import run_once
+
+BASELINE_PATH = Path(__file__).resolve().parents[1] / "BENCH_evaluation.json"
+
+#: Allowed slowdown factor vs the committed baseline.
+TOLERANCE = 2.5
+
+pytestmark = pytest.mark.skipif(
+    not BASELINE_PATH.exists(),
+    reason="no BENCH_evaluation.json baseline; run "
+           "`python -m repro.evaluation --bench` to create one")
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def test_baseline_schema(baseline):
+    assert baseline["schema"] == 1
+    assert baseline["kernel"]["events_per_sec"] > 0
+    assert set(baseline["run_once_seconds"]) == {
+        "strong-session-si", "weak-si", "strong-si"}
+
+
+def test_kernel_events_per_sec_within_tolerance(baseline):
+    # A shorter measurement than the baseline's: rate, not total, matters.
+    current = bench_kernel(num_processes=20, sleeps_per_process=1000)
+    floor = baseline["kernel"]["events_per_sec"] / TOLERANCE
+    assert current["events_per_sec"] >= floor, (
+        f"kernel dispatch {current['events_per_sec']:.0f} events/sec is "
+        f"more than {TOLERANCE}x below baseline "
+        f"{baseline['kernel']['events_per_sec']:.0f}")
+
+
+def test_run_once_within_tolerance(baseline):
+    from time import perf_counter
+    spec = ALL_FIGURES["2"]
+    by_value = {algorithm.value: algorithm for algorithm in ALGORITHMS}
+    for algorithm_value, base_seconds in baseline["run_once_seconds"].items():
+        params = spec.sweep.params_for(RUN_ONCE_X, by_value[algorithm_value],
+                                       RUN_ONCE_SCALE)
+        started = perf_counter()
+        run_once(params, seed=42)
+        elapsed = perf_counter() - started
+        assert elapsed <= base_seconds * TOLERANCE, (
+            f"run_once({algorithm_value}) took {elapsed:.3f}s, baseline "
+            f"{base_seconds:.3f}s, tolerance {TOLERANCE}x")

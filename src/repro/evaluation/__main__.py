@@ -5,6 +5,8 @@ Examples::
     python -m repro.evaluation                         # all figures, quick
     python -m repro.evaluation --figure 2 --scale full
     python -m repro.evaluation --figure 5 6 7 --out results/
+    python -m repro.evaluation --figure 2 --scale full --jobs 8
+    python -m repro.evaluation --bench                 # perf baseline
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from pathlib import Path
 
 from repro.simmodel.params import TABLE_1_DEFAULTS
 from repro.evaluation.figures import ALL_FIGURES, SCALES, SweepSpec
+from repro.evaluation.parallel import ParallelSweepExecutor, default_jobs
 from repro.evaluation.runner import (
     ascii_chart,
     check_figure_shape,
@@ -54,7 +57,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="also print ASCII charts")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-point progress lines")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes for sweep execution "
+                             "(default: all cores; 1 = serial inline)")
+    parser.add_argument("--bench", action="store_true",
+                        help="run the perf baseline harness instead of "
+                             "regenerating figures")
+    parser.add_argument("--bench-out", type=Path, default=None,
+                        help="baseline JSON path (default: "
+                             "BENCH_evaluation.json)")
     args = parser.parse_args(argv)
+
+    jobs = default_jobs() if args.jobs is None else max(1, args.jobs)
+
+    if args.bench:
+        from repro.evaluation.bench import run_bench
+        return run_bench(jobs=jobs, out=args.bench_out, seed=args.seed)
 
     wanted = (list(ALL_FIGURES) if "all" in args.figure
               else [str(f) for f in args.figure])
@@ -67,7 +85,7 @@ def main(argv: list[str] | None = None) -> int:
     _print_table_1()
     print(f"Scale {scale.name!r}: {scale.duration / 60:.0f} min runs, "
           f"{scale.warmup / 60:.0f} min warm-up, "
-          f"{scale.replications} replication(s)\n")
+          f"{scale.replications} replication(s), {jobs} job(s)\n")
 
     # Group requested figures by their shared sweep so each runs once.
     sweeps: dict[str, SweepSpec] = {}
@@ -75,13 +93,14 @@ def main(argv: list[str] | None = None) -> int:
         sweep = ALL_FIGURES[fig_id].sweep
         sweeps.setdefault(sweep.key, sweep)
 
+    executor = ParallelSweepExecutor(jobs=jobs)
     progress = None if args.quiet else print
     all_problems: list[str] = []
     for sweep in sweeps.values():
         started = time.time()
         print(f"Running sweep {sweep.key}: {sweep.description}")
         sweep_result = run_sweep(sweep, scale, seed=args.seed,
-                                 progress=progress)
+                                 progress=progress, executor=executor)
         elapsed = time.time() - started
         print(f"  done in {elapsed:.1f}s wall clock\n")
         for fig_id in wanted:

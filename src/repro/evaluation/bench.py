@@ -1,0 +1,156 @@
+"""Perf baseline harness: ``python -m repro.evaluation --bench``.
+
+Times three layers of the stack and writes the numbers to
+``BENCH_evaluation.json`` at the repo root so future changes have a perf
+trajectory to regress against (``benchmarks/test_perf_regression.py``
+compares re-measured numbers to this baseline with a generous
+tolerance):
+
+* **kernel events/sec** — raw event-dispatch rate of the virtual-time
+  kernel, measured on a sleep-heavy process mix;
+* **run_once wall-clock per algorithm** — one representative Figure 2
+  simulation point for each of the three guarantees;
+* **figure-2-small end-to-end** — the full Figure 2 sweep at the
+  ``small`` scale with ``jobs=1`` versus ``jobs=N``, recording the
+  speedup and verifying the parallel CSV is byte-identical to serial.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import tempfile
+from pathlib import Path
+from time import perf_counter
+from typing import Optional
+
+from repro.kernel import Kernel
+from repro.evaluation.figures import ALGORITHMS, ALL_FIGURES, SCALES, Scale
+from repro.evaluation.parallel import default_jobs
+from repro.evaluation.runner import figure_series, run_sweep, write_csv
+
+#: Schema version of BENCH_evaluation.json.
+BENCH_SCHEMA = 1
+
+#: Representative Figure 2 point timed per algorithm (100 clients on the
+#: 5-secondary 80/20 clients sweep — mid-load, past the warm-up knee).
+RUN_ONCE_X = 100
+
+#: Scale for the per-algorithm run_once timing (kept short; the numbers
+#: track relative regressions, not paper fidelity).
+RUN_ONCE_SCALE = Scale("bench-once", duration=240.0, warmup=60.0,
+                       replications=1)
+
+
+def bench_kernel(num_processes: int = 50,
+                 sleeps_per_process: int = 2000) -> dict:
+    """Measure raw kernel event throughput on a sleep-heavy mix."""
+    kernel = Kernel()
+
+    def ticker(rank: int):
+        delay = 0.5 + rank * 0.01      # staggered so the heap stays mixed
+        for _ in range(sleeps_per_process):
+            yield kernel.sleep(delay)
+
+    for rank in range(num_processes):
+        kernel.spawn(ticker(rank), name=f"ticker-{rank}")
+    started = perf_counter()
+    kernel.run()
+    elapsed = perf_counter() - started
+    events = kernel._seq               # every scheduled event, incl. spawns
+    return {
+        "events": events,
+        "seconds": round(elapsed, 6),
+        "events_per_sec": round(events / elapsed, 1),
+    }
+
+
+def bench_run_once(seed: int = 42) -> dict:
+    """Wall-clock one representative simulation run per algorithm."""
+    from repro.simmodel.experiment import run_once
+    spec = ALL_FIGURES["2"]
+    timings = {}
+    for algorithm in ALGORITHMS:
+        params = spec.sweep.params_for(RUN_ONCE_X, algorithm,
+                                       RUN_ONCE_SCALE, seed=seed)
+        started = perf_counter()
+        run_once(params, seed=seed)
+        timings[algorithm.value] = round(perf_counter() - started, 4)
+    return timings
+
+
+def bench_figure2_small(jobs: Optional[int] = None, seed: int = 42) -> dict:
+    """Figure 2 end-to-end at the ``small`` scale, serial vs parallel."""
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    spec = ALL_FIGURES["2"]
+    scale = SCALES["small"]
+
+    started = perf_counter()
+    serial = run_sweep(spec.sweep, scale, seed=seed, jobs=1)
+    serial_seconds = perf_counter() - started
+
+    started = perf_counter()
+    parallel = run_sweep(spec.sweep, scale, seed=seed, jobs=jobs)
+    parallel_seconds = perf_counter() - started
+
+    with tempfile.TemporaryDirectory() as tmp:
+        serial_csv = Path(tmp) / "serial.csv"
+        parallel_csv = Path(tmp) / "parallel.csv"
+        write_csv(figure_series(spec, serial), serial_csv)
+        write_csv(figure_series(spec, parallel), parallel_csv)
+        identical = serial_csv.read_bytes() == parallel_csv.read_bytes()
+
+    return {
+        "scale": scale.name,
+        "jobs": jobs,
+        "seconds_serial": round(serial_seconds, 4),
+        "seconds_parallel": round(parallel_seconds, 4),
+        "speedup": round(serial_seconds / parallel_seconds, 3),
+        "csv_identical": identical,
+    }
+
+
+def run_bench(jobs: Optional[int] = None, out: Optional[Path] = None,
+              seed: int = 42) -> int:
+    """Run all benches, print a summary, write the baseline JSON."""
+    out = Path("BENCH_evaluation.json") if out is None else out
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+
+    print("Benchmarking kernel event dispatch ...")
+    kernel = bench_kernel()
+    print(f"  {kernel['events']} events in {kernel['seconds']:.3f}s "
+          f"-> {kernel['events_per_sec']:,.0f} events/sec")
+
+    print("Benchmarking run_once per algorithm "
+          f"(figure 2, x={RUN_ONCE_X}) ...")
+    run_once_timings = bench_run_once(seed=seed)
+    for algorithm, seconds in run_once_timings.items():
+        print(f"  {algorithm:<20} {seconds:.3f}s")
+
+    print(f"Benchmarking figure 2 end-to-end at scale 'small' "
+          f"(jobs=1 vs jobs={jobs}) ...")
+    figure2 = bench_figure2_small(jobs=jobs, seed=seed)
+    print(f"  serial {figure2['seconds_serial']:.2f}s, "
+          f"parallel {figure2['seconds_parallel']:.2f}s "
+          f"(speedup {figure2['speedup']:.2f}x, csv identical: "
+          f"{figure2['csv_identical']})")
+
+    baseline = {
+        "schema": BENCH_SCHEMA,
+        "generated_by": "python -m repro.evaluation --bench",
+        "host": {
+            "cpu_count": default_jobs(),
+            "python": platform.python_version(),
+        },
+        "kernel": kernel,
+        "run_once_seconds": run_once_timings,
+        "figure2_small": figure2,
+    }
+    out.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":               # pragma: no cover - convenience
+    sys.exit(run_bench())

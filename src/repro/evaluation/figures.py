@@ -57,6 +57,10 @@ SCALES: dict[str, Scale] = {
     # Shorter runs, 2 replications, at most 5 sweep points per figure.
     "quick": Scale("quick", duration=10 * 60.0, warmup=2 * 60.0,
                    replications=2, max_points=5),
+    # Small CI/bench scale: short runs but >= 2 replications so the
+    # parallel executor has real fan-out at every point.
+    "small": Scale("small", duration=5 * 60.0, warmup=60.0,
+                   replications=2, max_points=3),
     # Minimal sanity scale used by the pytest benchmarks.
     "smoke": Scale("smoke", duration=4 * 60.0, warmup=60.0,
                    replications=1, max_points=3),

@@ -13,19 +13,22 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.core.guarantees import Guarantee
 from repro.errors import ConfigurationError
 from repro.sim.stats import ConfidenceInterval
-from repro.simmodel.experiment import AggregatedResult, run_replications
+from repro.simmodel.experiment import AggregatedResult
 from repro.evaluation.figures import (
     ALGORITHMS,
     FigureSpec,
     Scale,
     SweepSpec,
 )
+from repro.evaluation.parallel import ParallelSweepExecutor, RunTask
 
+#: Progress sink.  Always invoked from the *parent* process — parallel
+#: runs report on future completion, never from inside a worker.
 ProgressFn = Callable[[str], None]
 
 
@@ -58,19 +61,60 @@ class FigureSeries:
 def run_sweep(sweep: SweepSpec, scale: Scale, *,
               algorithms: Sequence[Guarantee] = ALGORITHMS,
               seed: int = 42,
-              progress: Optional[ProgressFn] = None) -> SweepResult:
-    """Run every (algorithm, x) point of a sweep at the given scale."""
+              progress: Optional[ProgressFn] = None,
+              jobs: int = 1,
+              executor: Optional[ParallelSweepExecutor] = None
+              ) -> SweepResult:
+    """Run every (algorithm, x, replication) task of a sweep.
+
+    ``jobs`` sets the fan-out degree (``executor`` injects a pre-built
+    :class:`ParallelSweepExecutor` instead).  All replications of all
+    points go into one task batch so the pool stays saturated across the
+    whole sweep; results are merged back in (algorithm, x, replication)
+    order, making every aggregate — and any CSV written from it —
+    bit-identical to a serial ``jobs=1`` run.
+    """
     xs = scale.select_points(sweep.x_values)
     result = SweepResult(sweep=sweep, scale=scale, seed=seed, x_values=xs)
+    if executor is None:
+        executor = ParallelSweepExecutor(jobs=jobs)
+
+    # One flat task list over the (algorithm, x, replication) cross
+    # product, plus the point metadata needed to merge and report.
+    tasks: list[RunTask] = []
+    task_points: list[tuple[Guarantee, int]] = []
+    point_params: dict[tuple[str, int], Any] = {}
     for algorithm in algorithms:
         for x in xs:
             params = sweep.params_for(x, algorithm, scale, seed=seed)
-            if progress is not None:
-                progress(f"  {sweep.key}: {algorithm} x={x} "
-                         f"({params.num_clients + params.extra_clients} "
-                         f"clients, {params.num_sec} secondaries)")
-            aggregated = run_replications(params)
-            result.points[(algorithm.value, x)] = aggregated
+            point_params[(algorithm.value, x)] = params
+            for rep in range(params.replications):
+                tasks.append(RunTask(params=params, seed=params.seed + rep))
+                task_points.append((algorithm, x))
+
+    reported: dict[tuple[str, int], int] = {}
+
+    def on_result(index: int, _run) -> None:
+        if progress is None:
+            return
+        algorithm, x = task_points[index]
+        params = point_params[(algorithm.value, x)]
+        done = reported.get((algorithm.value, x), 0) + 1
+        reported[(algorithm.value, x)] = done
+        progress(f"  {sweep.key}: {algorithm} x={x} "
+                 f"rep {done}/{params.replications} "
+                 f"({params.num_clients + params.extra_clients} "
+                 f"clients, {params.num_sec} secondaries)")
+
+    runs = executor.run_tasks(tasks, on_result=on_result)
+
+    for index, run in enumerate(runs):
+        algorithm, x = task_points[index]
+        key = (algorithm.value, x)
+        if key not in result.points:
+            result.points[key] = AggregatedResult(
+                params=point_params[key])
+        result.points[key].runs.append(run)
     return result
 
 

@@ -23,6 +23,12 @@ from repro.errors import DeadlockError, KernelError, ProcessKilled
 
 ProcessBody = Generator[Any, Any, Any]
 
+# Local aliases: event dispatch is the hottest loop in the repository
+# (every simulated operation passes through it several times), and
+# module-level lookups beat attribute traversal there.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class Process:
     """A cooperative process: a generator driven by the kernel.
@@ -229,6 +235,12 @@ class Kernel:
         self._next_pid: int = 0
         self._live_nondaemon: int = 0
         self._trace: Optional[Callable[[str], None]] = None
+        # Cache the bound resume/throw callbacks in the instance dict:
+        # every scheduled event closes over one of them, and looking the
+        # method up on the class would allocate a fresh bound method per
+        # event (tens of thousands per simulated minute).
+        self._resume = self._resume        # type: ignore[method-assign]
+        self._throw = self._throw          # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Public interface
@@ -278,21 +290,28 @@ class Kernel:
         When ``until`` is given, the clock is advanced exactly to ``until``
         even if the last event fires earlier.
         """
-        while self._heap:
-            when, _seq, fn, args = self._heap[0]
-            if until is not None and when > until:
-                break
-            heapq.heappop(self._heap)
-            self._now = when
-            fn(*args)
-        if until is not None and self._now < until:
-            self._now = until
+        heap = self._heap
+        pop = _heappop
+        if until is None:
+            while heap:
+                when, _seq, fn, args = pop(heap)
+                self._now = when
+                fn(*args)
+        else:
+            while heap:
+                if heap[0][0] > until:
+                    break
+                when, _seq, fn, args = pop(heap)
+                self._now = when
+                fn(*args)
+            if self._now < until:
+                self._now = until
 
     def step(self) -> bool:
         """Process exactly one event; False if the heap was empty."""
         if not self._heap:
             return False
-        when, _seq, fn, args = heapq.heappop(self._heap)
+        when, _seq, fn, args = _heappop(self._heap)
         self._now = when
         fn(*args)
         return True
@@ -305,12 +324,14 @@ class Kernel:
         DeadlockError
             If the event heap drains while ``process`` is still blocked.
         """
+        heap = self._heap
+        pop = _heappop
         while process.alive:
-            if not self._heap:
+            if not heap:
                 raise DeadlockError(
                     f"no runnable work left but {process!r} has not finished"
                 )
-            when, _seq, fn, args = heapq.heappop(self._heap)
+            when, _seq, fn, args = pop(heap)
             self._now = when
             fn(*args)
         if process.exception is not None:
@@ -341,27 +362,26 @@ class Kernel:
     # ------------------------------------------------------------------
     def _schedule(self, when: float, fn: Callable[..., None], *args: Any) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, fn, args))
+        _heappush(self._heap, (when, self._seq, fn, args))
 
     def _resume(self, process: Process, value: Any) -> None:
-        if not process.alive:
-            return
-        self._step(process, value, throw=False)
+        if process.alive:
+            self._step(process, value, False)
 
     def _throw(self, process: Process, exc: BaseException) -> None:
-        if not process.alive:
-            return
-        self._step(process, exc, throw=True)
+        if process.alive:
+            self._step(process, exc, True)
 
     def _step(self, process: Process, value: Any, throw: bool) -> None:
         process._blocked_on = None
         if self._trace is not None:  # pragma: no cover - tracing aid
             self._trace(f"[{self._now:.6f}] step {process.name}")
+        gen = process._gen
         try:
             if throw:
-                awaited = process._gen.throw(value)
+                awaited = gen.throw(value)
             else:
-                awaited = process._gen.send(value)
+                awaited = gen.send(value)
         except StopIteration as stop:
             self._finish(process, result=stop.value, exception=None)
             return

@@ -173,11 +173,13 @@ class Condition:
 
     def notify_all(self) -> None:
         """Wake every waiter whose predicate is now satisfied."""
+        if not self._waiters:           # common case: nobody is blocked
+            return
+        kernel = self.kernel
         still_waiting: list[tuple[Process, Callable[[], bool]]] = []
         for process, predicate in self._waiters:
             if predicate():
-                self.kernel._schedule(
-                    self.kernel.now, self.kernel._resume, process, None)
+                kernel._schedule(kernel.now, kernel._resume, process, None)
             else:
                 still_waiting.append((process, predicate))
         self._waiters = still_waiting

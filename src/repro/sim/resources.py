@@ -26,6 +26,10 @@ from typing import Optional
 from repro.errors import SimulationError
 from repro.kernel import Kernel, Process
 
+# Hot-path aliases: every job arrival/departure goes through the heap.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class _PSRequest:
     """Awaitable admission of one job into a PS server."""
@@ -102,14 +106,14 @@ class ProcessorSharingServer:
 
     def _admit(self, process: Process, demand: float) -> None:
         self._advance()
+        kernel = self.kernel
         if demand == 0:
-            self.kernel._schedule(self.kernel.now, self.kernel._resume,
-                                  process, None)
+            kernel._schedule(kernel.now, kernel._resume, process, None)
             return
         job_id = self._next_job_id
         self._next_job_id += 1
         self._jobs[job_id] = process
-        heapq.heappush(self._heap, (self._virtual + demand, job_id))
+        _heappush(self._heap, (self._virtual + demand, job_id))
         self._total_demand_served += demand
         self._reschedule()
 
@@ -125,30 +129,37 @@ class ProcessorSharingServer:
     def _reschedule(self) -> None:
         """Re-arm the next-completion event (token invalidates stale ones)."""
         self._completion_token += 1
-        while self._heap and self._heap[0][1] in self._evicted:
-            self._evicted.discard(heapq.heappop(self._heap)[1])
-        if not self._heap:
+        heap = self._heap
+        evicted = self._evicted
+        while heap and heap[0][1] in evicted:
+            evicted.discard(_heappop(heap)[1])
+        if not heap:
             return
-        target, _job = self._heap[0]
-        n = len(self._jobs)
-        eta = (target - self._virtual) * n / self.capacity
-        self.kernel.call_at(self.kernel.now + max(eta, 0.0),
-                            self._complete, self._completion_token)
+        eta = (heap[0][0] - self._virtual) * len(self._jobs) / self.capacity
+        if eta < 0.0:
+            eta = 0.0
+        kernel = self.kernel
+        # Direct _schedule: eta is clamped non-negative so call_at's
+        # past-time guard can never fire here.
+        kernel._schedule(kernel.now + eta, self._complete,
+                         self._completion_token)
 
     def _complete(self, token: int) -> None:
         if token != self._completion_token:
             return     # superseded by a later arrival/departure
         self._advance()
+        kernel = self.kernel
+        heap = self._heap
+        horizon = self._virtual + 1e-12
         # Complete every job whose target has been reached (ties possible).
-        while self._heap and self._heap[0][0] <= self._virtual + 1e-12:
-            _target, job_id = heapq.heappop(self._heap)
+        while heap and heap[0][0] <= horizon:
+            _target, job_id = _heappop(heap)
             if job_id in self._evicted:
                 self._evicted.discard(job_id)
                 continue
             process = self._jobs.pop(job_id)
             self.jobs_completed += 1
-            self.kernel._schedule(self.kernel.now, self.kernel._resume,
-                                  process, None)
+            kernel._schedule(kernel.now, kernel._resume, process, None)
         self._reschedule()
 
 

@@ -53,12 +53,16 @@ class SummaryStats:
         self.maximum = -math.inf
 
     def add(self, value: float) -> None:
-        self.n += 1
-        delta = value - self._mean
-        self._mean += delta / self.n
-        self._m2 += delta * (value - self._mean)
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
+        n = self.n = self.n + 1
+        mean = self._mean
+        delta = value - mean
+        mean += delta / n
+        self._mean = mean
+        self._m2 += delta * (value - mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
 
     def extend(self, values: Iterable[float]) -> None:
         for value in values:
@@ -139,10 +143,15 @@ class MetricsCollector:
     def record_completion(self, kind: str, submitted: float,
                           completed: float) -> None:
         """Record one finished transaction of class ``kind``."""
-        self.measured_until = max(self.measured_until, completed)
+        if completed > self.measured_until:
+            self.measured_until = completed
         if completed < self.warmup:
             return
-        metrics = self._classes.setdefault(kind, _ClassMetrics())
+        # .get + explicit insert rather than setdefault: setdefault would
+        # build (and discard) a _ClassMetrics on every completion.
+        metrics = self._classes.get(kind)
+        if metrics is None:
+            metrics = self._classes[kind] = _ClassMetrics()
         response = completed - submitted
         metrics.response_times.add(response)
         metrics.samples.append(response)

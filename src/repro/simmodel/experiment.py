@@ -113,10 +113,29 @@ class AggregatedResult:
 
 
 def run_replications(params: SimulationParameters,
-                     replications: Optional[int] = None) -> AggregatedResult:
-    """Run ``replications`` independent runs (seeds seed, seed+1, ...)."""
+                     replications: Optional[int] = None,
+                     *, jobs: int = 1,
+                     executor: Optional[object] = None) -> AggregatedResult:
+    """Run ``replications`` independent runs (seeds seed, seed+1, ...).
+
+    ``jobs > 1`` fans the runs out over a process pool via
+    :class:`repro.evaluation.parallel.ParallelSweepExecutor`
+    (``executor`` injects a pre-built one).  Each run is a pure function
+    of ``(params, seed)`` and results are merged in seed order, so the
+    aggregate is identical to a serial run.
+    """
     count = params.replications if replications is None else replications
     result = AggregatedResult(params=params)
-    for i in range(count):
-        result.runs.append(run_once(params, seed=params.seed + i))
+    if executor is None and jobs != 1:
+        # Imported lazily: repro.evaluation.parallel imports this module.
+        from repro.evaluation.parallel import ParallelSweepExecutor
+        executor = ParallelSweepExecutor(jobs=jobs)
+    if executor is None:
+        for i in range(count):
+            result.runs.append(run_once(params, seed=params.seed + i))
+        return result
+    from repro.evaluation.parallel import RunTask
+    tasks = [RunTask(params=params, seed=params.seed + i)
+             for i in range(count)]
+    result.runs.extend(executor.run_tasks(tasks))
     return result

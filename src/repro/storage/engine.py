@@ -113,27 +113,33 @@ class Transaction:
         ``default`` is given.
         """
         self._check_active()
-        self.db._check_up()
+        db = self.db
+        db._check_up()
         self._read_keys.append(key)
-        if key in self._writes:
-            value, deleted = self._writes[key]
+        recording = db.recorder is not None
+        own = self._writes.get(key)
+        if own is not None:
+            value, deleted = own
             if deleted:
                 if default is _RAISE:
                     raise KeyNotFound(key)
                 return default
-            self.db._record("read", self, key=key, value=value,
-                            producer=self.txn_id)
+            if recording:
+                db._record("read", self, key=key, value=value,
+                           producer=self.txn_id)
             return value
-        chain = self.db._chains.get(key)
+        chain = db._chains.get(key)
         version = None if chain is None else chain.visible_at(self.start_ts)
         if version is None or version.deleted:
             if default is _RAISE:
                 raise KeyNotFound(key)
-            self.db._record("read", self, key=key, value=default,
-                            producer=None)
+            if recording:
+                db._record("read", self, key=key, value=default,
+                           producer=None)
             return default
-        self.db._record("read", self, key=key, value=version.value,
-                        producer=version.txn_id)
+        if recording:
+            db._record("read", self, key=key, value=version.value,
+                       producer=version.txn_id)
         return version.value
 
     def exists(self, key: Any) -> bool:

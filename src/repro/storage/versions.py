@@ -70,7 +70,14 @@ class VersionChain:
 
         Returns None when the key had no committed version at that snapshot.
         """
-        idx = bisect_right(self._commit_tss, start_ts)
+        tss = self._commit_tss
+        # Fast path: reads of the newest committed state (the common case
+        # for strong-SI locals and refreshed secondaries) skip the bisect.
+        if not tss:
+            return None
+        if tss[-1] <= start_ts:
+            return self._versions[-1]
+        idx = bisect_right(tss, start_ts)
         if idx == 0:
             return None
         return self._versions[idx - 1]

@@ -1,0 +1,123 @@
+"""Parallel-vs-serial equivalence of the sweep executor.
+
+The determinism contract: ``run_once`` is a pure function of
+``(params, seed)`` and the executor merges results in task order, so a
+parallel run must be indistinguishable — down to the byte — from a
+serial one.
+"""
+
+import pytest
+
+from repro.core.guarantees import Guarantee
+from repro.evaluation.figures import ALGORITHMS, FigureSpec, Scale, SweepSpec
+from repro.evaluation.parallel import (
+    ParallelSweepExecutor,
+    RunTask,
+    default_jobs,
+)
+from repro.evaluation.runner import figure_series, run_sweep, write_csv
+from repro.simmodel.experiment import run_replications
+from repro.simmodel.params import SimulationParameters
+
+TINY_PARAMS = SimulationParameters(
+    duration=90.0, warmup=15.0, num_sec=2, clients_per_secondary=3,
+    replications=3, seed=7)
+
+TINY_SCALE = Scale("tiny", duration=90.0, warmup=15.0, replications=2,
+                   max_points=2)
+
+TINY_SWEEP = SweepSpec(key="tiny", mode="secondaries", x_values=(1, 2),
+                       update_tran_prob=0.2, clients_per_secondary=3)
+
+TINY_FIGURE = FigureSpec(figure="T", title="tiny", sweep=TINY_SWEEP,
+                         metric="throughput", y_label="tps",
+                         expectation="test only")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS,
+                         ids=[a.value for a in ALGORITHMS])
+def test_run_replications_parallel_matches_serial(algorithm):
+    params = TINY_PARAMS.with_(algorithm=algorithm)
+    serial = run_replications(params, jobs=1)
+    parallel = run_replications(params, jobs=4)
+    assert len(parallel.runs) == params.replications
+    assert parallel.runs == serial.runs
+    assert parallel.throughput == serial.throughput
+    assert parallel.read_response_time == serial.read_response_time
+
+
+def test_write_csv_byte_identical_across_jobs(tmp_path):
+    serial = run_sweep(TINY_SWEEP, TINY_SCALE, seed=7, jobs=1)
+    parallel = run_sweep(TINY_SWEEP, TINY_SCALE, seed=7, jobs=4)
+    serial_csv = tmp_path / "serial.csv"
+    parallel_csv = tmp_path / "parallel.csv"
+    write_csv(figure_series(TINY_FIGURE, serial), serial_csv)
+    write_csv(figure_series(TINY_FIGURE, parallel), parallel_csv)
+    assert serial_csv.read_bytes() == parallel_csv.read_bytes()
+
+
+def test_sweep_points_identical_across_jobs():
+    serial = run_sweep(TINY_SWEEP, TINY_SCALE, seed=7, jobs=1)
+    parallel = run_sweep(TINY_SWEEP, TINY_SCALE, seed=7, jobs=3)
+    assert serial.points.keys() == parallel.points.keys()
+    for key in serial.points:
+        assert serial.points[key].runs == parallel.points[key].runs
+
+
+def test_executor_returns_task_order():
+    executor = ParallelSweepExecutor(jobs=4)
+    tasks = [RunTask(params=TINY_PARAMS, seed=TINY_PARAMS.seed + i)
+             for i in range(4)]
+    results = executor.run_tasks(tasks)
+    assert [r.seed for r in results] == [7, 8, 9, 10]
+
+
+def test_executor_inline_fallback_when_pool_unavailable(monkeypatch):
+    import repro.evaluation.parallel as parallel_mod
+
+    def broken_pool(*args, **kwargs):
+        raise OSError("no sem_open in this sandbox")
+
+    monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", broken_pool)
+    executor = ParallelSweepExecutor(jobs=4)
+    tasks = [RunTask(params=TINY_PARAMS, seed=TINY_PARAMS.seed + i)
+             for i in range(2)]
+    results = executor.run_tasks(tasks)
+    assert [r.seed for r in results] == [7, 8]
+
+
+def test_progress_includes_replication_counts():
+    lines = []
+    run_sweep(TINY_SWEEP, TINY_SCALE, seed=7,
+              algorithms=[Guarantee.WEAK_SI], progress=lines.append)
+    # 2 points x 2 replications, one line each, counted up to the total.
+    assert len(lines) == 4
+    assert all("weak-si" in line for line in lines)
+    assert sum("rep 1/2" in line for line in lines) == 2
+    assert sum("rep 2/2" in line for line in lines) == 2
+
+
+def test_progress_emitted_from_parent_in_parallel_mode():
+    lines = []
+    run_sweep(TINY_SWEEP, TINY_SCALE, seed=7, jobs=4,
+              algorithms=[Guarantee.WEAK_SI], progress=lines.append)
+    # Completion order may vary, but every line is emitted in-process and
+    # the per-point counts must still add up.
+    assert len(lines) == 4
+    assert sum("rep 2/2" in line for line in lines) == 2
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1
+    assert ParallelSweepExecutor(jobs=0).jobs == 1
+    assert ParallelSweepExecutor(jobs=None).jobs == default_jobs()
+
+
+def test_cli_accepts_jobs_flag(capsys, tmp_path):
+    from repro.evaluation.__main__ import main
+    code = main(["--figure", "2", "--scale", "smoke", "--quiet",
+                 "--jobs", "2", "--out", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2 job(s)" in out
+    assert (tmp_path / "figure_2.csv").exists()
