@@ -2,16 +2,18 @@
 """Section 3.4 in action: secondary failure and recovery.
 
 A secondary crashes mid-stream, losing its update queue and refresh
-state.  Recovery reinstalls a quiesced copy of the primary, reinitialises
-seq(DBsec) (the Section 4 dummy-transaction trick), and replays the
-archived tail of commits through the ordinary refresh mechanism — after
-which session guarantees hold again as if nothing happened.
+state.  Sessions bound to it transparently *fail over* to a live replica
+(still honouring seq(c) <= seq(DBsec), so their guarantees survive the
+rebind).  Recovery reinstalls a quiesced copy of the primary,
+reinitialises seq(DBsec) (the Section 4 dummy-transaction trick), and
+replays the archived tail of commits through the ordinary refresh
+mechanism — after which the system is whole again.
 
 Run:  python examples/failure_recovery.py
 """
 
 from repro import Guarantee, ReplicatedSystem
-from repro.errors import SiteUnavailableError
+from repro.errors import SiteUnavailableError  # noqa: F401 (see step 2)
 
 
 def main() -> None:
@@ -23,12 +25,13 @@ def main() -> None:
     customer.write("cart", ["book-1"])
     print(f"   customer reads cart: {customer.read('cart')}")
 
-    print("\n2. secondary-1 crashes; its clients see failures")
+    print("\n2. secondary-1 crashes; its clients fail over to secondary-2")
     system.crash_secondary(0)
-    try:
-        customer.read("cart")
-    except SiteUnavailableError as exc:
-        print(f"   read failed: {exc}")
+    print(f"   customer reads cart: {customer.read('cart')} "
+          f"(failovers so far: {customer.failovers})")
+    print(f"   now served by: {customer.secondary.name}")
+    # Only when EVERY replica is down does a read surface
+    # SiteUnavailableError (or wait, if the session sets failover_wait).
 
     print("\n3. the rest of the system keeps running")
     writer.write("cart-2", ["book-7"])
@@ -50,7 +53,8 @@ def main() -> None:
           f"{system.secondaries[0].seq_db} "
           f"(primary at {system.primary.latest_commit_ts})")
 
-    print("\n5. the customer's session resumes with its guarantees intact")
+    print("\n5. the customer moves back, guarantees intact across the hop")
+    customer.move_to(0)
     print(f"   customer reads cart: {customer.read('cart')}")
     customer.write("cart", ["book-1", "book-9"])
     print(f"   ...updates it, and immediately reads it back: "

@@ -26,7 +26,7 @@ from repro.core.guarantees import Guarantee
 from repro.core.monitoring import (StalenessProbe, SystemStatus,
                                    aggregate_sessions, system_status)
 from repro.core.records import PropagatedAbort, PropagatedCommit, PropagatedStart
-from repro.core.propagation import Propagator
+from repro.core.propagation import Propagator, ReliableLink
 from repro.core.refresh import Refresher
 from repro.core.sessions import SequenceTracker
 from repro.core.site import PrimarySite, SecondarySite
@@ -42,6 +42,7 @@ __all__ = [
     "PropagatedCommit",
     "PropagatedAbort",
     "Propagator",
+    "ReliableLink",
     "Refresher",
     "SequenceTracker",
     "PrimarySite",

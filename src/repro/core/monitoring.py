@@ -33,6 +33,23 @@ class SiteStatus:
     refreshes_applied: Optional[int]
     peak_applicators: Optional[int]
     stored_versions: int
+    # -- fault & recovery counters (zero on a healthy, fault-free run) ----
+    crash_count: int = 0
+    recover_count: int = 0          # restarts, for the primary
+    channel_dropped: int = 0        # messages lost on this site's link
+    channel_duplicated: int = 0
+    retransmissions: int = 0
+    duplicates_filtered: int = 0
+    stale_refreshes_dropped: int = 0
+    mean_catch_up_time: Optional[float] = None   # recovery -> caught up
+
+    @property
+    def fault_activity(self) -> bool:
+        """True if any fault machinery fired at this site."""
+        return bool(self.crash_count or self.recover_count
+                    or self.channel_dropped or self.channel_duplicated
+                    or self.retransmissions or self.duplicates_filtered
+                    or self.stale_refreshes_dropped)
 
 
 @dataclass(frozen=True)
@@ -66,6 +83,24 @@ class SystemStatus:
                 f"  {site.name:<14}{state:<8}{site.commits:>8}"
                 f"{site.aborts:>7}{seq:>11}{lag:>5}{queued:>7}"
                 f"{pending:>8}{site.stored_versions:>9}")
+        # Fault machinery lines, only for sites where something fired, so
+        # a fault-free report stays byte-identical to the classic format.
+        for site in (self.primary,) + self.secondaries:
+            if not site.fault_activity:
+                continue
+            parts = [f"crashes={site.crash_count}",
+                     f"recoveries={site.recover_count}"]
+            if site.channel_dropped or site.retransmissions:
+                parts.append(f"link dropped={site.channel_dropped} "
+                             f"dup={site.channel_duplicated} "
+                             f"retx={site.retransmissions} "
+                             f"dup-filtered={site.duplicates_filtered}")
+            if site.stale_refreshes_dropped:
+                parts.append(f"stale-refreshes={site.stale_refreshes_dropped}")
+            if site.mean_catch_up_time is not None:
+                parts.append(f"catch-up={site.mean_catch_up_time:.2f}s")
+            lines.append(f"  {site.name + ' faults:':<22}"
+                         + "  ".join(parts))
         return "\n".join(lines)
 
 
@@ -84,6 +119,8 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
         refreshes_applied=None,
         peak_applicators=None,
         stored_versions=system.primary.engine.version_count,
+        crash_count=system.primary.crash_count,
+        recover_count=system.primary.restart_count,
     )
     secondaries = []
     max_lag = 0
@@ -92,6 +129,18 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
         if not secondary.engine.crashed:
             lag = primary_ts - secondary.seq_db
             max_lag = max(max_lag, lag)
+        link = system.propagator.link_for(secondary)
+        dropped = duplicated = retransmissions = filtered = 0
+        if link is not None:
+            dropped = link.data_channel.dropped + link.ack_channel.dropped
+            duplicated = (link.data_channel.duplicated
+                          + link.ack_channel.duplicated)
+            retransmissions = link.retransmissions
+            filtered = link.duplicates_filtered
+        catch_up = None
+        if secondary.catch_up_times:
+            catch_up = (sum(secondary.catch_up_times)
+                        / len(secondary.catch_up_times))
         secondaries.append(SiteStatus(
             name=secondary.name,
             crashed=secondary.engine.crashed,
@@ -105,6 +154,15 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
             peak_applicators=secondary.refresher
             .max_concurrent_applicators,
             stored_versions=secondary.engine.version_count,
+            crash_count=secondary.crash_count,
+            recover_count=secondary.recover_count,
+            channel_dropped=dropped,
+            channel_duplicated=duplicated,
+            retransmissions=retransmissions,
+            duplicates_filtered=filtered,
+            stale_refreshes_dropped=secondary.refresher
+            .stale_records_dropped,
+            mean_catch_up_time=catch_up,
         ))
     return SystemStatus(now=system.kernel.now,
                         primary_commit_ts=primary_ts,
@@ -124,6 +182,7 @@ class SessionStats:
     total_read_wait: float = 0.0
     fcw_retries: int = 0
     freshness_timeouts: int = 0
+    failovers: int = 0
 
     @property
     def blocked_fraction(self) -> float:
@@ -146,6 +205,7 @@ def aggregate_sessions(sessions: list["ClientSession"]) -> SessionStats:
         stats.total_read_wait += session.total_read_wait
         stats.fcw_retries += session.fcw_retries
         stats.freshness_timeouts += session.freshness_timeouts
+        stats.failovers += session.failovers
     return stats
 
 

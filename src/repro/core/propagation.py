@@ -18,13 +18,28 @@ after ``batch_interval`` of virtual time, emulating the periodic
 propagation cycle of the paper's simulation model (a 10 s propagator
 "think time").  Records within a batch preserve log order, and batches are
 FIFO, so the ordering lemmas are unaffected.
+
+Reliable delivery over lossy links
+----------------------------------
+The paper *assumes* reliable FIFO delivery from the propagator to every
+secondary (the premise of Theorems 3.1-4.1).  When a secondary is
+attached through a :class:`ReliableLink`, that assumption is *restored*
+over an unreliable channel instead: every record is stamped with a
+per-link sequence number, the receiver delivers records to the site's
+update queue strictly in sequence order (buffering early arrivals,
+discarding duplicates), acknowledges cumulatively, and the sender
+retransmits unacknowledged records on a timeout with exponential
+backoff.  Without a link (the default), records go straight to
+``endpoint.deliver_later`` exactly as before — the fault machinery adds
+zero behaviour when disabled.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import Any, Optional, Protocol
 
 from repro.errors import ReplicationError
+from repro.faults.channel import NO_FAULTS, ChannelFaults, FaultyChannel
 from repro.core.records import (
     PropagatedAbort,
     PropagatedCommit,
@@ -49,6 +64,167 @@ class PropagationEndpoint(Protocol):
 
     def deliver_later(self, record: PropagationRecord, delay: float) -> None:
         """Schedule delivery of ``record`` after ``delay`` virtual time."""
+
+
+class ReliableLink:
+    """In-order exactly-once delivery to one secondary over lossy channels.
+
+    Sender and receiver state live in one object because both ends run in
+    the same process; the *channels* between them are where faults happen.
+
+    Sender side: records are numbered 0, 1, 2, ... per link epoch, kept in
+    an unacked buffer, and (re)transmitted through ``data`` faults.  A
+    one-shot retransmission timer fires after ``timeout`` (doubling per
+    consecutive expiry up to ``max_timeout``, resetting on ack progress)
+    and resends every unacked record in sequence order.
+
+    Receiver side: a record arriving with the expected sequence number is
+    handed to ``site.receive`` (and any directly-following buffered
+    records with it); early arrivals are buffered; duplicates and
+    stale-epoch deliveries are counted and discarded.  Every data arrival
+    triggers a cumulative ack of the highest in-order sequence delivered,
+    sent back through ``ack`` faults.
+
+    ``resync()`` models the connection handshake after a secondary
+    recovers: both ends restart at sequence 0 under a new epoch, and the
+    unacked buffer is discarded (the recovery state transfer of Section
+    3.4 covers everything the link had outstanding).
+    """
+
+    def __init__(self, kernel, site, *,
+                 faults: ChannelFaults = NO_FAULTS,
+                 ack_faults: Optional[ChannelFaults] = None,
+                 rng: Any = None,
+                 ack_rng: Any = None,
+                 ack_delay: float = 0.0,
+                 timeout: float = 2.0,
+                 backoff: float = 2.0,
+                 max_timeout: float = 30.0):
+        if timeout <= 0:
+            raise ReplicationError("retransmission timeout must be > 0")
+        if backoff < 1.0:
+            raise ReplicationError("retransmission backoff must be >= 1")
+        self.kernel = kernel
+        self.site = site
+        self.ack_delay = ack_delay
+        self.timeout = timeout
+        self.backoff = backoff
+        self.max_timeout = max_timeout
+        self.data_channel = FaultyChannel(
+            kernel, self._on_data, faults=faults, rng=rng,
+            name=f"{site.name}-data")
+        self.ack_channel = FaultyChannel(
+            kernel, self._on_ack,
+            faults=ack_faults if ack_faults is not None else NO_FAULTS,
+            rng=ack_rng, name=f"{site.name}-ack")
+        self._epoch = 0
+        # Sender state.
+        self._next_seq = 0
+        self._unacked: dict[int, tuple[PropagationRecord, float]] = {}
+        self._timer_armed = False
+        self._consecutive_timeouts = 0
+        # Receiver state.
+        self._expected = 0
+        self._early: dict[int, PropagationRecord] = {}
+        # Counters.
+        self.retransmissions = 0
+        self.duplicates_filtered = 0
+        self.stale_epoch_drops = 0
+        self.acks_received = 0
+
+    # -- sender ------------------------------------------------------------
+    def send(self, record: PropagationRecord, delay: float) -> None:
+        """Transmit ``record``; it is buffered until acknowledged."""
+        seq = self._next_seq
+        self._next_seq += 1
+        self._unacked[seq] = (record, delay)
+        self.data_channel.send((self._epoch, seq, record), delay)
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        if self._timer_armed:
+            return
+        self._timer_armed = True
+        wait = min(self.timeout * (self.backoff ** self._consecutive_timeouts),
+                   self.max_timeout)
+        self.kernel.call_at(self.kernel.now + wait, self._on_timer)
+
+    def _on_timer(self) -> None:
+        self._timer_armed = False
+        if not self._unacked:
+            return
+        if getattr(self.site, "crashed", False):
+            # Failure detection: stop retransmitting into a dead site; the
+            # recovery path resyncs the link and clears the buffer.
+            return
+        for seq in sorted(self._unacked):
+            record, delay = self._unacked[seq]
+            self.data_channel.send((self._epoch, seq, record), delay)
+            self.retransmissions += 1
+        self._consecutive_timeouts += 1
+        self._arm_timer()
+
+    def _on_ack(self, payload: tuple[int, int]) -> None:
+        epoch, acked = payload
+        if epoch != self._epoch:
+            self.stale_epoch_drops += 1
+            return
+        self.acks_received += 1
+        progressed = False
+        for seq in [s for s in self._unacked if s <= acked]:
+            del self._unacked[seq]
+            progressed = True
+        if progressed:
+            self._consecutive_timeouts = 0
+
+    # -- receiver ----------------------------------------------------------
+    def _on_data(self, payload: tuple[int, int, PropagationRecord]) -> None:
+        epoch, seq, record = payload
+        if epoch != self._epoch:
+            self.stale_epoch_drops += 1
+            return
+        if getattr(self.site, "crashed", False):
+            # The receiving site is down: the record is lost with it (no
+            # ack), exactly as if the site's NIC were unplugged.
+            self.site.records_dropped += 1
+            return
+        if seq < self._expected:
+            self.duplicates_filtered += 1
+        elif seq > self._expected:
+            if seq in self._early:
+                self.duplicates_filtered += 1
+            else:
+                self._early[seq] = record
+        else:
+            self.site.receive(record)
+            self._expected += 1
+            while self._expected in self._early:
+                self.site.receive(self._early.pop(self._expected))
+                self._expected += 1
+        self.ack_channel.send((self._epoch, self._expected - 1),
+                              self.ack_delay)
+
+    # -- lifecycle ----------------------------------------------------------
+    def resync(self) -> None:
+        """Restart the link (post-recovery handshake): fresh epoch, both
+        sequence counters back to 0, outstanding state discarded."""
+        self._epoch += 1
+        self._next_seq = 0
+        self._unacked.clear()
+        self._consecutive_timeouts = 0
+        self._expected = 0
+        self._early.clear()
+
+    @property
+    def settled(self) -> bool:
+        """True when nothing is buffered or in flight on this link."""
+        return (not self._unacked and not self._early
+                and self.data_channel.in_flight == 0
+                and self.ack_channel.in_flight == 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ReliableLink to {self.site.name!r} epoch={self._epoch} "
+                f"unacked={len(self._unacked)} retx={self.retransmissions}>")
 
 
 class Propagator:
@@ -81,6 +257,7 @@ class Propagator:
         self.batch_interval = batch_interval
         self.name = name
         self._endpoints: list[PropagationEndpoint] = []
+        self._links: dict[str, ReliableLink] = {}
         self._update_lists: dict[int, list] = {}
         self._start_ts: dict[int, int] = {}
         self._logical_ids: dict[int, str] = {}
@@ -94,16 +271,42 @@ class Propagator:
         log.subscribe(self._on_log_record)
 
     # -- membership -------------------------------------------------------
-    def attach(self, endpoint: PropagationEndpoint) -> None:
-        """Start broadcasting to ``endpoint`` (a secondary site)."""
+    def attach(self, endpoint: PropagationEndpoint,
+               link: Optional[ReliableLink] = None) -> None:
+        """Start broadcasting to ``endpoint`` (a secondary site).
+
+        With a :class:`ReliableLink`, records are routed through the
+        link's sequenced ack/retransmission protocol (surviving channel
+        faults); without one they are handed to ``deliver_later``
+        directly, exactly as before.
+        """
         self._endpoints.append(endpoint)
+        if link is not None:
+            self._links[endpoint.name] = link
 
     def detach(self, endpoint: PropagationEndpoint) -> None:
         self._endpoints.remove(endpoint)
+        self._links.pop(endpoint.name, None)
+
+    def link_for(self, endpoint: PropagationEndpoint
+                 ) -> Optional[ReliableLink]:
+        """The :class:`ReliableLink` to ``endpoint``, if one is attached."""
+        return self._links.get(endpoint.name)
 
     @property
     def endpoints(self) -> list[PropagationEndpoint]:
         return list(self._endpoints)
+
+    @property
+    def idle(self) -> bool:
+        """True when no record is buffered here or outstanding on a link
+        to a live secondary (crashed sites' links settle at resync)."""
+        if self._outbox or self._flush_scheduled:
+            return False
+        for link in self._links.values():
+            if not getattr(link.site, "crashed", False) and not link.settled:
+                return False
+        return True
 
     # -- flow control (failure injection / staleness experiments) ---------
     def pause(self) -> None:
@@ -160,9 +363,14 @@ class Propagator:
 
     def _flush(self) -> None:
         outbox, self._outbox = self._outbox, []
+        links = self._links
         for record in outbox:
             for endpoint in self._endpoints:
-                endpoint.deliver_later(record, self.delay)
+                link = links.get(endpoint.name) if links else None
+                if link is not None:
+                    link.send(record, self.delay)
+                else:
+                    endpoint.deliver_later(record, self.delay)
             self.records_sent += 1
 
     # -- recovery support (Section 3.4) -------------------------------------
@@ -174,6 +382,12 @@ class Propagator:
         immediately by its commit record, so the recovering secondary
         installs the missing tail serially through the ordinary refresh
         mechanism.  Returns the number of transactions replayed.
+
+        Replay deliberately bypasses any :class:`ReliableLink`: recovery
+        is a state transfer over a fresh connection, not regular
+        propagation traffic, so it is not subject to channel faults
+        (resync the link first — see
+        :meth:`~repro.core.system.ReplicatedSystem.recover_secondary`).
         """
         replayed = 0
         for commit in self.archive:

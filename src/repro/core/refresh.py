@@ -55,7 +55,12 @@ class Refresher:
         self.pending_cond = Condition(kernel, name=f"{site.name}-pending")
         self._refresh_txns: dict[int, object] = {}
         self._applicators: list[Process] = []
+        #: Newest primary commit_ts accepted into the pending queue.
+        #: Together with ``seq(DBsec)`` this is the replay high-water
+        #: mark: commit records at or below it are redeliveries.
+        self._max_enqueued_ts = 0
         self.refreshes_applied = 0
+        self.stale_records_dropped = 0
         self.max_concurrent_applicators = 0
         self.process: Optional[Process] = None
         self.start()
@@ -75,6 +80,7 @@ class Refresher:
         self._applicators.clear()
         self.pending.clear()
         self._refresh_txns.clear()
+        self._max_enqueued_ts = 0
 
     @property
     def idle(self) -> bool:
@@ -87,10 +93,31 @@ class Refresher:
         while True:
             record = yield self.site.update_queue.get()
             if isinstance(record, PropagatedStart):
+                if record.txn_id in self._refresh_txns:
+                    # Redelivered start (recovery replay overlapping the
+                    # propagator's own resumed stream); already begun.
+                    self.stale_records_dropped += 1
+                    self.site.record_handled()
+                    continue
                 yield self.pending_cond.wait_for(lambda: not self.pending)
                 self._begin_refresh(record.txn_id, record.start_ts)
                 self.site.record_handled()
             elif isinstance(record, PropagatedCommit):
+                if record.commit_ts <= max(self.site.seq_db,
+                                           self._max_enqueued_ts):
+                    # Replay high-water mark: this commit is already in
+                    # the database (contained in a recovery copy, or
+                    # redelivered behind its twin).  Applying it again
+                    # would shift the local state numbering off the
+                    # primary's, so discard it — and the refresh
+                    # transaction a redelivered start may have opened.
+                    txn = self._refresh_txns.pop(record.txn_id, None)
+                    if txn is not None:
+                        txn.abort("stale refresh redelivery")
+                    self.stale_records_dropped += 1
+                    self.site.record_handled()
+                    continue
+                self._max_enqueued_ts = record.commit_ts
                 if record.txn_id not in self._refresh_txns:
                     # Late join after recovery: the start record was lost
                     # with the old epoch.  Serialise this transaction.

@@ -28,6 +28,8 @@ class PrimarySite:
         self.log = LogicalLog(name=f"{name}-log")
         self.engine = SIDatabase(name=name, log=self.log, recorder=recorder,
                                  clock=lambda: kernel.now)
+        self.crash_count = 0
+        self.restart_count = 0
 
     def begin_update(self, metadata: Optional[dict] = None) -> Transaction:
         """Start a forwarded update transaction under local strong SI."""
@@ -37,11 +39,46 @@ class PrimarySite:
     def latest_commit_ts(self) -> int:
         return self.engine.latest_commit_ts
 
+    @property
+    def crashed(self) -> bool:
+        return self.engine.crashed
+
     def quiesced_copy(self) -> tuple[dict, int]:
         """A transaction-consistent copy of the latest committed state
         plus its commit timestamp (Section 3.4's recovery source)."""
         ts = self.engine.latest_commit_ts
         return self.engine.state_at(ts), ts
+
+    # -- failure & recovery --------------------------------------------------
+    def crash(self) -> None:
+        """Fail the primary: in-flight update transactions abort.
+
+        The aborts are written to the logical log *before* the engine
+        goes down (a real DBMS resolves in-doubt transactions as aborted
+        during restart and its replication agent ships the outcome), so
+        secondaries that already received the transactions' start records
+        discard the corresponding refresh transactions instead of holding
+        them open forever.
+        """
+        if not self.engine.crashed:
+            self.crash_count += 1
+        for txn in self.engine.active_transactions:
+            txn.abort("primary crash")
+        self.engine.crash()
+
+    def restart(self) -> int:
+        """Recover the primary by replaying its write-ahead (logical) log.
+
+        In-memory multiversion state is discarded and rebuilt from the
+        durable log: committed transactions are reinstalled at their
+        original commit timestamps, uncommitted and aborted ones are
+        discarded.  Returns the commit timestamp recovered to, which
+        always equals the pre-crash committed state (Section 3.4 takes
+        this recoverability for granted; here it is exercised).
+        """
+        recovered_ts = self.engine.restart_from_wal()
+        self.restart_count += 1
+        return recovered_ts
 
 
 class SecondarySite:
@@ -51,6 +88,7 @@ class SecondarySite:
                  serial_refresh: bool = False):
         self.kernel = kernel
         self.name = name
+        self.recorder = recorder
         self.engine = SIDatabase(name=name, log=None, recorder=recorder,
                                  clock=lambda: kernel.now)
         self.update_queue = Queue(kernel, name=f"{name}-update-queue")
@@ -68,6 +106,17 @@ class SecondarySite:
         #: Records delivered but not yet fully handled by the refresher
         #: (covers the direct queue->getter handoff window).
         self.records_unprocessed = 0
+        self.crash_count = 0
+        self.recover_count = 0
+        #: Durations from each recovery until seq(DBsec) reached the
+        #: primary commit timestamp current at recovery time.
+        self.catch_up_times: list[float] = []
+        self._recovered_at: Optional[float] = None
+        self._catch_up_target: Optional[int] = None
+
+    @property
+    def crashed(self) -> bool:
+        return self.engine.crashed
 
     # -- propagation endpoint ----------------------------------------------
     def deliver_later(self, record: PropagationRecord, delay: float) -> None:
@@ -85,6 +134,19 @@ class SecondarySite:
         self.records_unprocessed += 1
         self.update_queue.put(record)
 
+    def receive(self, record: PropagationRecord) -> bool:
+        """Accept an already-arrived record (the :class:`ReliableLink`
+        receiver hands over records here after sequencing/dedup).
+
+        Returns False (dropping the record) if the site is down.
+        """
+        if self.engine.crashed:
+            self.records_dropped += 1
+            return False
+        self.records_unprocessed += 1
+        self.update_queue.put(record)
+        return True
+
     def record_handled(self) -> None:
         """Refresher callback: one delivered record fully processed.
 
@@ -99,6 +161,11 @@ class SecondarySite:
         """Advance seq(DBsec) and wake blocked read-only transactions."""
         if commit_ts > self.seq_db:
             self.seq_db = commit_ts
+            if self._catch_up_target is not None \
+                    and commit_ts >= self._catch_up_target:
+                self.catch_up_times.append(
+                    self.kernel.now - self._recovered_at)
+                self._catch_up_target = None
             self.seq_cond.notify_all()
 
     def begin_read_only(self, metadata: Optional[dict] = None) -> Transaction:
@@ -108,11 +175,18 @@ class SecondarySite:
     # -- failure & recovery (Section 3.4) -------------------------------------
     def crash(self) -> None:
         """Fail the site: lose queued updates and all refresh state."""
+        if not self.engine.crashed:
+            self.crash_count += 1
         self.epoch += 1
         self.refresher.stop()
         self.update_queue.drain()
         self.records_unprocessed = 0
+        self._catch_up_target = None
         self.engine.crash()
+        # Blocked freshness waits re-evaluate their predicates (which also
+        # test ``crashed``) so client sessions can fail over immediately
+        # instead of sleeping on a dead replica forever.
+        self.seq_cond.notify_all()
 
     def recover(self, source_state: dict, source_commit_ts: int) -> None:
         """Reinstall a quiesced primary copy and restart refresh machinery.
@@ -122,9 +196,23 @@ class SecondarySite:
         the primary.
         """
         self.engine.recover_from(source_state, source_commit_ts)
+        if self.recorder is not None:
+            self.recorder.record_recovery(self.name, self.kernel.now,
+                                          source_state, source_commit_ts)
         self.seq_db = source_commit_ts
+        self.recover_count += 1
+        self._recovered_at = self.kernel.now
         self.refresher.start()
         self.seq_cond.notify_all()
+
+    def track_catch_up(self, target_seq: int) -> None:
+        """Arm catch-up timing: record how long after recovery it takes
+        ``seq(DBsec)`` to reach ``target_seq`` (monitoring satellite)."""
+        if self.seq_db >= target_seq:
+            self.catch_up_times.append(self.kernel.now - self._recovered_at)
+            self._catch_up_target = None
+        else:
+            self._catch_up_target = target_seq
 
     @property
     def lag(self) -> int:

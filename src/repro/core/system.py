@@ -29,17 +29,21 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.core.guarantees import Guarantee
-from repro.core.propagation import Propagator
+from repro.core.propagation import Propagator, ReliableLink
 from repro.core.sessions import SequenceTracker
 from repro.core.site import PrimarySite, SecondarySite
 from repro.errors import (
     ConfigurationError,
     FirstCommitterWinsError,
     FreshnessTimeoutError,
+    NoLiveSecondariesError,
     ReplicationError,
     SessionClosedError,
+    SiteUnavailableError,
 )
+from repro.faults.channel import ChannelFaults
 from repro.kernel import Kernel
+from repro.sim.rng import RandomStreams
 from repro.storage.engine import Transaction
 from repro.txn.history import HistoryRecorder
 from repro.txn.ids import IdAllocator
@@ -57,7 +61,8 @@ class ClientSession:
 
     def __init__(self, system: "ReplicatedSystem", label: str,
                  guarantee: Guarantee, secondary: SecondarySite,
-                 freshness_bound: Optional[int] = None):
+                 freshness_bound: Optional[int] = None,
+                 failover_wait: float = 0.0):
         self.system = system
         self.label = label
         self.guarantee = guarantee
@@ -66,6 +71,11 @@ class ClientSession:
         #: than k commits behind the primary (an extension beyond the
         #: paper; k=0 degenerates to strong SI, k=inf to the base rule).
         self.freshness_bound = freshness_bound
+        #: How long (virtual time) a read may wait for *some* replica to
+        #: come back when every secondary is down, before surfacing
+        #: :class:`~repro.errors.SiteUnavailableError`.  Failover to an
+        #: already-live replica never waits.
+        self.failover_wait = failover_wait
         self.closed = False
         self.updates_committed = 0
         self.reads_executed = 0
@@ -73,6 +83,7 @@ class ClientSession:
         self.blocked_reads = 0
         self.total_read_wait = 0.0
         self.freshness_timeouts = 0
+        self.failovers = 0
         #: Freshest seq(DBsec) this session has observed through a read —
         #: the state strong session SI orders later reads after.  PCSI
         #: deliberately ignores it (Section 7's distinction).
@@ -217,38 +228,77 @@ class ClientSession:
     def _read_process(self, work: TransactionBody, required: int,
                       max_wait: Optional[float], on_timeout: str):
         from repro.kernel import Timeout, TimeoutExpired
-        secondary = self.secondary
-        if required > secondary.seq_db:
-            self.blocked_reads += 1
-            started = self.system.kernel.now
-            wait = secondary.seq_cond.wait_for(
-                lambda: secondary.seq_db >= required)
-            if max_wait is None:
-                yield wait
-            else:
-                try:
-                    yield Timeout(wait, max_wait)
-                except TimeoutExpired:
-                    self.freshness_timeouts += 1
-                    if on_timeout == "error":
-                        self.total_read_wait += (
-                            self.system.kernel.now - started)
-                        raise FreshnessTimeoutError(
-                            f"replica {secondary.name} not at sequence "
-                            f"{required} within {max_wait}s "
-                            f"(seq(DBsec)={secondary.seq_db})")
-                    # 'stale': fall through and read what is there now.
-            self.total_read_wait += self.system.kernel.now - started
-        txn = secondary.begin_read_only(metadata={
-            "logical_id": self.system._txn_ids.next(),
-            "session": self.label,
-        })
-        self.last_observed_seq = max(self.last_observed_seq,
-                                     secondary.seq_db)
-        result = work(txn)
-        txn.commit()
-        self.reads_executed += 1
-        return result
+        while True:
+            secondary = self.secondary
+            if secondary.crashed:
+                # Client-session failover: retry on a live replica; the
+                # seq(c) <= seq(DBsec) blocking rule still applies below,
+                # so session guarantees survive the rebind.
+                secondary = yield from self._failover(required)
+            if required > secondary.seq_db:
+                self.blocked_reads += 1
+                started = self.system.kernel.now
+                wait = secondary.seq_cond.wait_for(
+                    lambda: secondary.seq_db >= required
+                    or secondary.crashed)
+                if max_wait is None:
+                    yield wait
+                else:
+                    try:
+                        yield Timeout(wait, max_wait)
+                    except TimeoutExpired:
+                        self.freshness_timeouts += 1
+                        if on_timeout == "error":
+                            self.total_read_wait += (
+                                self.system.kernel.now - started)
+                            raise FreshnessTimeoutError(
+                                f"replica {secondary.name} not at sequence "
+                                f"{required} within {max_wait}s "
+                                f"(seq(DBsec)={secondary.seq_db})")
+                        # 'stale': fall through and read what is there now.
+                self.total_read_wait += self.system.kernel.now - started
+                if secondary.crashed:
+                    continue   # replica died mid-wait: fail over and retry
+            txn = secondary.begin_read_only(metadata={
+                "logical_id": self.system._txn_ids.next(),
+                "session": self.label,
+            })
+            self.last_observed_seq = max(self.last_observed_seq,
+                                         secondary.seq_db)
+            result = work(txn)
+            txn.commit()
+            self.reads_executed += 1
+            return result
+
+    def _failover(self, required: int, backoff: float = 0.25):
+        """Rebind this session to a live replica (kernel sub-process).
+
+        Prefers a live replica already at ``required`` (the read can run
+        immediately); otherwise takes the freshest live one and lets the
+        ordinary freshness wait bring it up to ``seq(c)``.  While *no*
+        replica is live, retries with exponential backoff for up to
+        ``failover_wait`` virtual time, then raises
+        :class:`~repro.errors.SiteUnavailableError`.
+        """
+        system = self.system
+        kernel = system.kernel
+        deadline = kernel.now + self.failover_wait
+        while True:
+            live = [s for s in system.secondaries if not s.crashed]
+            if live:
+                fresh = [s for s in live if s.seq_db >= required]
+                pool = fresh or live
+                target = max(pool, key=lambda s: s.seq_db)
+                self.failovers += 1
+                self.secondary = target
+                return target
+            if kernel.now >= deadline:
+                raise SiteUnavailableError(
+                    f"session {self.label}: every secondary is down and "
+                    f"none recovered within the failover wait budget "
+                    f"({self.failover_wait}s)")
+            yield kernel.sleep(min(backoff, deadline - kernel.now))
+            backoff = min(backoff * 2, 8.0)
 
     def move_to(self, secondary_index: int) -> None:
         """Rebind this session to another secondary (e.g. fail-over).
@@ -334,6 +384,24 @@ class ReplicatedSystem:
     serial_refresh:
         Apply refresh transactions serially instead of concurrently
         (the ablation baseline; default off).
+    channel_faults:
+        Optional :class:`~repro.faults.channel.ChannelFaults` injected on
+        every propagator->secondary data channel.  Setting this (or
+        ``ack_faults``) routes propagation through per-secondary
+        :class:`~repro.core.propagation.ReliableLink` instances whose
+        sequence-numbered ack/retransmission protocol restores in-order
+        exactly-once delivery over the lossy channel.  When both are
+        ``None`` (the default) propagation is direct and bit-identical
+        to the fault-free system.
+    ack_faults:
+        Faults for the secondary->propagator ack channels (defaults to
+        ``channel_faults`` when links are enabled).
+    fault_seed:
+        Master seed for all channel fault streams; every chaos run is a
+        deterministic function of (workload, fault plan, this seed).
+    retransmit_timeout:
+        Base retransmission timeout for reliable links (default: four
+        propagation delays, floored at 1.0 virtual seconds).
     """
 
     def __init__(self, num_secondaries: int = 1, *,
@@ -341,7 +409,11 @@ class ReplicatedSystem:
                  batch_interval: Optional[float] = None,
                  record_history: bool = True,
                  serial_refresh: bool = False,
-                 kernel: Optional[Kernel] = None):
+                 kernel: Optional[Kernel] = None,
+                 channel_faults: Optional[ChannelFaults] = None,
+                 ack_faults: Optional[ChannelFaults] = None,
+                 fault_seed: int = 0,
+                 retransmit_timeout: Optional[float] = None):
         if num_secondaries < 1:
             raise ConfigurationError("need at least one secondary site")
         self.kernel = kernel or Kernel()
@@ -357,8 +429,25 @@ class ReplicatedSystem:
         self.propagator = Propagator(self.kernel, self.primary.log,
                                      delay=propagation_delay,
                                      batch_interval=batch_interval)
-        for secondary in self.secondaries:
-            self.propagator.attach(secondary)
+        use_links = channel_faults is not None or ack_faults is not None
+        if use_links:
+            data_faults = channel_faults or ChannelFaults()
+            returns_faults = ack_faults if ack_faults is not None \
+                else data_faults
+            streams = RandomStreams(fault_seed)
+            timeout = retransmit_timeout if retransmit_timeout is not None \
+                else max(1.0, 4.0 * propagation_delay)
+            for secondary in self.secondaries:
+                link = ReliableLink(
+                    self.kernel, secondary,
+                    faults=data_faults, ack_faults=returns_faults,
+                    rng=streams[f"channel.{secondary.name}.data"],
+                    ack_rng=streams[f"channel.{secondary.name}.ack"],
+                    ack_delay=propagation_delay, timeout=timeout)
+                self.propagator.attach(secondary, link=link)
+        else:
+            for secondary in self.secondaries:
+                self.propagator.attach(secondary)
         self.tracker = SequenceTracker()
         self._session_ids = IdAllocator("session")
         self._txn_ids = IdAllocator("txn")
@@ -367,14 +456,20 @@ class ReplicatedSystem:
     # -- sessions -------------------------------------------------------------
     def session(self, guarantee: Guarantee = Guarantee.STRONG_SESSION_SI,
                 secondary: Optional[int] = None,
-                freshness_bound: Optional[int] = None) -> ClientSession:
+                freshness_bound: Optional[int] = None,
+                failover_wait: float = 0.0) -> ClientSession:
         """Open a client session bound to a secondary (round-robin default).
 
         ``freshness_bound`` optionally caps staleness: every read waits
         until its replica is within that many commits of the primary.
+        ``failover_wait`` bounds how long a read waits for *any* replica
+        to come back when every secondary is crashed (failover to an
+        already-live replica is immediate regardless).
         """
         if freshness_bound is not None and freshness_bound < 0:
             raise ConfigurationError("freshness_bound must be >= 0")
+        if failover_wait < 0:
+            raise ConfigurationError("failover_wait must be >= 0")
         if secondary is None:
             index = self._next_secondary
             self._next_secondary = (index + 1) % len(self.secondaries)
@@ -382,7 +477,8 @@ class ReplicatedSystem:
             index = secondary
         return ClientSession(self, self._session_ids.next(), guarantee,
                              self._secondary_at(index),
-                             freshness_bound=freshness_bound)
+                             freshness_bound=freshness_bound,
+                             failover_wait=failover_wait)
 
     def _secondary_at(self, index: int) -> SecondarySite:
         if not 0 <= index < len(self.secondaries):
@@ -415,7 +511,7 @@ class ReplicatedSystem:
                 raise ReplicationError("quiesce did not converge")
 
     def _replication_idle(self) -> bool:
-        if self.propagator._outbox or self.propagator._flush_scheduled:
+        if not self.propagator.idle:
             return False
         for secondary in self.secondaries:
             if secondary.engine.crashed:
@@ -434,12 +530,35 @@ class ReplicatedSystem:
 
         Takes a quiesced copy of the primary, reinstalls it, reinitialises
         ``seq(DBsec)`` from the copy's commit timestamp, and replays the
-        archived tail of commits through the refresh mechanism.
+        archived tail of commits through the refresh mechanism.  When the
+        secondary is fed through a :class:`ReliableLink`, the link is
+        resynced first (new epoch, sequence numbers restart) so stale
+        retransmissions cannot corrupt the recovered stream.
         """
         secondary = self.secondaries[index]
+        link = self.propagator.link_for(secondary)
+        if link is not None:
+            link.resync()
         state, commit_ts = self.primary.quiesced_copy()
         secondary.recover(state, commit_ts)
         self.propagator.replay_to(secondary, after_commit_ts=commit_ts)
+        secondary.track_catch_up(self.primary.latest_commit_ts)
+
+    def crash_primary(self) -> None:
+        """Fail the primary: in-flight update transactions abort (the
+        aborts propagate so secondaries discard their refresh twins) and
+        new update transactions raise
+        :class:`~repro.errors.SiteUnavailableError` until restart."""
+        self.primary.crash()
+
+    def restart_primary(self) -> int:
+        """Restart the primary from its write-ahead (logical) log.
+
+        The committed state is rebuilt exactly; read-only traffic at the
+        secondaries is never interrupted (the lazy-master architecture's
+        availability story).  Returns the recovered commit timestamp.
+        """
+        return self.primary.restart()
 
     # -- inspection ----------------------------------------------------------------
     def primary_state(self) -> dict:
@@ -451,10 +570,23 @@ class ReplicatedSystem:
         return self.secondaries[index].engine.state_at()
 
     def max_staleness(self) -> int:
-        """Largest seq(DBsec) lag across live secondaries, in commits."""
+        """Largest seq(DBsec) lag across live secondaries, in commits.
+
+        Raises
+        ------
+        NoLiveSecondariesError
+            When every secondary is crashed: staleness is undefined with
+            no live replica, and silently returning a number would let
+            freshness-based routing treat a fully-dark replica tier as
+            up to date.
+        """
         latest = self.primary.latest_commit_ts
-        return max((latest - s.seq_db)
-                   for s in self.secondaries if not s.engine.crashed)
+        lags = [latest - s.seq_db
+                for s in self.secondaries if not s.engine.crashed]
+        if not lags:
+            raise NoLiveSecondariesError(
+                "max_staleness is undefined: every secondary is crashed")
+        return max(lags)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<ReplicatedSystem primary@{self.primary.latest_commit_ts} "

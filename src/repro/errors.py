@@ -78,7 +78,18 @@ class ReplicationError(ReproError):
 
 
 class SiteUnavailableError(ReplicationError):
-    """A request was routed to a site that has crashed."""
+    """A request was routed to a site that has crashed.
+
+    Read-only transactions fail over to a live replica automatically;
+    this error reaches the client only when no live replica exists (or
+    none appeared within the session's failover wait budget).
+    """
+
+
+class NoLiveSecondariesError(ReplicationError):
+    """Every secondary site is crashed, so replica-wide quantities
+    (e.g. :meth:`~repro.core.system.ReplicatedSystem.max_staleness`)
+    are undefined."""
 
 
 class SessionClosedError(ReplicationError):

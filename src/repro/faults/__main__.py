@@ -1,0 +1,79 @@
+"""Chaos CLI: ``python -m repro.faults --seeds 20``.
+
+Runs one seeded chaos schedule per seed (lossy channels, secondary
+crash/recovery, primary crash with WAL restart, propagator stall, all
+under a concurrent client workload), prints one summary block per run,
+and exits non-zero if any run fails its convergence or SI checks —
+reproduce a failure exactly with ``--seed <n>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.faults.channel import ChannelFaults
+from repro.faults.harness import DEFAULT_FAULTS, ChaosConfig, run_chaos
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Seeded chaos runs against the replicated system.")
+    parser.add_argument("--seeds", type=int, default=20, metavar="N",
+                        help="number of consecutive seeds to run "
+                             "(default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=None, metavar="S",
+                        help="run exactly one seed (overrides --seeds)")
+    parser.add_argument("--first-seed", type=int, default=0, metavar="S",
+                        help="first seed of the range (default: %(default)s)")
+    parser.add_argument("--secondaries", type=int, default=3,
+                        help="number of secondary sites (default: %(default)s)")
+    parser.add_argument("--ops", type=int, default=120,
+                        help="client operations per run (default: %(default)s)")
+    parser.add_argument("--horizon", type=float, default=120.0,
+                        help="virtual-time length of each run "
+                             "(default: %(default)s)")
+    parser.add_argument("--drop", type=float, default=DEFAULT_FAULTS.drop,
+                        help="per-message drop probability "
+                             "(default: %(default)s)")
+    parser.add_argument("--duplicate", type=float,
+                        default=DEFAULT_FAULTS.duplicate,
+                        help="per-message duplication probability "
+                             "(default: %(default)s)")
+    parser.add_argument("--jitter", type=float, default=DEFAULT_FAULTS.jitter,
+                        help="max extra per-message delay "
+                             "(default: %(default)s)")
+    parser.add_argument("--reorder", type=float,
+                        default=DEFAULT_FAULTS.reorder,
+                        help="per-message reorder probability "
+                             "(default: %(default)s)")
+    parser.add_argument("--no-primary-crash", action="store_true",
+                        help="skip the primary crash/restart window")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only print failing runs and the final tally")
+    args = parser.parse_args(argv)
+
+    faults = ChannelFaults(drop=args.drop, duplicate=args.duplicate,
+                           jitter=args.jitter, reorder=args.reorder,
+                           reorder_delay=DEFAULT_FAULTS.reorder_delay)
+    seeds = ([args.seed] if args.seed is not None
+             else list(range(args.first_seed, args.first_seed + args.seeds)))
+
+    failures = 0
+    for seed in seeds:
+        config = ChaosConfig(seed=seed, num_secondaries=args.secondaries,
+                             ops=args.ops, horizon=args.horizon,
+                             faults=faults,
+                             primary_crash=not args.no_primary_crash)
+        result = run_chaos(config)
+        if not result.ok:
+            failures += 1
+        if not result.ok or not args.quiet:
+            print(result.describe())
+    print(f"{len(seeds) - failures}/{len(seeds)} chaos runs passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Seeded lossy message channels.
+
+A :class:`FaultyChannel` sits between a sender and a delivery callback on
+the virtual-time kernel and injects the four classic network faults —
+drop, duplicate, delay (jitter) and reorder — from its own named
+:class:`~repro.sim.rng.RandomStream`.  Because every draw comes from a
+seeded stream and every delivery is a kernel event, a chaos run is a pure
+function of its seed: re-running it replays the exact same fault
+sequence (the determinism contract of the fault subsystem).
+
+Fault semantics
+---------------
+* **drop** — the payload is never delivered; recovery is the sender's
+  problem (see :class:`~repro.core.propagation.ReliableLink`).
+* **duplicate** — the payload is delivered twice, each copy jittered
+  independently.
+* **jitter** — a uniform extra delay in ``[0, jitter]`` is added on top
+  of the nominal delay; two payloads sent close together can therefore
+  arrive in either order.
+* **reorder** — with probability ``reorder`` the payload is additionally
+  held back by ``reorder_delay``, guaranteeing that payloads sent within
+  that window overtake it (a deterministic-holdback model of reordering;
+  no state is kept, so an idle channel never strands a held message).
+
+With the all-zero :data:`NO_FAULTS` configuration the channel
+degenerates to a pure ``call_at`` at the nominal delay and never consults
+its random stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.kernel import Kernel
+from repro.sim.rng import RandomStream
+
+
+@dataclass(frozen=True)
+class ChannelFaults:
+    """Fault configuration for one :class:`FaultyChannel`.
+
+    Probabilities are per payload; ``jitter`` and ``reorder_delay`` are
+    virtual-time amounts.
+    """
+
+    drop: float = 0.0           #: P(payload lost in transit)
+    duplicate: float = 0.0      #: P(payload delivered twice)
+    jitter: float = 0.0         #: max uniform extra delay per delivery
+    reorder: float = 0.0        #: P(payload held back by reorder_delay)
+    reorder_delay: float = 1.0  #: holdback applied to reordered payloads
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "reorder"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(
+                    f"{name} probability must be in [0, 1], got {p!r}")
+        if self.jitter < 0:
+            raise ConfigurationError("jitter must be >= 0")
+        if self.reorder_delay < 0:
+            raise ConfigurationError("reorder_delay must be >= 0")
+
+    @property
+    def any(self) -> bool:
+        """True if any fault can ever fire."""
+        return bool(self.drop or self.duplicate or self.jitter
+                    or self.reorder)
+
+
+#: The fault-free configuration (behaves as a plain delayed callback).
+NO_FAULTS = ChannelFaults()
+
+
+class FaultyChannel:
+    """A unidirectional, unreliable, seeded message channel.
+
+    Parameters
+    ----------
+    kernel:
+        The shared virtual-time kernel.
+    deliver:
+        Callback invoked with each payload on (possibly duplicated,
+        delayed, reordered) arrival.
+    faults:
+        The :class:`ChannelFaults` to inject (default: none).
+    rng:
+        Seeded random stream; required whenever ``faults.any``.
+    """
+
+    def __init__(self, kernel: Kernel, deliver: Callable[[Any], None], *,
+                 faults: ChannelFaults = NO_FAULTS,
+                 rng: Optional[RandomStream] = None,
+                 name: str = "channel"):
+        if faults.any and rng is None:
+            raise ConfigurationError(
+                f"channel {name!r} has faults configured but no rng; "
+                "seeded faults need a RandomStream")
+        self.kernel = kernel
+        self.deliver = deliver
+        self.faults = faults
+        self.rng = rng
+        self.name = name
+        #: Deliveries scheduled but not yet arrived (quiesce accounting).
+        self.in_flight = 0
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.reordered = 0
+
+    def send(self, payload: Any, delay: float) -> None:
+        """Transmit ``payload``; it arrives after ``delay`` plus faults."""
+        self.sent += 1
+        f = self.faults
+        if f.drop and self.rng.bernoulli(f.drop):
+            self.dropped += 1
+            return
+        copies = 1
+        if f.duplicate and self.rng.bernoulli(f.duplicate):
+            self.duplicated += 1
+            copies = 2
+        for _ in range(copies):
+            extra = 0.0
+            if f.jitter:
+                extra += self.rng.uniform(0.0, f.jitter)
+            if f.reorder and self.rng.bernoulli(f.reorder):
+                self.reordered += 1
+                extra += f.reorder_delay
+            self.in_flight += 1
+            self.kernel.call_at(self.kernel.now + delay + extra,
+                                self._arrive, payload)
+
+    def _arrive(self, payload: Any) -> None:
+        self.in_flight -= 1
+        self.delivered += 1
+        self.deliver(payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FaultyChannel {self.name!r} sent={self.sent} "
+                f"dropped={self.dropped} dup={self.duplicated}>")

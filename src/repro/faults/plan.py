@@ -1,0 +1,188 @@
+"""Deterministic crash/recovery schedules driven as a kernel process.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent`\\ s — site
+crashes and recoveries, propagator stalls, a primary crash with
+WAL-replay restart — either hand-written or drawn from a seeded
+:class:`~repro.sim.rng.RandomStream` via :meth:`FaultPlan.random`.  A
+:class:`FaultInjector` replays the plan against a
+:class:`~repro.core.system.ReplicatedSystem` as a daemon process on the
+shared virtual-time kernel, so fault timing interleaves deterministically
+with propagation, refresh and client traffic: the same (workload, plan,
+channel seed) triple always produces the same execution.
+
+Random plans keep at least one secondary live at all times (secondary
+outage windows never overlap), which is what lets client sessions honour
+their guarantees through failover instead of stalling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.system import ReplicatedSystem
+
+#: Recognised fault actions.
+ACTIONS = (
+    "crash_secondary",
+    "recover_secondary",
+    "crash_primary",
+    "restart_primary",
+    "pause_propagator",
+    "resume_propagator",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: do ``action`` (on ``target``) at time ``at``."""
+
+    at: float
+    action: str
+    target: Optional[int] = None   # secondary index; None for primary/propagator
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ConfigurationError(
+                f"unknown fault action {self.action!r}; "
+                f"expected one of {ACTIONS}")
+        if self.at < 0:
+            raise ConfigurationError("fault time must be >= 0")
+        needs_target = self.action in ("crash_secondary", "recover_secondary")
+        if needs_target and self.target is None:
+            raise ConfigurationError(f"{self.action} needs a target index")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A time-ordered fault schedule."""
+
+    events: tuple[FaultEvent, ...]
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: e.at))
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last event (0.0 for an empty plan)."""
+        return self.events[-1].at if self.events else 0.0
+
+    def count(self, action: str) -> int:
+        return sum(1 for e in self.events if e.action == action)
+
+    @classmethod
+    def of(cls, events: Iterable[FaultEvent]) -> "FaultPlan":
+        return cls(events=tuple(events))
+
+    @classmethod
+    def random(cls, rng: RandomStream, *, horizon: float,
+               num_secondaries: int,
+               secondary_outages: int = 2,
+               primary_crash: bool = True,
+               propagator_stall: bool = True) -> "FaultPlan":
+        """Draw a seeded schedule of crash/recover windows within
+        ``(0.05*horizon, 0.9*horizon)``.
+
+        Secondary outage windows are sequential (never overlapping), so
+        with ``num_secondaries >= 2`` at least one replica stays live for
+        failover.  Every crash is paired with its recovery before the
+        horizon; a caller running the plan to completion always ends with
+        a fully live system.
+        """
+        if horizon <= 0:
+            raise ConfigurationError("plan horizon must be > 0")
+        if num_secondaries < 2 and secondary_outages:
+            raise ConfigurationError(
+                "random plans need >= 2 secondaries to keep one live "
+                "during each outage")
+        events: list[FaultEvent] = []
+        lo, hi = 0.05 * horizon, 0.9 * horizon
+        # Non-overlapping secondary windows: 2k sorted times, paired.
+        times = sorted(rng.uniform(lo, hi)
+                       for _ in range(2 * secondary_outages))
+        for i in range(secondary_outages):
+            target = rng.randint(0, num_secondaries - 1)
+            events.append(FaultEvent(at=times[2 * i],
+                                     action="crash_secondary",
+                                     target=target))
+            events.append(FaultEvent(at=times[2 * i + 1],
+                                     action="recover_secondary",
+                                     target=target))
+        if primary_crash:
+            down = rng.uniform(lo, 0.8 * horizon)
+            up = rng.uniform(down + 0.01 * horizon, hi)
+            events.append(FaultEvent(at=down, action="crash_primary"))
+            events.append(FaultEvent(at=up, action="restart_primary"))
+        if propagator_stall:
+            stall = rng.uniform(lo, 0.8 * horizon)
+            unstall = rng.uniform(stall + 0.01 * horizon, hi)
+            events.append(FaultEvent(at=stall, action="pause_propagator"))
+            events.append(FaultEvent(at=unstall,
+                                     action="resume_propagator"))
+        return cls.of(events)
+
+
+@dataclass
+class FaultInjector:
+    """Replays a :class:`FaultPlan` against a system as a kernel daemon."""
+
+    system: "ReplicatedSystem"
+    plan: FaultPlan
+    applied: list[FaultEvent] = field(default_factory=list)
+    skipped: list[FaultEvent] = field(default_factory=list)
+    finished: bool = False
+
+    def start(self) -> None:
+        """Spawn the injection process (call before driving the kernel)."""
+        self.system.kernel.spawn(self._run(), name="fault-injector",
+                                 daemon=True)
+
+    def _run(self):
+        kernel = self.system.kernel
+        for event in self.plan:
+            if event.at > kernel.now:
+                yield kernel.sleep(event.at - kernel.now)
+            self._apply(event)
+        self.finished = True
+
+    def _apply(self, event: FaultEvent) -> None:
+        """Apply one event, skipping no-ops (e.g. crashing a site that a
+        hand-written plan already crashed) so plans stay composable."""
+        system = self.system
+        action, target = event.action, event.target
+        if action == "crash_secondary":
+            applicable = not system.secondaries[target].crashed
+            if applicable:
+                system.crash_secondary(target)
+        elif action == "recover_secondary":
+            applicable = system.secondaries[target].crashed
+            if applicable:
+                system.recover_secondary(target)
+        elif action == "crash_primary":
+            applicable = not system.primary.crashed
+            if applicable:
+                system.crash_primary()
+        elif action == "restart_primary":
+            applicable = system.primary.crashed
+            if applicable:
+                system.restart_primary()
+        elif action == "pause_propagator":
+            applicable = not system.propagator._paused
+            if applicable:
+                system.propagator.pause()
+        else:   # resume_propagator
+            applicable = system.propagator._paused
+            if applicable:
+                system.propagator.resume()
+        (self.applied if applicable else self.skipped).append(event)

@@ -37,7 +37,13 @@ from repro.errors import (
 from repro.storage.predicate import OrderedKeyIndex
 from repro.storage.snapshot import SnapshotView
 from repro.storage.versions import Version, VersionChain
-from repro.storage.wal import LogicalLog
+from repro.storage.wal import (
+    AbortRecord,
+    CommitRecord,
+    LogicalLog,
+    StartRecord,
+    UpdateRecord,
+)
 
 _RAISE = object()
 
@@ -441,6 +447,56 @@ class SIDatabase:
             txn.status = TxnStatus.ABORTED
             self._record("abort", txn, reason="site crash")
         self._active.clear()
+
+    def restart_from_wal(self) -> int:
+        """Recover a crashed database by replaying its own logical log.
+
+        Models a primary restart: the in-memory multiversion state is
+        discarded and rebuilt purely from the durable log.  Committed
+        transactions are reinstalled at their original commit timestamps
+        (rebuilding the full version history, so the recovered state is
+        bit-identical to the pre-crash committed state); transactions
+        with no commit record — aborted, or in flight at the crash — are
+        discarded.  Returns the commit timestamp recovered to.
+        """
+        if self.log is None:
+            raise TransactionStateError(
+                f"database {self.name!r} has no logical log to replay")
+        if not self._crashed:
+            raise TransactionStateError(
+                f"restart_from_wal on live database {self.name!r}; "
+                "crash() it first")
+        self._chains = {}
+        self._index = OrderedKeyIndex()
+        # key -> (value, deleted) per open txn: last write per key wins,
+        # in first-write order — the same dedup _commit applies.
+        open_writes: dict[int, dict[Any, tuple[Any, bool]]] = {}
+        last_commit_ts = 0
+        for record in self.log:
+            if isinstance(record, StartRecord):
+                open_writes[record.txn_id] = {}
+            elif isinstance(record, UpdateRecord):
+                writes = open_writes.get(record.txn_id)
+                if writes is not None:
+                    writes[record.key] = (record.value, record.deleted)
+            elif isinstance(record, CommitRecord):
+                writes = open_writes.pop(record.txn_id, {})
+                for key, (value, deleted) in writes.items():
+                    chain = self._chains.get(key)
+                    if chain is None:
+                        chain = VersionChain(key)
+                        self._chains[key] = chain
+                        self._index.add(key)
+                    chain.install(Version(commit_ts=record.commit_ts,
+                                          value=value,
+                                          txn_id=record.txn_id,
+                                          deleted=deleted))
+                last_commit_ts = record.commit_ts
+            elif isinstance(record, AbortRecord):
+                open_writes.pop(record.txn_id, None)
+        self._commit_counter = last_commit_ts
+        self._crashed = False
+        return last_commit_ts
 
     def recover_from(self, source_state: dict[Any, Any],
                      source_commit_ts: int) -> None:

@@ -151,11 +151,40 @@ class HistoryRecorder:
         self.events.append(event)
         return event
 
+    def record_recovery(self, site: str, time: float,
+                        state: dict[Any, Any], commit_ts: int) -> HistoryEvent:
+        """Append a site-recovery event (Section 3.4).
+
+        A recovering secondary reinstalls a quiesced copy of the primary
+        rather than replaying every commit it missed, so its state
+        sequence legitimately *jumps* to the copy's commit timestamp.
+        Recording the copy itself (``value``) lets the completeness
+        checker verify the jump landed on a real primary state instead of
+        trusting the recovery machinery.
+        """
+        event = HistoryEvent(
+            seq=self._seq,
+            time=time,
+            kind="recover",
+            site=site,
+            txn_id=0,
+            logical_id=None,
+            session=None,
+            refresh_of=None,
+            commit_ts=commit_ts,
+            value=dict(state),
+        )
+        self._seq += 1
+        self.events.append(event)
+        return event
+
     # -- aggregation -----------------------------------------------------
     def transactions(self) -> dict[tuple[str, int], TxnView]:
         """Aggregate events into per-transaction views, keyed (site, id)."""
         views: dict[tuple[str, int], TxnView] = {}
         for event in self.events:
+            if event.kind == "recover":   # site-level, not a transaction
+                continue
             key = (event.site, event.txn_id)
             view = views.get(key)
             if view is None:

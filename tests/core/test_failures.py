@@ -4,7 +4,15 @@ import pytest
 
 from repro.core.guarantees import Guarantee
 from repro.core.system import ReplicatedSystem
-from repro.errors import SiteUnavailableError
+from repro.errors import (
+    NoLiveSecondariesError,
+    SiteUnavailableError,
+)
+from repro.txn.checkers import (
+    check_completeness,
+    check_strong_session_si,
+    check_weak_si,
+)
 
 
 def make_system(**kwargs):
@@ -13,10 +21,22 @@ def make_system(**kwargs):
     return ReplicatedSystem(**defaults)
 
 
-def test_crashed_secondary_rejects_reads():
+def test_read_against_crashed_secondary_fails_over():
+    """A session bound to a crashed replica rebinds to a live one instead
+    of surfacing SiteUnavailableError to the client."""
     system = make_system()
     s = system.session(Guarantee.WEAK_SI, secondary=0)
     system.crash_secondary(0)
+    assert s.read("x", default="fallback") == "fallback"
+    assert s.failovers == 1
+    assert s.secondary is system.secondaries[1]
+
+
+def test_all_secondaries_crashed_rejects_reads():
+    system = make_system()
+    s = system.session(Guarantee.WEAK_SI, secondary=0)
+    system.crash_secondary(0)
+    system.crash_secondary(1)
     with pytest.raises(SiteUnavailableError):
         s.read("x", default=None)
 
@@ -136,3 +156,170 @@ def test_propagator_pause_models_link_failure():
     system.propagator.resume()
     system.quiesce()
     assert system.secondary_state(0) == {"x": 2}
+
+
+# -- session failover ---------------------------------------------------------
+
+def test_failover_preserves_session_guarantee():
+    """The rebound replica must still satisfy seq(c) <= seq(DBsec) before
+    the read runs (strong session SI survives the failover)."""
+    system = make_system(num_secondaries=3, propagation_delay=2.0)
+    s = system.session(Guarantee.STRONG_SESSION_SI, secondary=0)
+    s.write("x", 1)
+    system.quiesce()                    # all replicas at seq 1
+    s.write("x", 2)                     # seq(c)=2, still propagating
+    system.crash_secondary(0)
+    assert s.read("x") == 2             # failover + freshness wait
+    assert s.failovers == 1
+    assert s.secondary.seq_db >= 2
+
+
+def test_failover_prefers_fresh_replica():
+    """Among live replicas, one already at seq(c) is chosen so the read
+    need not wait."""
+    system = make_system(num_secondaries=3, propagation_delay=5.0)
+    s = system.session(Guarantee.STRONG_SESSION_SI, secondary=0)
+    s.write("x", 1)
+    system.quiesce()
+    system.crash_secondary(0)
+    # Both remaining replicas are at seq 1; the freshest is picked and the
+    # read returns without any additional kernel progress.
+    assert s.read("x") == 1
+    assert s.blocked_reads == 0
+
+
+def test_failover_waits_for_recovery_within_budget():
+    """With failover_wait, a session outlives a window where every replica
+    is down (reads block in virtual time until one recovers)."""
+    system = make_system(num_secondaries=2, propagation_delay=0.0)
+    s = system.session(Guarantee.WEAK_SI, secondary=0, failover_wait=60.0)
+    s.write("x", 1)
+    system.quiesce()
+    system.crash_secondary(0)
+    system.crash_secondary(1)
+    system.kernel.call_at(system.kernel.now + 5.0,
+                          lambda: system.recover_secondary(1))
+    assert s.read("x") == 1
+    assert s.failovers >= 1
+
+
+def test_failover_mid_freshness_wait():
+    """A replica crashing while a read is blocked on its freshness wait
+    wakes the reader, which fails over instead of sleeping forever."""
+    system = make_system(num_secondaries=2, propagation_delay=10.0)
+    s = system.session(Guarantee.STRONG_SESSION_SI, secondary=0)
+    s.write("x", 1)                     # propagating for 10 time units
+    system.kernel.call_at(system.kernel.now + 1.0,
+                          lambda: system.crash_secondary(0))
+    assert s.read("x") == 1             # waited on 0, crashed, finished on 1
+    assert s.failovers == 1
+
+
+# -- max_staleness with crashed replicas --------------------------------------
+
+def test_max_staleness_skips_crashed_secondaries():
+    system = make_system(num_secondaries=2, propagation_delay=50.0)
+    writer = system.session(secondary=1)
+    writer.write("x", 1)
+    system.crash_secondary(0)
+    assert system.max_staleness() == 1   # only the live replica counts
+
+
+def test_max_staleness_with_all_secondaries_crashed():
+    """Regression: this used to raise a bare ValueError from max() on an
+    empty sequence."""
+    system = make_system(num_secondaries=2)
+    system.crash_secondary(0)
+    system.crash_secondary(1)
+    with pytest.raises(NoLiveSecondariesError):
+        system.max_staleness()
+
+
+# -- primary crash & WAL restart ----------------------------------------------
+
+def test_primary_crash_rejects_updates_but_not_reads():
+    system = make_system(propagation_delay=0.0)
+    s = system.session(Guarantee.STRONG_SESSION_SI, secondary=0)
+    s.write("x", 1)
+    system.quiesce()
+    system.crash_primary()
+    with pytest.raises(SiteUnavailableError):
+        s.write("x", 2)
+    assert s.read("x") == 1              # replica reads keep working
+
+
+def test_primary_restart_recovers_committed_state_exactly():
+    system = make_system(propagation_delay=0.0)
+    s = system.session(secondary=0)
+    s.write("x", 1)
+    s.write("y", 2)
+    s.write("x", 3)
+    before = system.primary_state()
+    system.crash_primary()
+    recovered_ts = system.restart_primary()
+    assert system.primary_state() == before
+    assert recovered_ts == 3
+    s.write("z", 4)                      # the system keeps going
+    system.quiesce()
+    assert system.secondary_state(0) == {"x": 3, "y": 2, "z": 4}
+
+
+def test_primary_crash_aborts_in_flight_interactive_update():
+    """An interactive update open at crash time aborts — and the abort
+    propagates, so secondaries discard the dangling refresh transaction
+    instead of holding it open forever."""
+    system = make_system(propagation_delay=0.0)
+    s = system.session(secondary=0)
+    s.write("x", 1)
+    txn = system.primary.begin_update(metadata={"logical_id": "doomed",
+                                                "session": "s"})
+    txn.write("x", 99)
+    system.run()                         # start/update records propagate
+    system.crash_primary()
+    system.restart_primary()
+    system.quiesce()
+    assert system.primary_state() == {"x": 1}
+    assert system.secondary_state(0) == {"x": 1}
+    assert not system.secondaries[0].refresher.pending
+
+
+def test_secondary_crash_between_start_and_commit_delivery():
+    """A secondary that crashes after receiving start_p(T) but before
+    commit_p(T) recovers to a state that already includes T."""
+    system = make_system(propagation_delay=1.0)
+    writer = system.session(secondary=1)
+    writer.write("x", 1)
+    system.quiesce()
+    system.propagator.pause()
+    writer.write("x", 2)                 # T: committed, not yet propagated
+    system.propagator.resume()
+    # Run just far enough that records are in flight, then crash.
+    system.run(until=system.kernel.now + 0.5)
+    system.crash_secondary(0)
+    system.quiesce()
+    system.recover_secondary(0)
+    system.quiesce()
+    assert system.secondary_state(0) == {"x": 2}
+    assert system.secondaries[0].seq_db == system.primary.latest_commit_ts
+
+
+def test_recovery_history_passes_checkers():
+    """Crash/recovery (secondary and primary) leaves a history that still
+    satisfies completeness, weak SI and strong session SI."""
+    system = make_system(num_secondaries=2, propagation_delay=1.0)
+    s = system.session(Guarantee.STRONG_SESSION_SI, secondary=0)
+    s.write("a", 1)
+    s.read("a")
+    system.crash_secondary(0)
+    s.write("b", 2)                      # session fails over for next read
+    assert s.read("b") == 2
+    system.recover_secondary(0)
+    system.crash_primary()
+    system.restart_primary()
+    s.write("c", 3)
+    system.quiesce()
+    assert system.secondary_state(0) == system.primary_state()
+    for check in (check_completeness(system.recorder),
+                  check_weak_si(system.recorder),
+                  check_strong_session_si(system.recorder)):
+        assert check.ok, check.violations

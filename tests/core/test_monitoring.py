@@ -112,3 +112,64 @@ def test_staleness_probe_interval_validation():
     system = make_system()
     with pytest.raises(ValueError):
         StalenessProbe(system, interval=0.0)
+
+
+def test_fault_free_status_has_zero_fault_counters():
+    system = make_system()
+    s = system.session()
+    s.write("x", 1)
+    system.quiesce()
+    status = system_status(system)
+    for site in (status.primary,) + status.secondaries:
+        assert not site.fault_activity
+        assert site.mean_catch_up_time is None
+    assert "faults" not in status.report()
+
+
+def test_status_counts_crashes_recoveries_and_catch_up():
+    system = make_system(propagation_delay=1.0)
+    s = system.session(secondary=1)
+    s.write("x", 1)
+    system.crash_secondary(0)
+    s.write("y", 2)
+    system.recover_secondary(0)
+    system.quiesce()
+    system.crash_primary()
+    system.restart_primary()
+    status = system_status(system)
+    assert status.primary.crash_count == 1
+    assert status.primary.recover_count == 1
+    sec0 = status.secondaries[0]
+    assert sec0.crash_count == 1 and sec0.recover_count == 1
+    assert sec0.mean_catch_up_time is not None
+    report = status.report()
+    assert "secondary-1 faults:" in report
+    assert "crashes=1" in report
+
+
+def test_status_exposes_link_counters():
+    from repro.faults.channel import ChannelFaults
+    system = make_system(
+        propagation_delay=1.0,
+        channel_faults=ChannelFaults(drop=0.4, duplicate=0.3),
+        fault_seed=11)
+    s = system.session(secondary=0)
+    for i in range(10):
+        s.write("k", i)
+    system.quiesce()
+    status = system_status(system)
+    total_dropped = sum(sec.channel_dropped for sec in status.secondaries)
+    total_retx = sum(sec.retransmissions for sec in status.secondaries)
+    assert total_dropped > 0
+    assert total_retx > 0
+    assert "link dropped=" in status.report()
+
+
+def test_aggregate_sessions_counts_failovers():
+    system = make_system()
+    s = system.session(secondary=0)
+    s.write("x", 1)
+    system.crash_secondary(0)
+    assert s.read("x") == 1
+    stats = aggregate_sessions([s])
+    assert stats.failovers == 1

@@ -1,0 +1,123 @@
+"""FaultyChannel: seeded drop/duplicate/jitter/reorder semantics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.channel import NO_FAULTS, ChannelFaults, FaultyChannel
+from repro.kernel import Kernel
+from repro.sim.rng import RandomStreams
+
+
+def make_channel(faults=NO_FAULTS, seed=0):
+    kernel = Kernel()
+    arrived = []
+    rng = RandomStreams(seed)["test"] if faults.any else None
+    channel = FaultyChannel(kernel, arrived.append, faults=faults, rng=rng)
+    return kernel, channel, arrived
+
+
+def test_fault_free_channel_is_a_plain_delayed_callback():
+    kernel, channel, arrived = make_channel()
+    channel.send("a", 1.0)
+    channel.send("b", 1.0)
+    kernel.run()
+    assert arrived == ["a", "b"]
+    assert kernel.now == 1.0
+    assert channel.dropped == channel.duplicated == channel.reordered == 0
+
+
+def test_fault_free_channel_needs_no_rng():
+    kernel = Kernel()
+    FaultyChannel(kernel, lambda p: None)   # no rng, no faults: fine
+
+
+def test_faults_without_rng_rejected():
+    kernel = Kernel()
+    with pytest.raises(ConfigurationError):
+        FaultyChannel(kernel, lambda p: None,
+                      faults=ChannelFaults(drop=0.5))
+
+
+@pytest.mark.parametrize("field,value", [
+    ("drop", -0.1), ("drop", 1.5), ("duplicate", 2.0), ("reorder", -1.0),
+    ("jitter", -1.0), ("reorder_delay", -0.5),
+])
+def test_fault_probabilities_validated(field, value):
+    with pytest.raises(ConfigurationError):
+        ChannelFaults(**{field: value})
+
+
+def test_drops_are_counted_and_not_delivered():
+    faults = ChannelFaults(drop=1.0)
+    kernel, channel, arrived = make_channel(faults)
+    for i in range(5):
+        channel.send(i, 1.0)
+    kernel.run()
+    assert arrived == []
+    assert channel.dropped == 5
+    assert channel.sent == 5
+
+
+def test_duplicates_deliver_twice():
+    faults = ChannelFaults(duplicate=1.0)
+    kernel, channel, arrived = make_channel(faults)
+    channel.send("x", 1.0)
+    kernel.run()
+    assert arrived == ["x", "x"]
+    assert channel.duplicated == 1
+
+
+def test_reorder_holdback_lets_later_sends_overtake():
+    # First payload always held back; second sent fault-free afterwards.
+    kernel = Kernel()
+    arrived = []
+    rng = RandomStreams(1)["test"]
+    held = FaultyChannel(kernel, arrived.append,
+                         faults=ChannelFaults(reorder=1.0, reorder_delay=5.0),
+                         rng=rng)
+    plain = FaultyChannel(kernel, arrived.append)
+    held.send("late", 1.0)
+    plain.send("early", 1.0)
+    kernel.run()
+    assert arrived == ["early", "late"]
+    assert held.reordered == 1
+
+
+def test_jitter_stays_within_bound():
+    faults = ChannelFaults(jitter=3.0)
+    kernel, channel, arrived = make_channel(faults)
+    times = []
+    channel.deliver = lambda p: times.append(kernel.now)
+    for i in range(20):
+        channel.send(i, 1.0)
+    kernel.run()
+    assert len(times) == 20
+    assert all(1.0 <= t <= 4.0 for t in times)
+    assert len(set(times)) > 1          # jitter actually varied
+
+
+def test_same_seed_same_fault_sequence():
+    faults = ChannelFaults(drop=0.3, duplicate=0.3, jitter=2.0, reorder=0.2)
+
+    def run(seed):
+        kernel, channel, arrived = make_channel(faults, seed=seed)
+        trace = []
+        channel.deliver = lambda p: trace.append((kernel.now, p))
+        for i in range(50):
+            channel.send(i, 1.0)
+        kernel.run()
+        return trace, channel.dropped, channel.duplicated, channel.reordered
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_in_flight_accounting_settles_at_zero():
+    faults = ChannelFaults(duplicate=0.5, jitter=2.0)
+    kernel, channel, arrived = make_channel(faults)
+    for i in range(10):
+        channel.send(i, 1.0)
+    assert channel.in_flight > 0
+    kernel.run()
+    assert channel.in_flight == 0
+    assert channel.delivered == len(arrived)

@@ -1,0 +1,83 @@
+"""Chaos property tests: the SI guarantees survive seeded fault storms.
+
+Each run drives a full system — lossy channels on every propagation link,
+two secondary crash/recovery windows, one primary crash with WAL restart,
+one propagator stall — under a concurrent multi-session client workload,
+then audits the recorded history with the checkers and requires replica
+convergence.  Marked ``chaos`` so CI can run the sweep as its own job.
+"""
+
+import pytest
+
+from repro.core.system import ReplicatedSystem
+from repro.faults.channel import ChannelFaults
+from repro.faults.harness import ChaosConfig, run_chaos
+
+pytestmark = pytest.mark.chaos
+
+SEEDS = range(20)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_run_converges_and_passes_checkers(seed):
+    result = run_chaos(ChaosConfig(seed=seed))
+    # The schedule must actually have exercised the fault machinery...
+    assert result.plan.count("crash_secondary") >= 1
+    assert result.plan.count("crash_primary") == 1
+    assert result.channel_drops > 0
+    assert result.channel_duplicates > 0
+    assert result.retransmissions > 0
+    assert result.secondary_crashes >= 1
+    assert result.secondary_recoveries == result.secondary_crashes
+    assert result.primary_crashes == 1 and result.primary_restarts == 1
+    # ... and the paper's guarantees must have survived it.
+    assert result.converged, result.describe()
+    for check in result.checks:
+        assert check.ok, result.describe()
+    assert result.ok
+
+
+def test_chaos_is_deterministic_per_seed():
+    a = run_chaos(ChaosConfig(seed=3))
+    b = run_chaos(ChaosConfig(seed=3))
+    assert a.describe() == b.describe()
+    assert a.plan == b.plan
+
+
+def test_different_seeds_differ():
+    a = run_chaos(ChaosConfig(seed=1))
+    b = run_chaos(ChaosConfig(seed=2))
+    assert a.plan != b.plan
+
+
+def test_fault_injection_disabled_means_no_links():
+    """The bit-identical contract: without channel faults the propagator
+    routes records exactly as before (no links, no extra RNG draws)."""
+    plain = ReplicatedSystem(num_secondaries=2)
+    assert all(plain.propagator.link_for(s) is None
+               for s in plain.secondaries)
+    faulty = ReplicatedSystem(num_secondaries=2,
+                              channel_faults=ChannelFaults(drop=0.1),
+                              fault_seed=1)
+    assert all(faulty.propagator.link_for(s) is not None
+               for s in faulty.secondaries)
+
+
+def test_faulty_system_converges_without_fault_plan():
+    """Channel faults alone (no crashes) must be fully absorbed by the
+    link protocol: clients and checkers cannot tell the difference."""
+    system = ReplicatedSystem(
+        num_secondaries=2, propagation_delay=1.0,
+        channel_faults=ChannelFaults(drop=0.3, duplicate=0.2, jitter=2.0,
+                                     reorder=0.2, reorder_delay=3.0),
+        fault_seed=42)
+    session = system.session(secondary=0)
+    for i in range(20):
+        session.write(f"k{i % 4}", i)
+    system.quiesce()
+    assert system.secondary_state(0) == system.primary_state()
+    assert system.secondary_state(1) == system.primary_state()
+    total_dropped = sum(
+        system.propagator.link_for(s).data_channel.dropped
+        for s in system.secondaries)
+    assert total_dropped > 0        # faults actually fired

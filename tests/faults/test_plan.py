@@ -1,0 +1,92 @@
+"""FaultPlan / FaultInjector: scheduled crash-recovery choreography."""
+
+import pytest
+
+from repro.core.system import ReplicatedSystem
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultEvent, FaultInjector, FaultPlan
+from repro.sim.rng import RandomStreams
+
+
+def test_event_validation():
+    with pytest.raises(ConfigurationError):
+        FaultEvent(at=1.0, action="set-on-fire")
+    with pytest.raises(ConfigurationError):
+        FaultEvent(at=-1.0, action="crash_primary")
+    with pytest.raises(ConfigurationError):
+        FaultEvent(at=1.0, action="crash_secondary")   # needs target
+
+
+def test_plan_sorts_events_and_reports_horizon():
+    plan = FaultPlan.of([
+        FaultEvent(at=9.0, action="restart_primary"),
+        FaultEvent(at=3.0, action="crash_primary"),
+    ])
+    assert [e.at for e in plan] == [3.0, 9.0]
+    assert plan.horizon == 9.0
+    assert plan.count("crash_primary") == 1
+    assert len(plan) == 2
+
+
+def test_random_plan_shape():
+    rng = RandomStreams(5)["plan"]
+    plan = FaultPlan.random(rng, horizon=100.0, num_secondaries=3,
+                            secondary_outages=2)
+    assert plan.count("crash_secondary") == 2
+    assert plan.count("recover_secondary") == 2
+    assert plan.count("crash_primary") == 1
+    assert plan.count("restart_primary") == 1
+    assert plan.count("pause_propagator") == 1
+    assert plan.count("resume_propagator") == 1
+    assert all(0.0 < e.at < 100.0 for e in plan)
+
+
+def test_random_plan_secondary_windows_do_not_overlap():
+    for seed in range(20):
+        rng = RandomStreams(seed)["plan"]
+        plan = FaultPlan.random(rng, horizon=100.0, num_secondaries=2,
+                                secondary_outages=3)
+        down = 0
+        for event in plan:
+            if event.action == "crash_secondary":
+                down += 1
+                assert down <= 1   # never two secondaries down at once
+            elif event.action == "recover_secondary":
+                down -= 1
+        assert down == 0           # every outage closed before the horizon
+
+
+def test_random_plan_requires_two_secondaries():
+    rng = RandomStreams(0)["plan"]
+    with pytest.raises(ConfigurationError):
+        FaultPlan.random(rng, horizon=10.0, num_secondaries=1)
+
+
+def test_injector_applies_events_at_their_times():
+    system = ReplicatedSystem(num_secondaries=2, propagation_delay=0.0)
+    plan = FaultPlan.of([
+        FaultEvent(at=5.0, action="crash_secondary", target=0),
+        FaultEvent(at=10.0, action="recover_secondary", target=0),
+    ])
+    injector = FaultInjector(system, plan)
+    injector.start()
+    system.run(until=6.0)
+    assert system.secondaries[0].crashed
+    system.run(until=11.0)
+    assert not system.secondaries[0].crashed
+    assert injector.finished
+    assert [e.at for e in injector.applied] == [5.0, 10.0]
+
+
+def test_injector_skips_inapplicable_events():
+    system = ReplicatedSystem(num_secondaries=2)
+    system.crash_secondary(0)
+    plan = FaultPlan.of([
+        FaultEvent(at=1.0, action="crash_secondary", target=0),   # already down
+        FaultEvent(at=2.0, action="restart_primary"),             # never crashed
+    ])
+    injector = FaultInjector(system, plan)
+    injector.start()
+    system.run(until=3.0)
+    assert injector.applied == []
+    assert len(injector.skipped) == 2

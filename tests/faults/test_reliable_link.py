@@ -1,0 +1,150 @@
+"""ReliableLink: in-order exactly-once delivery over lossy channels."""
+
+import pytest
+
+from repro.core.propagation import ReliableLink
+from repro.errors import ReplicationError
+from repro.faults.channel import ChannelFaults
+from repro.kernel import Kernel
+from repro.sim.rng import RandomStreams
+
+
+class FakeSite:
+    """Just enough of SecondarySite for the link: ordered receive log."""
+
+    def __init__(self, name="fake"):
+        self.name = name
+        self.crashed = False
+        self.records_dropped = 0
+        self.received = []
+
+    def receive(self, record):
+        if self.crashed:
+            self.records_dropped += 1
+            return False
+        self.received.append(record)
+        return True
+
+
+def make_link(faults=None, ack_faults=None, seed=0, **kwargs):
+    kernel = Kernel()
+    site = FakeSite()
+    streams = RandomStreams(seed)
+    link = ReliableLink(
+        kernel, site,
+        faults=faults or ChannelFaults(),
+        ack_faults=ack_faults,
+        rng=streams["data"] if faults and faults.any else None,
+        ack_rng=streams["ack"] if ack_faults and ack_faults.any else None,
+        **kwargs)
+    return kernel, site, link
+
+
+def test_lossless_link_delivers_in_order():
+    kernel, site, link = make_link()
+    for i in range(5):
+        link.send(i, 1.0)
+    kernel.run()
+    assert site.received == [0, 1, 2, 3, 4]
+    assert link.settled
+    assert link.retransmissions == 0
+
+
+def test_validation():
+    with pytest.raises(ReplicationError):
+        make_link(timeout=0.0)
+    with pytest.raises(ReplicationError):
+        make_link(backoff=0.5)
+
+
+def test_drops_recovered_by_retransmission():
+    faults = ChannelFaults(drop=0.4)
+    kernel, site, link = make_link(faults, timeout=2.0)
+    for i in range(30):
+        link.send(i, 1.0)
+    kernel.run()
+    assert site.received == list(range(30))
+    assert link.retransmissions > 0
+    assert link.settled
+
+
+def test_duplicates_filtered_exactly_once_delivery():
+    faults = ChannelFaults(duplicate=0.6)
+    kernel, site, link = make_link(faults)
+    for i in range(30):
+        link.send(i, 1.0)
+    kernel.run()
+    assert site.received == list(range(30))
+    assert link.duplicates_filtered > 0
+
+
+def test_reordering_repaired_by_sequence_buffer():
+    faults = ChannelFaults(jitter=4.0, reorder=0.3, reorder_delay=5.0)
+    kernel, site, link = make_link(faults)
+    for i in range(30):
+        link.send(i, 1.0)
+    kernel.run()
+    assert site.received == list(range(30))
+
+
+def test_full_fault_mix_with_lossy_acks():
+    faults = ChannelFaults(drop=0.25, duplicate=0.2, jitter=3.0, reorder=0.2,
+                           reorder_delay=4.0)
+    ack_faults = ChannelFaults(drop=0.25, jitter=2.0)
+    kernel, site, link = make_link(faults, ack_faults, timeout=3.0)
+    for i in range(50):
+        link.send(i, 1.0)
+    kernel.run()
+    assert site.received == list(range(50))
+    assert link.settled
+
+
+def test_retransmission_backoff_doubles_and_resets():
+    # Total blackout: every data message dropped, so the timer keeps
+    # firing with doubling waits capped at max_timeout.
+    faults = ChannelFaults(drop=1.0)
+    kernel, site, link = make_link(faults, timeout=1.0, max_timeout=8.0)
+    fires = []
+    orig = link._on_timer
+
+    def spy():
+        fires.append(kernel.now)
+        orig()
+
+    link._on_timer = spy
+    link.send("x", 0.0)
+    kernel.run(until=40.0)
+    gaps = [round(b - a, 6) for a, b in zip(fires, fires[1:])]
+    assert gaps[:4] == [2.0, 4.0, 8.0, 8.0]   # 1 -> 2 -> 4 -> 8, capped
+
+
+def test_timer_stops_when_site_crashes():
+    faults = ChannelFaults(drop=1.0)
+    kernel, site, link = make_link(faults, timeout=1.0)
+    link.send("x", 0.0)
+    site.crashed = True
+    kernel.run(until=50.0)
+    # One timer was armed at send; it fired, saw the crash, did not rearm.
+    assert link.retransmissions == 0
+    assert not link._timer_armed
+
+
+def test_resync_discards_stale_epoch_traffic():
+    kernel, site, link = make_link()
+    link.send("old-1", 5.0)             # still in flight at resync time
+    link.resync()
+    link.send("new-1", 1.0)
+    kernel.run()
+    assert site.received == ["new-1"]
+    assert link.stale_epoch_drops >= 1
+    assert link.settled
+
+
+def test_crashed_site_records_dropped_no_ack():
+    kernel, site, link = make_link()
+    site.crashed = True
+    link.send("x", 1.0)
+    kernel.run(until=1.5)
+    assert site.received == []
+    assert site.records_dropped == 1
+    assert link.acks_received == 0
