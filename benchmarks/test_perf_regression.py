@@ -38,10 +38,17 @@ def baseline():
 
 
 def test_baseline_schema(baseline):
-    assert baseline["schema"] == 1
+    assert baseline["schema"] == 2
     assert baseline["kernel"]["events_per_sec"] > 0
     assert set(baseline["run_once_seconds"]) == {
         "strong-session-si", "weak-si", "strong-si"}
+    # Schema 2: one timing per figure sweep, and version-chain stats.
+    assert set(baseline["figure_timings"]) == {
+        spec.sweep.key for spec in ALL_FIGURES.values()}
+    stats = baseline["version_stats"]
+    assert stats["max_versions_autovacuum"] \
+        <= stats["max_versions_unvacuumed"]
+    assert stats["versions_reclaimed"] > 0
 
 
 def test_kernel_events_per_sec_within_tolerance(baseline):
@@ -66,4 +73,21 @@ def test_run_once_within_tolerance(baseline):
         elapsed = perf_counter() - started
         assert elapsed <= base_seconds * TOLERANCE, (
             f"run_once({algorithm_value}) took {elapsed:.3f}s, baseline "
+            f"{base_seconds:.3f}s, tolerance {TOLERANCE}x")
+
+
+def test_figure_timings_within_tolerance(baseline):
+    from time import perf_counter
+    by_value = {algorithm.value: algorithm for algorithm in ALGORITHMS}
+    strictest = by_value["strong-session-si"]
+    sweeps = {spec.sweep.key: spec.sweep for spec in ALL_FIGURES.values()}
+    for sweep_key, base_seconds in baseline["figure_timings"].items():
+        sweep = sweeps[sweep_key]
+        x = sweep.x_values[len(sweep.x_values) // 2]
+        params = sweep.params_for(x, strictest, RUN_ONCE_SCALE)
+        started = perf_counter()
+        run_once(params, seed=42)
+        elapsed = perf_counter() - started
+        assert elapsed <= base_seconds * TOLERANCE, (
+            f"sweep {sweep_key} point took {elapsed:.3f}s, baseline "
             f"{base_seconds:.3f}s, tolerance {TOLERANCE}x")

@@ -22,10 +22,12 @@ Everything runs on the deterministic virtual-time kernel, so propagation
 delays, failures and interleavings are fully controllable from tests.
 """
 
+from repro.core.autovacuum import AutovacuumDaemon
 from repro.core.guarantees import Guarantee
 from repro.core.monitoring import (StalenessProbe, SystemStatus,
                                    aggregate_sessions, system_status)
-from repro.core.records import PropagatedAbort, PropagatedCommit, PropagatedStart
+from repro.core.records import (PropagatedAbort, PropagatedBatch,
+                                PropagatedCommit, PropagatedStart)
 from repro.core.propagation import Propagator, ReliableLink
 from repro.core.refresh import Refresher
 from repro.core.sessions import SequenceTracker
@@ -33,12 +35,14 @@ from repro.core.site import PrimarySite, SecondarySite
 from repro.core.system import ClientSession, ReplicatedSystem
 
 __all__ = [
+    "AutovacuumDaemon",
     "Guarantee",
     "StalenessProbe",
     "SystemStatus",
     "system_status",
     "aggregate_sessions",
     "PropagatedStart",
+    "PropagatedBatch",
     "PropagatedCommit",
     "PropagatedAbort",
     "Propagator",

@@ -1,0 +1,60 @@
+"""Per-site autovacuum daemon — bounded version chains for long runs.
+
+:meth:`~repro.storage.engine.SIDatabase.vacuum` exists but nothing in the
+system ever called it, so version chains grow linearly with committed
+update count: a long scale-up or chaos run holds every version ever
+written.  The :class:`AutovacuumDaemon` is a kernel daemon process that
+periodically vacuums one engine at its current GC horizon, which is
+always safe — only versions no live snapshot can see are reclaimed, and
+time-travel reads older than the horizon already carry an explicit
+"history may be vacuumed" contract.
+
+One daemon runs per site (primary and each secondary), on a configurable
+virtual-time cadence.  With ``interval=None`` the daemon is never
+created, keeping the default system bit-identical to the pre-autovacuum
+code.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+from repro.kernel import Kernel, Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.engine import SIDatabase
+
+
+class AutovacuumDaemon:
+    """Periodic ``vacuum()`` at the GC horizon for one engine."""
+
+    def __init__(self, kernel: Kernel, engine: "SIDatabase",
+                 interval: float, name: str = "autovacuum"):
+        if interval <= 0:
+            raise ConfigurationError(
+                f"autovacuum interval must be positive, got {interval}")
+        self.kernel = kernel
+        self.engine = engine
+        self.interval = interval
+        self.name = name
+        #: Completed vacuum passes (crashed-engine ticks don't count).
+        self.runs = 0
+        #: Total versions reclaimed across all passes.
+        self.versions_reclaimed = 0
+        self.process: Optional[Process] = kernel.spawn(
+            self._run(), name=name, daemon=True)
+
+    def _run(self):
+        while True:
+            yield self.kernel.sleep(self.interval)
+            if self.engine.crashed:
+                continue
+            self.versions_reclaimed += self.engine.vacuum()
+            self.runs += 1
+
+    def stop(self) -> None:
+        """Kill the daemon (it is never restarted automatically)."""
+        if self.process is not None:
+            self.kernel.kill(self.process)
+            self.process = None

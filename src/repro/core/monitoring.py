@@ -42,6 +42,10 @@ class SiteStatus:
     duplicates_filtered: int = 0
     stale_refreshes_dropped: int = 0
     mean_catch_up_time: Optional[float] = None   # recovery -> caught up
+    # -- storage-maintenance counters (zero with autovacuum off) ----------
+    max_chain_length: int = 0       # longest per-key version chain
+    vacuum_runs: int = 0
+    versions_reclaimed: int = 0
 
     @property
     def fault_activity(self) -> bool:
@@ -61,6 +65,9 @@ class SystemStatus:
     primary: SiteStatus
     secondaries: tuple[SiteStatus, ...]
     max_lag: int
+    # -- propagator shipping counters (per-endpoint deliveries) -----------
+    records_sent: int = 0
+    batches_sent: int = 0
 
     def report(self) -> str:
         """A human-readable multi-line status report."""
@@ -101,12 +108,34 @@ class SystemStatus:
                 parts.append(f"catch-up={site.mean_catch_up_time:.2f}s")
             lines.append(f"  {site.name + ' faults:':<22}"
                          + "  ".join(parts))
+        # Maintenance / batching lines, again only when the corresponding
+        # knob fired, so classic-configuration reports stay byte-identical.
+        if self.batches_sent:
+            lines.append(f"  propagator: records={self.records_sent}  "
+                         f"batches={self.batches_sent}")
+        for site in (self.primary,) + self.secondaries:
+            if not site.vacuum_runs:
+                continue
+            lines.append(
+                f"  {site.name + ' vacuum:':<22}runs={site.vacuum_runs}  "
+                f"reclaimed={site.versions_reclaimed}  "
+                f"longest-chain={site.max_chain_length}")
         return "\n".join(lines)
 
 
 def system_status(system: "ReplicatedSystem") -> SystemStatus:
     """Collect a :class:`SystemStatus` snapshot."""
     primary_ts = system.primary.latest_commit_ts
+    vacuums = {id(daemon.engine): daemon
+               for daemon in getattr(system, "autovacuums", [])}
+
+    def vacuum_stats(engine) -> tuple[int, int]:
+        daemon = vacuums.get(id(engine))
+        if daemon is None:
+            return 0, 0
+        return daemon.runs, daemon.versions_reclaimed
+
+    primary_vacuum = vacuum_stats(system.primary.engine)
     primary = SiteStatus(
         name=system.primary.name,
         crashed=system.primary.engine.crashed,
@@ -121,6 +150,9 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
         stored_versions=system.primary.engine.version_count,
         crash_count=system.primary.crash_count,
         recover_count=system.primary.restart_count,
+        max_chain_length=system.primary.engine.max_chain_length,
+        vacuum_runs=primary_vacuum[0],
+        versions_reclaimed=primary_vacuum[1],
     )
     secondaries = []
     max_lag = 0
@@ -163,12 +195,17 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
             stale_refreshes_dropped=secondary.refresher
             .stale_records_dropped,
             mean_catch_up_time=catch_up,
+            max_chain_length=secondary.engine.max_chain_length,
+            vacuum_runs=vacuum_stats(secondary.engine)[0],
+            versions_reclaimed=vacuum_stats(secondary.engine)[1],
         ))
     return SystemStatus(now=system.kernel.now,
                         primary_commit_ts=primary_ts,
                         primary=primary,
                         secondaries=tuple(secondaries),
-                        max_lag=max_lag)
+                        max_lag=max_lag,
+                        records_sent=system.propagator.records_sent,
+                        batches_sent=system.propagator.batches_sent)
 
 
 @dataclass

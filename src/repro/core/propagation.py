@@ -42,6 +42,7 @@ from repro.errors import ReplicationError
 from repro.faults.channel import NO_FAULTS, ChannelFaults, FaultyChannel
 from repro.core.records import (
     PropagatedAbort,
+    PropagatedBatch,
     PropagatedCommit,
     PropagatedStart,
     PropagationRecord,
@@ -267,7 +268,11 @@ class Propagator:
         #: All commit records ever broadcast, in commit order — the archive
         #: used to bring a recovered secondary back up to date (Section 3.4).
         self.archive: list[PropagatedCommit] = []
+        #: Per-endpoint record deliveries: a record shipped to three
+        #: secondaries counts three times.
         self.records_sent = 0
+        #: Batch frames shipped (per endpoint); zero unless batching is on.
+        self.batches_sent = 0
         log.subscribe(self._on_log_record)
 
     # -- membership -------------------------------------------------------
@@ -363,7 +368,23 @@ class Propagator:
 
     def _flush(self) -> None:
         outbox, self._outbox = self._outbox, []
+        if not outbox:
+            return
         links = self._links
+        if self.batch_interval is not None:
+            # Batch shipping: the whole flush travels as one frame per
+            # endpoint — one sequence number, one ack, one delivery event
+            # — and the refresher unpacks the records in log order.
+            frame = PropagatedBatch(records=tuple(outbox))
+            for endpoint in self._endpoints:
+                link = links.get(endpoint.name) if links else None
+                if link is not None:
+                    link.send(frame, self.delay)
+                else:
+                    endpoint.deliver_later(frame, self.delay)
+                self.batches_sent += 1
+                self.records_sent += len(outbox)
+            return
         for record in outbox:
             for endpoint in self._endpoints:
                 link = links.get(endpoint.name) if links else None
@@ -371,7 +392,7 @@ class Propagator:
                     link.send(record, self.delay)
                 else:
                     endpoint.deliver_later(record, self.delay)
-            self.records_sent += 1
+                self.records_sent += 1
 
     # -- recovery support (Section 3.4) -------------------------------------
     def replay_to(self, endpoint: PropagationEndpoint,

@@ -48,3 +48,22 @@ class PropagatedAbort:
 
 
 PropagationRecord = PropagatedStart | PropagatedCommit | PropagatedAbort
+
+
+@dataclass(frozen=True)
+class PropagatedBatch:
+    """One propagation cycle's records, shipped as a single link frame.
+
+    When the propagator batches (``batch_interval`` set), every flush
+    wraps the buffered records — still in log order — into one of these,
+    so a whole cycle costs one sequence number, one ack and one delivery
+    event per endpoint instead of one per record.  The refresher unpacks
+    the frame and processes the contained records exactly as if they had
+    arrived individually.
+    """
+
+    records: tuple[PropagationRecord, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.records)

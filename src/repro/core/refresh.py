@@ -8,14 +8,33 @@ from the local FIFO *update queue* and:
   enforces relationship 2: a refresh transaction does not start until every
   refresh transaction that committed before T started has committed here);
 * on ``commit_p(T)`` — appends ``commit_p(T)`` to the pending queue and
-  forks an *applicator* that replays T's update list inside R, then waits
-  until its commit record reaches the **head** of the pending queue before
-  committing (relationship 3: commit order equals primary commit order);
+  hands the record to an *applicator* that replays T's update list inside
+  R, then waits until its commit record reaches the **head** of the
+  pending queue before committing (relationship 3: commit order equals
+  primary commit order);
 * on ``abort_p(T)`` — aborts R.
+
+A :class:`~repro.core.records.PropagatedBatch` frame (produced by a
+batching propagator) is unpacked in place: its records are processed in
+log order exactly as if they had arrived individually, but the whole
+frame cost only one delivery event.
 
 Multiple applicators run concurrently, which is the whole point: the
 refresher exploits the local SI concurrency control instead of replaying
 the log serially (the ablation benchmark quantifies the difference).
+
+Applicator pooling
+------------------
+By default every commit record forks a fresh kernel process (the paper's
+"spawn an applicator thread" reading, kept bit-identical for existing
+runs).  With ``pool_size`` set, a fixed pool of reusable applicator
+worker processes drains a FIFO work queue instead — no per-commit process
+creation — and pending-queue transitions are signalled through a
+*coalesced* notify (at most one ``notify_all`` per virtual instant no
+matter how many refreshes commit in it).  Relationships 1-3 are
+unaffected: the work queue is FIFO in primary commit order, so the
+pending-queue head is always claimed by some worker before any later
+commit, and each worker still blocks until its record reaches the head.
 
 The applicator additionally maintains ``seq(DBsec)`` for
 ALG-STRONG-SESSION-SI: immediately after R commits — and before the commit
@@ -30,11 +49,12 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.records import (
     PropagatedAbort,
+    PropagatedBatch,
     PropagatedCommit,
     PropagatedStart,
 )
 from repro.errors import ReplicationError
-from repro.kernel import Condition, Kernel, Process
+from repro.kernel import Condition, Kernel, Process, Queue
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.site import SecondarySite
@@ -44,17 +64,27 @@ class Refresher:
     """The refresh process plus its applicator pool at one secondary."""
 
     def __init__(self, kernel: Kernel, site: "SecondarySite",
-                 serial: bool = False):
+                 serial: bool = False, pool_size: Optional[int] = None):
+        if pool_size is not None and pool_size < 1:
+            raise ReplicationError("applicator pool size must be >= 1")
         self.kernel = kernel
         self.site = site
         #: Serial mode applies each transaction to completion before
         #: processing the next record — the naive log-sequence replay the
-        #: paper argues against (used by the ablation study).
+        #: paper argues against (used by the ablation study).  Serial
+        #: replay never uses the pool.
         self.serial = serial
+        #: Reusable-applicator pool size; ``None`` keeps the classic
+        #: spawn-per-commit behaviour (bit-identical to the pre-pool code).
+        self.pool_size = None if serial else pool_size
         self.pending: deque[int] = deque()
         self.pending_cond = Condition(kernel, name=f"{site.name}-pending")
         self._refresh_txns: dict[int, object] = {}
         self._applicators: list[Process] = []
+        self._workers: list[Process] = []
+        self._work: Optional[Queue] = None
+        self._busy_workers = 0
+        self._notify_scheduled = False
         #: Newest primary commit_ts accepted into the pending queue.
         #: Together with ``seq(DBsec)`` this is the replay high-water
         #: mark: commit records at or below it are redeliveries.
@@ -62,6 +92,9 @@ class Refresher:
         self.refreshes_applied = 0
         self.stale_records_dropped = 0
         self.max_concurrent_applicators = 0
+        #: Coalesced pending-queue notifications actually issued (pooled
+        #: mode only; the spawn-per-commit path notifies per transition).
+        self.coalesced_notifies = 0
         self.process: Optional[Process] = None
         self.start()
 
@@ -69,6 +102,16 @@ class Refresher:
         """(Re)start the refresher process (after construction or crash)."""
         self.process = self.kernel.spawn(
             self._run(), name=f"refresher@{self.site.name}", daemon=True)
+        if self.pool_size is not None:
+            self._work = Queue(self.kernel,
+                               name=f"{self.site.name}-applicator-work")
+            self._workers = [
+                self.kernel.spawn(
+                    self._worker(),
+                    name=f"applicator-pool@{self.site.name}:{i}",
+                    daemon=True)
+                for i in range(self.pool_size)
+            ]
 
     def stop(self) -> None:
         """Kill the refresher and all in-flight applicators (site crash)."""
@@ -78,6 +121,14 @@ class Refresher:
         for applicator in self._applicators:
             self.kernel.kill(applicator)
         self._applicators.clear()
+        for worker in self._workers:
+            self.kernel.kill(worker)
+        self._workers.clear()
+        if self._work is not None:
+            self._work.drain()
+            self._work = None
+        self._busy_workers = 0
+        self._notify_scheduled = False
         self.pending.clear()
         self._refresh_txns.clear()
         self._max_enqueued_ts = 0
@@ -91,40 +142,51 @@ class Refresher:
     # -- Algorithm 3.2 -----------------------------------------------------
     def _run(self):
         while True:
-            record = yield self.site.update_queue.get()
-            if isinstance(record, PropagatedStart):
-                if record.txn_id in self._refresh_txns:
-                    # Redelivered start (recovery replay overlapping the
-                    # propagator's own resumed stream); already begun.
-                    self.stale_records_dropped += 1
-                    self.site.record_handled()
-                    continue
-                yield self.pending_cond.wait_for(lambda: not self.pending)
-                self._begin_refresh(record.txn_id, record.start_ts)
-                self.site.record_handled()
-            elif isinstance(record, PropagatedCommit):
-                if record.commit_ts <= max(self.site.seq_db,
-                                           self._max_enqueued_ts):
-                    # Replay high-water mark: this commit is already in
-                    # the database (contained in a recovery copy, or
-                    # redelivered behind its twin).  Applying it again
-                    # would shift the local state numbering off the
-                    # primary's, so discard it — and the refresh
-                    # transaction a redelivered start may have opened.
-                    txn = self._refresh_txns.pop(record.txn_id, None)
-                    if txn is not None:
-                        txn.abort("stale refresh redelivery")
-                    self.stale_records_dropped += 1
-                    self.site.record_handled()
-                    continue
-                self._max_enqueued_ts = record.commit_ts
-                if record.txn_id not in self._refresh_txns:
-                    # Late join after recovery: the start record was lost
-                    # with the old epoch.  Serialise this transaction.
-                    yield self.pending_cond.wait_for(
-                        lambda: not self.pending)
-                    self._begin_refresh(record.txn_id, None)
-                self.pending.append(record.commit_ts)
+            item = yield self.site.update_queue.get()
+            if type(item) is PropagatedBatch:
+                # One delivery event carried a whole propagation cycle;
+                # unpack and process the records in log order.
+                for record in item.records:
+                    yield from self._handle(record)
+            else:
+                yield from self._handle(item)
+            self.site.record_handled()
+
+    def _handle(self, record):
+        """Process one propagated record (one Algorithm 3.2 iteration)."""
+        if isinstance(record, PropagatedStart):
+            if record.txn_id in self._refresh_txns:
+                # Redelivered start (recovery replay overlapping the
+                # propagator's own resumed stream); already begun.
+                self.stale_records_dropped += 1
+                return
+            yield self.pending_cond.wait_for(lambda: not self.pending)
+            self._begin_refresh(record.txn_id, record.start_ts)
+        elif isinstance(record, PropagatedCommit):
+            if record.commit_ts <= max(self.site.seq_db,
+                                       self._max_enqueued_ts):
+                # Replay high-water mark: this commit is already in
+                # the database (contained in a recovery copy, or
+                # redelivered behind its twin).  Applying it again
+                # would shift the local state numbering off the
+                # primary's, so discard it — and the refresh
+                # transaction a redelivered start may have opened.
+                txn = self._refresh_txns.pop(record.txn_id, None)
+                if txn is not None:
+                    txn.abort("stale refresh redelivery")
+                self.stale_records_dropped += 1
+                return
+            self._max_enqueued_ts = record.commit_ts
+            if record.txn_id not in self._refresh_txns:
+                # Late join after recovery: the start record was lost
+                # with the old epoch.  Serialise this transaction.
+                yield self.pending_cond.wait_for(
+                    lambda: not self.pending)
+                self._begin_refresh(record.txn_id, None)
+            self.pending.append(record.commit_ts)
+            if self._work is not None:
+                self._work.put(record)
+            else:
                 applicator = self.kernel.spawn(
                     self._apply(record),
                     name=f"applicator@{self.site.name}:{record.txn_id}",
@@ -135,16 +197,15 @@ class Refresher:
                     sum(1 for a in self._applicators if a.alive))
                 if self.serial:
                     yield applicator.join()
-                self._applicators = [a for a in self._applicators if a.alive]
-                self.site.record_handled()
-            elif isinstance(record, PropagatedAbort):
-                txn = self._refresh_txns.pop(record.txn_id, None)
-                if txn is not None:
-                    txn.abort("primary abort propagated")
-                self.site.record_handled()
-            else:
-                raise ReplicationError(
-                    f"unknown record in update queue: {record!r}")
+                self._applicators = [a for a in self._applicators
+                                     if a.alive]
+        elif isinstance(record, PropagatedAbort):
+            txn = self._refresh_txns.pop(record.txn_id, None)
+            if txn is not None:
+                txn.abort("primary abort propagated")
+        else:
+            raise ReplicationError(
+                f"unknown record in update queue: {record!r}")
 
     def _begin_refresh(self, primary_txn_id: int,
                        start_ts: Optional[int]) -> None:
@@ -167,4 +228,49 @@ class Refresher:
         self.site.set_seq_db(record.commit_ts)
         self.pending.popleft()
         self.refreshes_applied += 1
+        self.pending_cond.notify_all()
+
+    # -- pooled applicators ---------------------------------------------------
+    def _worker(self):
+        """One reusable applicator: drains the work queue forever.
+
+        Work items arrive in primary commit order (the work queue is
+        FIFO and the refresher enqueues in log order), so the worker set
+        always holds the pending-queue head once it is claimed —
+        a bounded pool can therefore never deadlock on the head wait.
+        """
+        pending = self.pending
+        while True:
+            record = yield self._work.get()
+            self._busy_workers += 1
+            if self._busy_workers > self.max_concurrent_applicators:
+                self.max_concurrent_applicators = self._busy_workers
+            txn = self._refresh_txns.pop(record.txn_id)
+            txn.apply_update_records(record.updates)
+            if not (pending and pending[0] == record.commit_ts):
+                yield self.pending_cond.wait_for(
+                    lambda: pending and pending[0] == record.commit_ts)
+            txn.commit()
+            self.site.set_seq_db(record.commit_ts)
+            pending.popleft()
+            self.refreshes_applied += 1
+            self._busy_workers -= 1
+            self._signal()
+
+    def _signal(self) -> None:
+        """Coalesced pending-queue notification.
+
+        Several refresh transactions can commit at the same virtual
+        instant; instead of one ``notify_all`` per transition, schedule a
+        single notification for the instant and let it re-evaluate every
+        waiter once.
+        """
+        if self._notify_scheduled or not self.pending_cond.waiting:
+            return
+        self._notify_scheduled = True
+        self.kernel.call_at(self.kernel.now, self._do_notify)
+
+    def _do_notify(self) -> None:
+        self._notify_scheduled = False
+        self.coalesced_notifies += 1
         self.pending_cond.notify_all()

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.core.records import PropagationRecord
+from repro.core.records import PropagatedBatch, PropagationRecord
 from repro.core.refresh import Refresher
 from repro.kernel import Condition, Kernel, Queue
 from repro.storage.engine import SIDatabase, Transaction
@@ -85,7 +85,8 @@ class SecondarySite:
     """A secondary: executes read-only transactions, applies refreshes."""
 
     def __init__(self, kernel: Kernel, name: str, recorder: Any = None,
-                 serial_refresh: bool = False):
+                 serial_refresh: bool = False,
+                 applicator_pool: Optional[int] = None):
         self.kernel = kernel
         self.name = name
         self.recorder = recorder
@@ -98,7 +99,8 @@ class SecondarySite:
         #: Delivery epoch; bumped on crash so in-flight deliveries from
         #: before the failure are discarded on arrival.
         self.epoch = 0
-        self.refresher = Refresher(kernel, self, serial=serial_refresh)
+        self.refresher = Refresher(kernel, self, serial=serial_refresh,
+                                   pool_size=applicator_pool)
         self.records_dropped = 0
         #: Records scheduled for delivery but not yet arrived (used by
         #: :meth:`ReplicatedSystem.quiesce` to detect idleness).
@@ -216,5 +218,11 @@ class SecondarySite:
 
     @property
     def lag(self) -> int:
-        """Number of queued-but-unapplied refresh records (staleness)."""
-        return len(self.update_queue) + len(self.refresher.pending)
+        """Number of queued-but-unapplied refresh records (staleness).
+
+        Batch frames in the update queue count as their contained
+        records, so lag is comparable whether or not batching is on.
+        """
+        queued = sum(item.count if isinstance(item, PropagatedBatch) else 1
+                     for item in self.update_queue.items)
+        return queued + len(self.refresher.pending)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from repro.core.autovacuum import AutovacuumDaemon
 from repro.core.guarantees import Guarantee
 from repro.core.propagation import Propagator, ReliableLink
 from repro.core.sessions import SequenceTracker
@@ -384,6 +385,17 @@ class ReplicatedSystem:
     serial_refresh:
         Apply refresh transactions serially instead of concurrently
         (the ablation baseline; default off).
+    applicator_pool:
+        Optional size of a reusable applicator pool per secondary.  When
+        set, commit records are drained by that many long-lived worker
+        processes (no per-commit process creation) and pending-queue
+        wakeups are coalesced; ``None`` (the default) keeps the classic
+        spawn-per-commit refresher, bit-identical to earlier versions.
+    autovacuum_interval:
+        Optional virtual-time cadence for per-site autovacuum daemons
+        that garbage-collect version chains at the GC horizon (primary
+        and every secondary).  ``None`` (the default) never vacuums,
+        matching earlier versions exactly.
     channel_faults:
         Optional :class:`~repro.faults.channel.ChannelFaults` injected on
         every propagator->secondary data channel.  Setting this (or
@@ -409,6 +421,8 @@ class ReplicatedSystem:
                  batch_interval: Optional[float] = None,
                  record_history: bool = True,
                  serial_refresh: bool = False,
+                 applicator_pool: Optional[int] = None,
+                 autovacuum_interval: Optional[float] = None,
                  kernel: Optional[Kernel] = None,
                  channel_faults: Optional[ChannelFaults] = None,
                  ack_faults: Optional[ChannelFaults] = None,
@@ -423,9 +437,18 @@ class ReplicatedSystem:
         self.secondaries: list[SecondarySite] = [
             SecondarySite(self.kernel, name=f"secondary-{i + 1}",
                           recorder=self.recorder,
-                          serial_refresh=serial_refresh)
+                          serial_refresh=serial_refresh,
+                          applicator_pool=applicator_pool)
             for i in range(num_secondaries)
         ]
+        self.autovacuums: list[AutovacuumDaemon] = []
+        if autovacuum_interval is not None:
+            self.autovacuums = [
+                AutovacuumDaemon(self.kernel, site.engine,
+                                 autovacuum_interval,
+                                 name=f"autovacuum@{site.name}")
+                for site in [self.primary, *self.secondaries]
+            ]
         self.propagator = Propagator(self.kernel, self.primary.log,
                                      delay=propagation_delay,
                                      batch_interval=batch_interval)

@@ -66,9 +66,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--bench-out", type=Path, default=None,
                         help="baseline JSON path (default: "
                              "BENCH_evaluation.json)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile one run_once per algorithm at "
+                             "--scale and print the hottest functions")
+    parser.add_argument("--profile-top", type=int, default=20,
+                        help="rows per profile table (default: 20)")
     args = parser.parse_args(argv)
 
     jobs = default_jobs() if args.jobs is None else max(1, args.jobs)
+
+    if args.profile:
+        from repro.evaluation.bench import run_profile
+        return run_profile(scale=args.scale, seed=args.seed,
+                           top=args.profile_top)
 
     if args.bench:
         from repro.evaluation.bench import run_bench

@@ -30,8 +30,9 @@ from repro.evaluation.figures import ALGORITHMS, ALL_FIGURES, SCALES, Scale
 from repro.evaluation.parallel import default_jobs
 from repro.evaluation.runner import figure_series, run_sweep, write_csv
 
-#: Schema version of BENCH_evaluation.json.
-BENCH_SCHEMA = 1
+#: Schema version of BENCH_evaluation.json.  Schema 2 adds per-sweep
+#: ``figure_timings`` and storage ``version_stats``.
+BENCH_SCHEMA = 2
 
 #: Representative Figure 2 point timed per algorithm (100 clients on the
 #: 5-secondary 80/20 clients sweep — mid-load, past the warm-up knee).
@@ -43,22 +44,35 @@ RUN_ONCE_SCALE = Scale("bench-once", duration=240.0, warmup=60.0,
                        replications=1)
 
 
+#: Timing repetitions per measurement; the minimum is kept.  Like
+#: ``timeit``, the fastest run is the closest to the code's true cost —
+#: anything slower is scheduler or cache noise, which dominates on the
+#: small shared containers these baselines are recorded on.
+BENCH_REPEATS = 3
+
+
 def bench_kernel(num_processes: int = 50,
-                 sleeps_per_process: int = 2000) -> dict:
+                 sleeps_per_process: int = 2000,
+                 repeats: int = BENCH_REPEATS) -> dict:
     """Measure raw kernel event throughput on a sleep-heavy mix."""
-    kernel = Kernel()
 
-    def ticker(rank: int):
-        delay = 0.5 + rank * 0.01      # staggered so the heap stays mixed
-        for _ in range(sleeps_per_process):
-            yield kernel.sleep(delay)
+    def one_run() -> tuple[int, float]:
+        kernel = Kernel()
 
-    for rank in range(num_processes):
-        kernel.spawn(ticker(rank), name=f"ticker-{rank}")
-    started = perf_counter()
-    kernel.run()
-    elapsed = perf_counter() - started
-    events = kernel._seq               # every scheduled event, incl. spawns
+        def ticker(rank: int):
+            delay = 0.5 + rank * 0.01  # staggered so the heap stays mixed
+            for _ in range(sleeps_per_process):
+                yield kernel.sleep(delay)
+
+        for rank in range(num_processes):
+            kernel.spawn(ticker(rank), name=f"ticker-{rank}")
+        started = perf_counter()
+        kernel.run()
+        elapsed = perf_counter() - started
+        return kernel._seq, elapsed    # every scheduled event, incl. spawns
+
+    events, elapsed = min((one_run() for _ in range(max(1, repeats))),
+                          key=lambda pair: pair[1])
     return {
         "events": events,
         "seconds": round(elapsed, 6),
@@ -66,7 +80,7 @@ def bench_kernel(num_processes: int = 50,
     }
 
 
-def bench_run_once(seed: int = 42) -> dict:
+def bench_run_once(seed: int = 42, repeats: int = BENCH_REPEATS) -> dict:
     """Wall-clock one representative simulation run per algorithm."""
     from repro.simmodel.experiment import run_once
     spec = ALL_FIGURES["2"]
@@ -74,10 +88,112 @@ def bench_run_once(seed: int = 42) -> dict:
     for algorithm in ALGORITHMS:
         params = spec.sweep.params_for(RUN_ONCE_X, algorithm,
                                        RUN_ONCE_SCALE, seed=seed)
-        started = perf_counter()
-        run_once(params, seed=seed)
-        timings[algorithm.value] = round(perf_counter() - started, 4)
+        best = None
+        for _ in range(max(1, repeats)):
+            started = perf_counter()
+            run_once(params, seed=seed)
+            elapsed = perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        timings[algorithm.value] = round(best, 4)
     return timings
+
+
+def bench_figure_timings(seed: int = 42,
+                         repeats: int = BENCH_REPEATS) -> dict:
+    """Wall-clock one representative run per figure sweep (schema 2).
+
+    The seven figures share three sweeps; each is timed at its middle
+    x-value under the strictest algorithm, so every figure family has a
+    number to regress against without re-running whole sweeps.
+    """
+    from repro.simmodel.experiment import run_once
+    timings = {}
+    for spec in ALL_FIGURES.values():
+        sweep = spec.sweep
+        if sweep.key in timings:
+            continue
+        x = sweep.x_values[len(sweep.x_values) // 2]
+        params = sweep.params_for(x, ALGORITHMS[0], RUN_ONCE_SCALE,
+                                  seed=seed)
+        best = None
+        for _ in range(max(1, repeats)):
+            started = perf_counter()
+            run_once(params, seed=seed)
+            elapsed = perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        timings[sweep.key] = round(best, 4)
+    return timings
+
+
+def bench_version_stats(updates: int = 300, seed: int = 42) -> dict:
+    """Version-chain growth on the functional system, with and without
+    autovacuum (schema 2): the same update workload run twice.
+    """
+    from repro.core.guarantees import Guarantee
+    from repro.core.system import ReplicatedSystem
+
+    def workload(system) -> None:
+        with system.session(Guarantee.WEAK_SI) as session:
+            for i in range(updates):
+                session.write(f"k{i % 10}", i)
+                if i % 25 == 24:
+                    system.run(until=system.kernel.now + 30.0)
+        system.quiesce()
+
+    unvacuumed = ReplicatedSystem(num_secondaries=2,
+                                  propagation_delay=1.0,
+                                  record_history=False)
+    workload(unvacuumed)
+    grown = max(site.engine.version_count
+                for site in [unvacuumed.primary, *unvacuumed.secondaries])
+
+    vacuumed = ReplicatedSystem(num_secondaries=2,
+                                propagation_delay=1.0,
+                                record_history=False,
+                                autovacuum_interval=10.0)
+    workload(vacuumed)
+    bounded = max(site.engine.version_count
+                  for site in [vacuumed.primary, *vacuumed.secondaries])
+    return {
+        "updates": updates,
+        "max_versions_unvacuumed": grown,
+        "max_versions_autovacuum": bounded,
+        "versions_reclaimed": sum(d.versions_reclaimed
+                                  for d in vacuumed.autovacuums),
+        "vacuum_runs": sum(d.runs for d in vacuumed.autovacuums),
+    }
+
+
+def run_profile(scale: str = "quick", seed: int = 42, top: int = 20,
+                x: int = RUN_ONCE_X) -> int:
+    """``--profile``: cProfile one run_once per algorithm, dump top-N.
+
+    This is the profile that justifies hot-path optimizations: it runs
+    the same representative Figure 2 point as the bench, under the
+    chosen scale preset, and prints the top functions by internal time
+    and by cumulative time.
+    """
+    import cProfile
+    import pstats
+
+    from repro.simmodel.experiment import run_once
+    spec = ALL_FIGURES["2"]
+    scale_obj = SCALES.get(scale, RUN_ONCE_SCALE)
+    profiler = cProfile.Profile()
+    for algorithm in ALGORITHMS:
+        params = spec.sweep.params_for(x, algorithm, scale_obj, seed=seed)
+        profiler.enable()
+        run_once(params, seed=seed)
+        profiler.disable()
+    print(f"cProfile over one run_once per algorithm "
+          f"(figure 2, x={x}, scale {scale_obj.name!r})")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs()
+    print(f"\n== top {top} by internal time ==")
+    stats.sort_stats("tottime").print_stats(top)
+    print(f"== top {top} by cumulative time ==")
+    stats.sort_stats("cumulative").print_stats(top)
+    return 0
 
 
 def bench_figure2_small(jobs: Optional[int] = None, seed: int = 42) -> dict:
@@ -128,6 +244,18 @@ def run_bench(jobs: Optional[int] = None, out: Optional[Path] = None,
     for algorithm, seconds in run_once_timings.items():
         print(f"  {algorithm:<20} {seconds:.3f}s")
 
+    print("Benchmarking one representative point per figure sweep ...")
+    figure_timings = bench_figure_timings(seed=seed)
+    for sweep_key, seconds in figure_timings.items():
+        print(f"  {sweep_key:<20} {seconds:.3f}s")
+
+    print("Measuring version-chain growth with/without autovacuum ...")
+    version_stats = bench_version_stats(seed=seed)
+    print(f"  {version_stats['max_versions_unvacuumed']} versions grown "
+          f"-> {version_stats['max_versions_autovacuum']} with autovacuum "
+          f"({version_stats['versions_reclaimed']} reclaimed over "
+          f"{version_stats['vacuum_runs']} runs)")
+
     print(f"Benchmarking figure 2 end-to-end at scale 'small' "
           f"(jobs=1 vs jobs={jobs}) ...")
     figure2 = bench_figure2_small(jobs=jobs, seed=seed)
@@ -145,6 +273,8 @@ def run_bench(jobs: Optional[int] = None, out: Optional[Path] = None,
         },
         "kernel": kernel,
         "run_once_seconds": run_once_timings,
+        "figure_timings": figure_timings,
+        "version_stats": version_stats,
         "figure2_small": figure2,
     }
     out.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")

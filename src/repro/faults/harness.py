@@ -64,6 +64,12 @@ class ChaosConfig:
     propagator_stall: bool = True
     failover_wait: float = 60.0
     update_fraction: float = 0.4
+    #: Throughput knobs (all default-off so classic chaos runs are
+    #: bit-identical): propagation batching cycle, reusable applicator
+    #: pool size, and per-site autovacuum cadence.
+    batch_interval: Optional[float] = None
+    applicator_pool: Optional[int] = None
+    autovacuum_interval: Optional[float] = None
 
 
 @dataclass
@@ -90,6 +96,11 @@ class ChaosResult:
     secondary_recoveries: int = 0
     primary_crashes: int = 0
     primary_restarts: int = 0
+    #: Storage-maintenance outcome (zero with autovacuum off).
+    vacuum_runs: int = 0
+    versions_reclaimed: int = 0
+    max_version_count: int = 0     # worst per-site store after quiesce
+    live_keys: int = 0             # keys in the converged primary state
 
     @property
     def ok(self) -> bool:
@@ -119,6 +130,12 @@ class ChaosResult:
             f"(+{self.secondary_recoveries} recoveries), "
             f"{self.primary_crashes} primary "
             f"(+{self.primary_restarts} restarts)")
+        if self.vacuum_runs:
+            lines.append(
+                f"  vacuum: {self.vacuum_runs} runs, "
+                f"{self.versions_reclaimed} versions reclaimed, "
+                f"max store {self.max_version_count} "
+                f"({self.live_keys} live keys)")
         return "\n".join(lines)
 
 
@@ -128,6 +145,9 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
     system = ReplicatedSystem(
         num_secondaries=config.num_secondaries,
         propagation_delay=config.propagation_delay,
+        batch_interval=config.batch_interval,
+        applicator_pool=config.applicator_pool,
+        autovacuum_interval=config.autovacuum_interval,
         channel_faults=config.faults,
         fault_seed=config.seed)
     plan = FaultPlan.random(
@@ -207,6 +227,13 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
     result.failovers = sum(s.failovers for s in sessions)
     result.primary_crashes = system.primary.crash_count
     result.primary_restarts = system.primary.restart_count
+    result.vacuum_runs = sum(d.runs for d in system.autovacuums)
+    result.versions_reclaimed = sum(d.versions_reclaimed
+                                    for d in system.autovacuums)
+    result.max_version_count = max(
+        site.engine.version_count
+        for site in [system.primary, *system.secondaries])
+    result.live_keys = len(primary_state)
     return result
 
 

@@ -17,7 +17,8 @@ later, and return nothing.  Awaitables that support cancellation (so that
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterator, Optional
+from types import GeneratorType
+from typing import Any, Callable, Generator, Optional
 
 from repro.errors import DeadlockError, KernelError, ProcessKilled
 
@@ -251,13 +252,22 @@ class Kernel:
         return self._now
 
     def spawn(self, gen: ProcessBody, name: str = "process",
-              daemon: bool = False) -> Process:
+              daemon: bool = False, eager: bool = False) -> Process:
         """Create a process from a generator and schedule its first step.
 
         Daemon processes (e.g. infinite middleware loops) do not keep
         :meth:`run` alive and are not reported as leaks.
+
+        ``eager`` runs the first step synchronously instead of scheduling
+        it, saving one heap round-trip per spawn.  Virtual time is
+        unaffected (the step runs at the same instant), but the child
+        runs *before* any already-queued same-time events rather than
+        after — use it only on hot paths that don't depend on that order.
         """
-        if not isinstance(gen, Iterator):
+        # Exact-type check first: spawn is on the hot path (one call per
+        # applicator/transaction) and the ``typing``-protocol isinstance
+        # it replaced showed up as a top-five cost under cProfile.
+        if type(gen) is not GeneratorType and not hasattr(gen, "send"):
             raise KernelError(
                 f"spawn() expects a generator, got {type(gen).__name__}; "
                 "did you forget to call the process function?"
@@ -267,7 +277,10 @@ class Kernel:
         process = Process(self, gen, name, pid, daemon=daemon)
         if not daemon:
             self._live_nondaemon += 1
-        self._schedule(self._now, self._resume, process, None)
+        if eager:
+            self._step(process, None, False)
+        else:
+            self._schedule(self._now, self._resume, process, None)
         return process
 
     def sleep(self, delay: float) -> Sleep:

@@ -88,6 +88,11 @@ class Queue:
     def empty(self) -> bool:
         return not self._items
 
+    @property
+    def items(self) -> tuple[Any, ...]:
+        """Snapshot of queued items in FIFO order (monitoring only)."""
+        return tuple(self._items)
+
     def peek(self) -> Any:
         """Return the head item without removing it (raises if empty)."""
         if not self._items:

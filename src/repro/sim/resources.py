@@ -73,6 +73,9 @@ class ProcessorSharingServer:
         self._evicted: set[int] = set()
         self._next_job_id = 0
         self._completion_token = 0
+        #: Wall time of the armed completion event carrying the current
+        #: token, or None when no valid event is outstanding.
+        self._next_fire: Optional[float] = None
         self.jobs_completed = 0
         self.busy_time = 0.0
         self._total_demand_served = 0.0
@@ -127,26 +130,41 @@ class ProcessorSharingServer:
         self._reschedule()
 
     def _reschedule(self) -> None:
-        """Re-arm the next-completion event (token invalidates stale ones)."""
-        self._completion_token += 1
+        """Arm the next-completion event, reusing a pending one if it can.
+
+        An arrival slows everyone down, pushing the next completion
+        *later* — the already-armed event then fires early, finds no job
+        due, and re-arms itself with an accurate ETA.  Keeping it (rather
+        than token-invalidating and pushing a fresh event per arrival)
+        cuts the stale-event churn that dominated the heap under load.
+        A new event is needed only when the next completion moved
+        *earlier* (departure, eviction, or a small new job).
+        """
         heap = self._heap
         evicted = self._evicted
         while heap and heap[0][1] in evicted:
             evicted.discard(_heappop(heap)[1])
         if not heap:
+            self._completion_token += 1     # orphan any pending event
+            self._next_fire = None
             return
         eta = (heap[0][0] - self._virtual) * len(self._jobs) / self.capacity
         if eta < 0.0:
             eta = 0.0
         kernel = self.kernel
+        due = kernel.now + eta
+        if self._next_fire is not None and self._next_fire <= due:
+            return                          # pending event fires in time
+        self._completion_token += 1
+        self._next_fire = due
         # Direct _schedule: eta is clamped non-negative so call_at's
         # past-time guard can never fire here.
-        kernel._schedule(kernel.now + eta, self._complete,
-                         self._completion_token)
+        kernel._schedule(due, self._complete, self._completion_token)
 
     def _complete(self, token: int) -> None:
         if token != self._completion_token:
             return     # superseded by a later arrival/departure
+        self._next_fire = None
         self._advance()
         kernel = self.kernel
         heap = self._heap

@@ -64,6 +64,12 @@ class SimulationParameters:
     per_op_requests: bool = False      # one server request per operation
     serial_refresh: bool = False       # naive serial replay (ablation)
     freshness_bound: int | None = None  # bounded-staleness reads (extension)
+    #: Periodic vacuum pass at each secondary server (models the storage
+    #: maintenance daemon): every ``autovacuum_interval`` seconds the
+    #: server spends ``autovacuum_cost`` seconds of service demand.
+    #: ``None`` disables the daemon (Table 1 behaviour, bit-identical).
+    autovacuum_interval: float | None = None
+    autovacuum_cost: float = 0.01
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -84,6 +90,11 @@ class SimulationParameters:
                 f"unknown server discipline {self.server_discipline!r}")
         if self.freshness_bound is not None and self.freshness_bound < 0:
             raise ConfigurationError("freshness_bound must be >= 0")
+        if self.autovacuum_interval is not None \
+                and self.autovacuum_interval <= 0:
+            raise ConfigurationError("autovacuum_interval must be > 0")
+        if self.autovacuum_cost < 0:
+            raise ConfigurationError("autovacuum_cost must be >= 0")
 
     @property
     def num_clients(self) -> int:

@@ -439,6 +439,13 @@ class SIDatabase:
         """Total versions stored across all chains (for GC diagnostics)."""
         return sum(len(chain) for chain in self._chains.values())
 
+    @property
+    def max_chain_length(self) -> int:
+        """Longest per-key version chain (worst-case read cost / memory)."""
+        if not self._chains:
+            return 0
+        return max(len(chain) for chain in self._chains.values())
+
     # -- failure injection & recovery (Section 3.4) -------------------------
     def crash(self) -> None:
         """Simulate a site failure: active txns die, operations refuse."""

@@ -165,6 +165,57 @@ def test_status_exposes_link_counters():
     assert "link dropped=" in status.report()
 
 
+def test_status_exposes_propagator_counters():
+    system = make_system(num_secondaries=3)
+    s = system.session()
+    s.write("x", 1)
+    s.write("y", 2)
+    system.quiesce()
+    status = system_status(system)
+    # 4 records (2 starts + 2 commits) delivered to each of 3 endpoints.
+    assert status.records_sent == 12
+    assert status.batches_sent == 0
+    assert "propagator:" not in status.report()   # classic report unchanged
+
+
+def test_status_counts_batches_and_reports_them():
+    system = make_system(batch_interval=5.0, propagation_delay=0.0)
+    s = system.session()
+    s.write("x", 1)
+    system.quiesce()
+    status = system_status(system)
+    assert status.batches_sent == 2               # one frame per endpoint
+    assert status.records_sent == 4               # start+commit, 2 endpoints
+    report = status.report()
+    assert "propagator: records=4  batches=2" in report
+
+
+def test_status_exposes_vacuum_counters():
+    system = make_system(propagation_delay=1.0, autovacuum_interval=5.0)
+    s = system.session()
+    for i in range(10):
+        s.write("k", i)
+    system.quiesce()
+    system.run(until=system.kernel.now + 10.0)
+    status = system_status(system)
+    for site in (status.primary,) + status.secondaries:
+        assert site.vacuum_runs > 0
+        assert site.versions_reclaimed > 0
+        assert site.max_chain_length >= 1
+    report = status.report()
+    assert "vacuum:" in report and "reclaimed=" in report
+
+
+def test_fault_free_status_has_no_vacuum_lines():
+    system = make_system()
+    s = system.session()
+    s.write("x", 1)
+    system.quiesce()
+    status = system_status(system)
+    assert status.primary.vacuum_runs == 0
+    assert "vacuum:" not in status.report()
+
+
 def test_aggregate_sessions_counts_failovers():
     system = make_system()
     s = system.session(secondary=0)

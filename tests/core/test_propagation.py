@@ -5,6 +5,7 @@ import pytest
 from repro.core.propagation import Propagator
 from repro.core.records import (
     PropagatedAbort,
+    PropagatedBatch,
     PropagatedCommit,
     PropagatedStart,
 )
@@ -120,8 +121,13 @@ def test_batching_flushes_after_interval(kernel, log, db):
     kernel.run(until=9.0)
     assert endpoint.deliveries == []         # still buffered
     kernel.run()
-    assert len(endpoint.deliveries) == 2     # start + commit, together
-    assert all(when == 10.0 for when, _ in endpoint.deliveries)
+    # The whole cycle travels as ONE frame holding start + commit in order.
+    assert len(endpoint.deliveries) == 1
+    when, frame = endpoint.deliveries[0]
+    assert when == 10.0
+    assert isinstance(frame, PropagatedBatch)
+    assert [type(r).__name__ for r in frame.records] == [
+        "PropagatedStart", "PropagatedCommit"]
 
 
 def test_batching_heap_drains_when_idle(kernel, log, db):
@@ -205,6 +211,27 @@ def test_records_sent_counter(kernel, log, db):
     propagator.attach(FakeEndpoint(kernel))
     _commit(db, "x", 1)
     assert propagator.records_sent == 2
+    assert propagator.batches_sent == 0
+
+
+def test_records_sent_counts_per_endpoint(kernel, log, db):
+    """A record shipped to three secondaries is three deliveries."""
+    propagator = Propagator(kernel, log)
+    for i in range(3):
+        propagator.attach(FakeEndpoint(kernel, f"e{i}"))
+    _commit(db, "x", 1)
+    assert propagator.records_sent == 6      # (start + commit) x 3
+    assert propagator.batches_sent == 0
+
+
+def test_batches_sent_counter(kernel, log, db):
+    propagator = Propagator(kernel, log, batch_interval=10.0)
+    for i in range(2):
+        propagator.attach(FakeEndpoint(kernel, f"e{i}"))
+    _commit(db, "x", 1)
+    kernel.run()
+    assert propagator.batches_sent == 2      # one frame per endpoint
+    assert propagator.records_sent == 4      # (start + commit) x 2
 
 
 def test_pause_during_batch_interval(kernel, log, db):
@@ -219,7 +246,8 @@ def test_pause_during_batch_interval(kernel, log, db):
     assert endpoint.deliveries == []
     propagator.resume()
     kernel.run()
-    assert len(endpoint.deliveries) == 2
+    assert len(endpoint.deliveries) == 1
+    assert endpoint.deliveries[0][1].count == 2
 
 
 def test_new_records_while_paused_keep_order(kernel, log, db):

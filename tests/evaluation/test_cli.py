@@ -47,6 +47,15 @@ def test_chart_flag_prints_ascii(capsys):
     assert "S=strong-session" in out
 
 
+def test_profile_prints_hot_function_tables(capsys):
+    code = main(["--profile", "--scale", "smoke", "--profile-top", "5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cProfile over one run_once per algorithm" in out
+    assert "top 5 by internal time" in out
+    assert "top 5 by cumulative time" in out
+
+
 def test_progress_lines_by_default(capsys):
     main(["--figure", "2", "--scale", "smoke"])
     out = capsys.readouterr().out

@@ -37,6 +37,40 @@ def test_chaos_run_converges_and_passes_checkers(seed):
     assert result.ok
 
 
+#: Memory bound for the autovacuum storm: no site may hold more than
+#: this multiple of the live key count in version-chain entries once the
+#: run has settled (vacuum keeps chains near one version per key; the
+#: slack absorbs updates committed after the final vacuum pass).
+MEMORY_BOUND_MULTIPLE = 3
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_memory_bounded_with_autovacuum(seed):
+    """A fault storm with autovacuum running stays memory-bounded: the
+    guarantees survive AND version chains do not grow with update count."""
+    result = run_chaos(ChaosConfig(seed=seed, autovacuum_interval=5.0))
+    assert result.ok, result.describe()
+    assert result.vacuum_runs > 0
+    assert result.versions_reclaimed > 0
+    bound = MEMORY_BOUND_MULTIPLE * max(result.live_keys, 1)
+    assert result.max_version_count <= bound, (
+        f"seed {seed}: {result.max_version_count} versions for "
+        f"{result.live_keys} live keys exceeds {bound}\n"
+        + result.describe())
+
+
+def test_chaos_survives_full_throughput_pipeline():
+    """Batch shipping + pooled applicators + autovacuum, all enabled,
+    under the same fault storm: convergence and checkers must hold."""
+    result = run_chaos(ChaosConfig(seed=5, batch_interval=0.5,
+                                   applicator_pool=4,
+                                   autovacuum_interval=5.0))
+    assert result.converged, result.describe()
+    for check in result.checks:
+        assert check.ok, result.describe()
+    assert result.ok
+
+
 def test_chaos_is_deterministic_per_seed():
     a = run_chaos(ChaosConfig(seed=3))
     b = run_chaos(ChaosConfig(seed=3))
