@@ -85,6 +85,9 @@ class Refresher:
         self._work: Optional[Queue] = None
         self._busy_workers = 0
         self._notify_scheduled = False
+        #: Incarnation counter: bumped on stop() so notify callbacks
+        #: scheduled by a crashed incarnation are no-ops after restart.
+        self._epoch = 0
         #: Newest primary commit_ts accepted into the pending queue.
         #: Together with ``seq(DBsec)`` this is the replay high-water
         #: mark: commit records at or below it are redeliveries.
@@ -129,6 +132,7 @@ class Refresher:
             self._work = None
         self._busy_workers = 0
         self._notify_scheduled = False
+        self._epoch += 1
         self.pending.clear()
         self._refresh_txns.clear()
         self._max_enqueued_ts = 0
@@ -171,6 +175,13 @@ class Refresher:
                 # would shift the local state numbering off the
                 # primary's, so discard it — and the refresh
                 # transaction a redelivered start may have opened.
+                if record.commit_ts in self.pending:
+                    # The original commit is still queued for
+                    # application (pooled work-queue backlog): its
+                    # refresh transaction is live and owned by an
+                    # applicator, so only the duplicate is dropped.
+                    self.stale_records_dropped += 1
+                    return
                 txn = self._refresh_txns.pop(record.txn_id, None)
                 if txn is not None:
                     txn.abort("stale refresh redelivery")
@@ -245,7 +256,22 @@ class Refresher:
             self._busy_workers += 1
             if self._busy_workers > self.max_concurrent_applicators:
                 self.max_concurrent_applicators = self._busy_workers
-            txn = self._refresh_txns.pop(record.txn_id)
+            txn = self._refresh_txns.pop(record.txn_id, None)
+            if txn is None:
+                # Defensive: the refresh transaction vanished (e.g. a
+                # racing redelivery aborted it before this record was
+                # dequeued).  Still retire its pending-queue entry so
+                # the head keeps advancing and the pool cannot wedge.
+                if record.commit_ts in pending:
+                    if pending[0] != record.commit_ts:
+                        yield self.pending_cond.wait_for(
+                            lambda: pending
+                            and pending[0] == record.commit_ts)
+                    pending.popleft()
+                    self._signal()
+                self.stale_records_dropped += 1
+                self._busy_workers -= 1
+                continue
             txn.apply_update_records(record.updates)
             if not (pending and pending[0] == record.commit_ts):
                 yield self.pending_cond.wait_for(
@@ -268,9 +294,16 @@ class Refresher:
         if self._notify_scheduled or not self.pending_cond.waiting:
             return
         self._notify_scheduled = True
-        self.kernel.call_at(self.kernel.now, self._do_notify)
+        epoch = self._epoch
+        self.kernel.call_at(self.kernel.now,
+                            lambda: self._do_notify(epoch))
 
-    def _do_notify(self) -> None:
+    def _do_notify(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            # Scheduled by an incarnation that has since been stopped
+            # (same-instant crash/restart); the restarted refresher
+            # owns its own notifications.
+            return
         self._notify_scheduled = False
         self.coalesced_notifies += 1
         self.pending_cond.notify_all()

@@ -11,6 +11,11 @@ import pytest
 
 from repro.core.guarantees import Guarantee
 from repro.core.monitoring import system_status
+from repro.core.records import (
+    PropagatedBatch,
+    PropagatedCommit,
+    PropagatedStart,
+)
 from repro.core.site import SecondarySite
 from repro.core.system import ReplicatedSystem
 from repro.errors import ReplicationError
@@ -134,6 +139,45 @@ def test_pool_of_one_serialises_refreshes():
         run_workload(applicator_pool=None))
     for secondary in system.secondaries:
         assert secondary.refresher.max_concurrent_applicators == 1
+
+
+def test_pooled_duplicate_of_queued_commit_does_not_wedge_pool():
+    """Regression: a redelivered commit whose original is still waiting
+    in the pool work queue must only drop the duplicate.  Aborting the
+    live refresh transaction (the old stale-redelivery behaviour) left
+    the original record with no transaction to apply, killing its worker
+    and orphaning the pending-queue head — a deadlocked secondary."""
+    kernel = Kernel()
+    site = SecondarySite(kernel, name="s0", applicator_pool=1)
+    c2 = PropagatedCommit(txn_id=2, commit_ts=2, updates=(("b", 2, False),))
+    site.update_queue.put(PropagatedBatch(records=(
+        PropagatedStart(txn_id=1, start_ts=0),
+        PropagatedStart(txn_id=2, start_ts=0),
+        PropagatedCommit(txn_id=1, commit_ts=1, updates=(("a", 1, False),)),
+        c2,
+        # Duplicate delivered while the original still queues behind
+        # commit 1 (the single worker is claimed by commit 1 first).
+        c2,
+    )))
+    kernel.run()
+    assert site.engine.state_at() == {"a": 1, "b": 2}
+    assert site.seq_db == 2
+    assert not site.refresher.pending
+    assert site.refresher.refreshes_applied == 2
+    assert site.refresher.stale_records_dropped == 1
+
+
+def test_notify_from_stopped_incarnation_is_noop():
+    """A coalesced-notify callback scheduled before a same-instant
+    crash/restart must not fire against the restarted refresher."""
+    kernel = Kernel()
+    site = SecondarySite(kernel, name="s0", applicator_pool=1)
+    refresher = site.refresher
+    stale_epoch = refresher._epoch
+    refresher.stop()
+    refresher.start()
+    refresher._do_notify(stale_epoch)   # orphaned callback
+    assert refresher.coalesced_notifies == 0
 
 
 def test_pooled_refresher_survives_crash_recovery():
