@@ -1,0 +1,55 @@
+"""Checker-scaling smoke: a 10k-commit history must verify in seconds.
+
+This is the CI guard for the incremental checker rewrite: generate a
+10k-commit, 5-secondary replicated history and require the weak-SI and
+strong-session-SI checks (plus completeness) to finish inside a hard
+wall-clock budget.  The legacy state-materialisation checkers take tens
+of seconds on the same history — if someone accidentally reroutes the
+default path back through them, or regresses the timeline code to
+quadratic behaviour, this fails loudly rather than slowly.
+
+Run explicitly (the ``benchmarks/`` tree is not part of tier-1):
+
+    PYTHONPATH=src python -m pytest benchmarks/test_checker_scaling.py
+"""
+
+from time import perf_counter
+
+import pytest
+
+from repro.txn.checkers import (
+    check_completeness,
+    check_strong_session_si,
+    check_weak_si,
+)
+from repro.txn.histgen import generate_replicated_history
+
+COMMITS = 10_000
+SECONDARIES = 5
+
+#: Hard per-check wall-clock budget, seconds.  Generous: the incremental
+#: checkers run each criterion in well under a second on a laptop and in
+#: ~1 s on a small shared CI container.
+BUDGET_SECONDS = 10.0
+
+
+@pytest.fixture(scope="module")
+def history():
+    recorder = generate_replicated_history(
+        COMMITS, secondaries=SECONDARIES, reads=2000, seed=42)
+    recorder.transactions()        # warm the shared aggregation cache
+    return recorder
+
+
+@pytest.mark.parametrize("check", [
+    check_weak_si, check_strong_session_si, check_completeness,
+], ids=lambda fn: fn.__name__)
+def test_incremental_check_within_budget(history, check):
+    started = perf_counter()
+    result = check(history)
+    elapsed = perf_counter() - started
+    assert result.ok, result.violations[:3]
+    assert elapsed <= BUDGET_SECONDS, (
+        f"{check.__name__} took {elapsed:.2f}s over {COMMITS} commits "
+        f"(budget {BUDGET_SECONDS}s) — did the incremental path regress "
+        f"to quadratic behaviour?")

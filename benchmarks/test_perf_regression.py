@@ -38,7 +38,7 @@ def baseline():
 
 
 def test_baseline_schema(baseline):
-    assert baseline["schema"] == 2
+    assert baseline["schema"] == 3
     assert baseline["kernel"]["events_per_sec"] > 0
     assert set(baseline["run_once_seconds"]) == {
         "strong-session-si", "weak-si", "strong-si"}
@@ -49,6 +49,55 @@ def test_baseline_schema(baseline):
     assert stats["max_versions_autovacuum"] \
         <= stats["max_versions_unvacuumed"]
     assert stats["versions_reclaimed"] > 0
+    # Schema 3: incremental-vs-legacy checker timings over a generated
+    # history, and the history's recorded size.
+    checkers = baseline["checker_timings"]
+    assert checkers["commits"] >= 10_000
+    assert checkers["secondaries"] >= 5
+    assert baseline["history_bytes"] == checkers["history_bytes"] > 0
+    for criterion in ("weak_si", "strong_session_si", "completeness"):
+        assert checkers["incremental"][criterion] > 0
+        assert checkers["legacy"][criterion] > 0
+    # The acceptance bar for the incremental rewrite: >= 5x on the SI
+    # criteria at the baseline history length.
+    assert checkers["speedup"]["weak_si"] >= 5
+    assert checkers["speedup"]["strong_session_si"] >= 5
+    # Schema 3: figure2_small carries the real host parallelism; on a
+    # single-CPU host the speedup is null, never a nonsense ratio.
+    figure2 = baseline["figure2_small"]
+    assert figure2["jobs_effective"] >= 1
+    if figure2["jobs_effective"] == 1:
+        assert figure2["speedup"] is None
+    else:
+        assert figure2["speedup"] > 0
+        assert figure2["csv_identical"] is True
+
+
+def test_incremental_checkers_within_tolerance(baseline):
+    """Re-measure the incremental checkers on a fresh (smaller) history.
+
+    The baseline stores timings at 10k commits; re-measuring the legacy
+    path there costs ~a minute, so the guard re-times only the
+    incremental path at a quarter of the length and scales the budget
+    linearly (the incremental path is near-linear in history length —
+    that is the point of it)."""
+    from repro.evaluation.bench import bench_checkers
+
+    base = baseline["checker_timings"]
+    factor = 4
+    current = bench_checkers(commits=base["commits"] // factor,
+                             secondaries=base["secondaries"],
+                             reads=base["reads"] // factor,
+                             include_legacy=False)
+    for criterion in ("weak_si", "strong_session_si", "completeness"):
+        budget = max(base["incremental"][criterion] / factor, 0.05) \
+            * TOLERANCE
+        assert current["incremental"][criterion] <= budget, (
+            f"incremental {criterion} took "
+            f"{current['incremental'][criterion]:.3f}s at "
+            f"{base['commits'] // factor} commits; budget {budget:.3f}s "
+            f"(baseline {base['incremental'][criterion]:.3f}s at "
+            f"{base['commits']} commits, tolerance {TOLERANCE}x)")
 
 
 def test_kernel_events_per_sec_within_tolerance(baseline):

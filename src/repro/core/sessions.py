@@ -59,6 +59,18 @@ class SequenceTracker:
             return self._global_seq
         return self._seq[label]
 
+    def forget(self, label: str) -> None:
+        """Drop a retired session label's sequence entry.
+
+        Simulation clients retire each session label permanently when the
+        session ends; without this, a long run accumulates one entry per
+        session ever created.  Forgetting a label is observationally
+        identical for retired labels — they are never queried again — and
+        a forgotten label that *does* reappear starts back at 0, exactly
+        like a label never seen.
+        """
+        self._seq.pop(label, None)
+
     def reset(self) -> None:
         self._seq.clear()
         self._global_seq = 0

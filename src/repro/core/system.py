@@ -382,6 +382,12 @@ class ReplicatedSystem:
     record_history:
         Keep a global :class:`HistoryRecorder` (default on) so checkers
         can audit every execution.
+    history_detail:
+        Recording fidelity when history is on: ``"ops"`` (default)
+        records every read/write/scan and supports the SI checkers;
+        ``"commits"`` records only transaction boundaries — orders of
+        magnitude lighter for long throughput runs, but checkers refuse
+        such histories.
     serial_refresh:
         Apply refresh transactions serially instead of concurrently
         (the ablation baseline; default off).
@@ -420,6 +426,7 @@ class ReplicatedSystem:
                  propagation_delay: float = 0.0,
                  batch_interval: Optional[float] = None,
                  record_history: bool = True,
+                 history_detail: str = "ops",
                  serial_refresh: bool = False,
                  applicator_pool: Optional[int] = None,
                  autovacuum_interval: Optional[float] = None,
@@ -432,7 +439,8 @@ class ReplicatedSystem:
             raise ConfigurationError("need at least one secondary site")
         self.kernel = kernel or Kernel()
         self.recorder: Optional[HistoryRecorder] = (
-            HistoryRecorder() if record_history else None)
+            HistoryRecorder(detail=history_detail) if record_history
+            else None)
         self.primary = PrimarySite(self.kernel, recorder=self.recorder)
         self.secondaries: list[SecondarySite] = [
             SecondarySite(self.kernel, name=f"secondary-{i + 1}",

@@ -12,7 +12,12 @@ tolerance):
   simulation point for each of the three guarantees;
 * **figure-2-small end-to-end** — the full Figure 2 sweep at the
   ``small`` scale with ``jobs=1`` versus ``jobs=N``, recording the
-  speedup and verifying the parallel CSV is byte-identical to serial.
+  speedup and verifying the parallel CSV is byte-identical to serial
+  (skipped on single-CPU hosts, where a "parallel" run is just the
+  serial run racing itself);
+* **checker timings** (schema 3) — incremental vs legacy SI checkers
+  over a generated 10k-commit, 5-secondary history, plus the recorded
+  history's approximate byte size.
 """
 
 from __future__ import annotations
@@ -30,9 +35,13 @@ from repro.evaluation.figures import ALGORITHMS, ALL_FIGURES, SCALES, Scale
 from repro.evaluation.parallel import default_jobs
 from repro.evaluation.runner import figure_series, run_sweep, write_csv
 
-#: Schema version of BENCH_evaluation.json.  Schema 2 adds per-sweep
-#: ``figure_timings`` and storage ``version_stats``.
-BENCH_SCHEMA = 2
+#: Schema version of BENCH_evaluation.json.  Schema 2 added per-sweep
+#: ``figure_timings`` and storage ``version_stats``.  Schema 3 adds
+#: ``checker_timings`` (incremental vs legacy SI verification over a
+#: generated 10k-commit history) + ``history_bytes``, and replaces the
+#: meaningless single-CPU figure-2 speedup with ``jobs_effective`` and a
+#: ``null`` speedup.
+BENCH_SCHEMA = 3
 
 #: Representative Figure 2 point timed per algorithm (100 clients on the
 #: 5-secondary 80/20 clients sweep — mid-load, past the warm-up knee).
@@ -164,6 +173,77 @@ def bench_version_stats(updates: int = 300, seed: int = 42) -> dict:
     }
 
 
+#: Checker-bench history shape: long enough that the legacy O(commits²)
+#: path visibly walls (tens of seconds) while the incremental path stays
+#: around a second; the read count is bounded so timing the legacy path
+#: stays affordable in a baseline run.
+CHECKER_BENCH_COMMITS = 10_000
+CHECKER_BENCH_SECONDARIES = 5
+CHECKER_BENCH_READS = 2_000
+
+#: The three criteria timed by :func:`bench_checkers`.
+_CHECKER_CRITERIA = ("weak_si", "strong_session_si", "completeness")
+
+
+def bench_checkers(commits: int = CHECKER_BENCH_COMMITS,
+                   secondaries: int = CHECKER_BENCH_SECONDARIES,
+                   reads: int = CHECKER_BENCH_READS,
+                   seed: int = 42,
+                   include_legacy: bool = True) -> dict:
+    """Time incremental vs legacy SI checkers over a generated history.
+
+    The history comes from
+    :func:`repro.txn.histgen.generate_replicated_history` — ``commits``
+    primary commits fully replicated to ``secondaries`` replicas — and
+    is checker-clean by construction, so every timed run must come back
+    ``ok``.  The per-transaction aggregation cache is warmed first so
+    both paths time *checking*, not shared event aggregation.
+    """
+    from repro.txn import checkers
+    from repro.txn.histgen import generate_replicated_history
+
+    started = perf_counter()
+    recorder = generate_replicated_history(
+        commits, secondaries=secondaries, reads=reads, seed=seed)
+    generate_seconds = perf_counter() - started
+    recorder.transactions()            # warm the aggregation cache
+
+    check_fns = {
+        "weak_si": checkers.check_weak_si,
+        "strong_session_si": checkers.check_strong_session_si,
+        "completeness": checkers.check_completeness,
+    }
+    methods = ("incremental", "legacy") if include_legacy \
+        else ("incremental",)
+    timings: dict = {method: {} for method in methods}
+    for method in methods:
+        for criterion in _CHECKER_CRITERIA:
+            started = perf_counter()
+            result = check_fns[criterion](recorder, method=method)
+            elapsed = perf_counter() - started
+            if not result.ok:        # pragma: no cover - generator bug
+                raise RuntimeError(
+                    f"generated history failed {criterion} ({method}): "
+                    f"{result.violations[:1]}")
+            timings[method][criterion] = round(elapsed, 4)
+    out = {
+        "commits": commits,
+        "secondaries": secondaries,
+        "reads": reads,
+        "history_events": len(recorder.events),
+        "history_bytes": recorder.nbytes(),
+        "generate_seconds": round(generate_seconds, 4),
+        **timings,
+    }
+    if include_legacy:
+        out["speedup"] = {
+            criterion: round(timings["legacy"][criterion]
+                             / max(timings["incremental"][criterion], 1e-9),
+                             2)
+            for criterion in _CHECKER_CRITERIA}
+    return out
+
+
 def run_profile(scale: str = "quick", seed: int = 42, top: int = 20,
                 x: int = RUN_ONCE_X) -> int:
     """``--profile``: cProfile one run_once per algorithm, dump top-N.
@@ -197,14 +277,34 @@ def run_profile(scale: str = "quick", seed: int = 42, top: int = 20,
 
 
 def bench_figure2_small(jobs: Optional[int] = None, seed: int = 42) -> dict:
-    """Figure 2 end-to-end at the ``small`` scale, serial vs parallel."""
-    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    """Figure 2 end-to-end at the ``small`` scale, serial vs parallel.
+
+    On a single-CPU host a "parallel" sweep is the serial run racing
+    itself through pool overhead — the speedup it used to record (e.g.
+    0.822x) was noise, not signal — so the parallel leg and the speedup
+    are skipped (``None``) when ``default_jobs() == 1``.  The actual
+    host parallelism is recorded as ``jobs_effective``.
+    """
+    jobs_effective = default_jobs()
+    jobs = jobs_effective if jobs is None else max(1, int(jobs))
     spec = ALL_FIGURES["2"]
     scale = SCALES["small"]
 
     started = perf_counter()
     serial = run_sweep(spec.sweep, scale, seed=seed, jobs=1)
     serial_seconds = perf_counter() - started
+
+    result = {
+        "scale": scale.name,
+        "jobs": jobs,
+        "jobs_effective": jobs_effective,
+        "seconds_serial": round(serial_seconds, 4),
+        "seconds_parallel": None,
+        "speedup": None,
+        "csv_identical": None,
+    }
+    if jobs_effective == 1:
+        return result
 
     started = perf_counter()
     parallel = run_sweep(spec.sweep, scale, seed=seed, jobs=jobs)
@@ -217,14 +317,12 @@ def bench_figure2_small(jobs: Optional[int] = None, seed: int = 42) -> dict:
         write_csv(figure_series(spec, parallel), parallel_csv)
         identical = serial_csv.read_bytes() == parallel_csv.read_bytes()
 
-    return {
-        "scale": scale.name,
-        "jobs": jobs,
-        "seconds_serial": round(serial_seconds, 4),
-        "seconds_parallel": round(parallel_seconds, 4),
-        "speedup": round(serial_seconds / parallel_seconds, 3),
-        "csv_identical": identical,
-    }
+    result.update(
+        seconds_parallel=round(parallel_seconds, 4),
+        speedup=round(serial_seconds / parallel_seconds, 3),
+        csv_identical=identical,
+    )
+    return result
 
 
 def run_bench(jobs: Optional[int] = None, out: Optional[Path] = None,
@@ -256,13 +354,28 @@ def run_bench(jobs: Optional[int] = None, out: Optional[Path] = None,
           f"({version_stats['versions_reclaimed']} reclaimed over "
           f"{version_stats['vacuum_runs']} runs)")
 
+    print(f"Benchmarking SI checkers over a generated "
+          f"{CHECKER_BENCH_COMMITS}-commit history ...")
+    checker_timings = bench_checkers(seed=seed)
+    for criterion in _CHECKER_CRITERIA:
+        print(f"  {criterion:<20} incremental "
+              f"{checker_timings['incremental'][criterion]:.3f}s, legacy "
+              f"{checker_timings['legacy'][criterion]:.3f}s "
+              f"({checker_timings['speedup'][criterion]:.1f}x)")
+    print(f"  history: {checker_timings['history_events']} events, "
+          f"{checker_timings['history_bytes'] / 1e6:.1f} MB")
+
     print(f"Benchmarking figure 2 end-to-end at scale 'small' "
           f"(jobs=1 vs jobs={jobs}) ...")
     figure2 = bench_figure2_small(jobs=jobs, seed=seed)
-    print(f"  serial {figure2['seconds_serial']:.2f}s, "
-          f"parallel {figure2['seconds_parallel']:.2f}s "
-          f"(speedup {figure2['speedup']:.2f}x, csv identical: "
-          f"{figure2['csv_identical']})")
+    if figure2["speedup"] is None:
+        print(f"  serial {figure2['seconds_serial']:.2f}s "
+              f"(single-CPU host: parallel comparison skipped)")
+    else:
+        print(f"  serial {figure2['seconds_serial']:.2f}s, "
+              f"parallel {figure2['seconds_parallel']:.2f}s "
+              f"(speedup {figure2['speedup']:.2f}x, csv identical: "
+              f"{figure2['csv_identical']})")
 
     baseline = {
         "schema": BENCH_SCHEMA,
@@ -275,6 +388,8 @@ def run_bench(jobs: Optional[int] = None, out: Optional[Path] = None,
         "run_once_seconds": run_once_timings,
         "figure_timings": figure_timings,
         "version_stats": version_stats,
+        "checker_timings": checker_timings,
+        "history_bytes": checker_timings["history_bytes"],
         "figure2_small": figure2,
     }
     out.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")

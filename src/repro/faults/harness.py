@@ -40,6 +40,7 @@ from repro.txn.checkers import (
     check_strong_session_si,
     check_weak_si,
 )
+from repro.txn.history import HistoryRecorder
 
 #: Channel faults aggressive enough that every schedule sees drops,
 #: duplicates and reordering, yet tame enough to converge quickly.
@@ -70,6 +71,12 @@ class ChaosConfig:
     batch_interval: Optional[float] = None
     applicator_pool: Optional[int] = None
     autovacuum_interval: Optional[float] = None
+    #: Checker implementation ("incremental" or "legacy") and history
+    #: recording mode ("ops" records every operation; "commits" records
+    #: only transaction boundaries — the SI/completeness audits are then
+    #: skipped, leaving just the convergence check).
+    checker_method: str = "incremental"
+    history_detail: str = "ops"
 
 
 @dataclass
@@ -80,6 +87,10 @@ class ChaosResult:
     converged: bool
     checks: list[CheckResult] = field(default_factory=list)
     plan: Optional[FaultPlan] = None
+    #: The run's recorded history (for re-checking, e.g. differential
+    #: incremental-vs-legacy tests) and its approximate size.
+    recorder: Optional["HistoryRecorder"] = None
+    history_bytes: int = 0
     #: Operation outcomes.
     updates: int = 0
     reads: int = 0
@@ -148,6 +159,7 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
         batch_interval=config.batch_interval,
         applicator_pool=config.applicator_pool,
         autovacuum_interval=config.autovacuum_interval,
+        history_detail=config.history_detail,
         channel_faults=config.faults,
         fault_seed=config.seed)
     plan = FaultPlan.random(
@@ -206,11 +218,15 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
         system.secondary_state(i) == primary_state
         and system.secondaries[i].seq_db == system.primary.latest_commit_ts
         for i in range(config.num_secondaries))
-    result.checks = [
-        check_completeness(system.recorder),
-        check_weak_si(system.recorder),
-        check_strong_session_si(system.recorder),
-    ]
+    result.recorder = system.recorder
+    result.history_bytes = system.recorder.nbytes()
+    if config.history_detail == "ops":
+        method = config.checker_method
+        result.checks = [
+            check_completeness(system.recorder, method=method),
+            check_weak_si(system.recorder, method=method),
+            check_strong_session_si(system.recorder, method=method),
+        ]
 
     for secondary in system.secondaries:
         link = system.propagator.link_for(secondary)

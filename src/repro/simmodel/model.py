@@ -203,6 +203,10 @@ class LazyReplicationModel:
                     yield from self._update_transaction(rng, label)
                 else:
                     yield from self._read_transaction(rng, label, secondary)
+            # Session labels are never reused, so drop the retired label's
+            # tracker entry — keeps tracker memory bounded by *live*
+            # sessions on long (e.g. `large`-scale) runs.
+            self.tracker.forget(label)
 
     def _service(self, server: Server, rng: RandomStream, n_ops: int):
         """Consume n_ops of service, per-op or aggregated (equivalent

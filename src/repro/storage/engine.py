@@ -74,6 +74,7 @@ class Transaction:
         "commit_ts",
         "_writes",
         "_read_keys",
+        "_read_seen",
         "_scans",
     )
 
@@ -88,7 +89,10 @@ class Transaction:
         self.commit_ts: Optional[int] = None
         # key -> (value, deleted); insertion order preserved for replay.
         self._writes: dict[Any, tuple[Any, bool]] = {}
+        # First-read order, deduplicated: long read-heavy transactions
+        # re-read hot keys, so the list is bounded by distinct keys.
         self._read_keys: list[Any] = []
+        self._read_seen: set[Any] = set()
         self._scans: list[tuple[Any, Any]] = []
 
     # -- queries ---------------------------------------------------------
@@ -121,7 +125,9 @@ class Transaction:
         self._check_active()
         db = self.db
         db._check_up()
-        self._read_keys.append(key)
+        if key not in self._read_seen:
+            self._read_seen.add(key)
+            self._read_keys.append(key)
         recording = db.recorder is not None
         own = self._writes.get(key)
         if own is not None:
@@ -163,11 +169,13 @@ class Transaction:
             candidates = self.db._index.range(lo, hi)
         self._scans.append((lo if prefix is None else prefix, hi))
         out: list[tuple[Any, Any]] = []
+        emitted: set[Any] = set()
         for key in candidates:
             if key in self._writes:
                 value, deleted = self._writes[key]
                 if not deleted:
                     out.append((key, value))
+                    emitted.add(key)
                 continue
             chain = self.db._chains.get(key)
             if chain is None:
@@ -175,10 +183,11 @@ class Transaction:
             exists, value = chain.value_at(self.start_ts)
             if exists:
                 out.append((key, value))
+                emitted.add(key)
         # Own-written brand-new keys may not be in the index slice when the
         # index is updated only at commit; merge them here.
         for key, (value, deleted) in self._writes.items():
-            if deleted or any(k == key for k, _ in out):
+            if deleted or key in emitted:
                 continue
             if self.db._in_range(key, lo, hi, prefix):
                 out.append((key, value))

@@ -14,6 +14,22 @@ trust any middleware bookkeeping.  The method:
 
 Completeness (Theorem 3.1) is checked separately by comparing each
 secondary's replayed state sequence against the primary's.
+
+Two implementations share these definitions:
+
+* ``method="incremental"`` (default) — per-key timelines
+  (:mod:`repro.txn.timeline`): candidate snapshots are intersections of
+  per-key admissible *intervals* resolved by ``bisect``, and completeness
+  compares only the keys that can differ between consecutive checked
+  states.  O(total writes) memory, near-linear time.
+* ``method="legacy"`` — the original state-materialisation checkers
+  (one full ``dict`` per committed update, every transaction tested
+  against every prefix state).  O(commits²); kept for differential
+  testing.
+
+Both return identical verdicts — violation kinds, messages, and order —
+which the differential tests in ``tests/txn/test_incremental_checkers.py``
+enforce over fault-storm histories.
 """
 
 from __future__ import annotations
@@ -24,8 +40,11 @@ from typing import Any, Optional
 
 from repro.errors import CheckerError
 from repro.txn.history import HistoryRecorder, TxnView
+from repro.txn.timeline import IntervalSet, KeyTimelines
 
 _MISSING = object()
+
+_METHODS = ("incremental", "legacy")
 
 
 @dataclass(frozen=True)
@@ -55,6 +74,21 @@ class CheckResult:
                 f"{self.checked_transactions} committed transaction(s)")
 
 
+def _check_method(method: str) -> None:
+    if method not in _METHODS:
+        raise CheckerError(
+            f"unknown checker method {method!r}; expected one of {_METHODS}")
+
+
+def _check_detail(recorder: HistoryRecorder) -> None:
+    detail = getattr(recorder, "detail", "ops")
+    if detail != "ops":
+        raise CheckerError(
+            f"history was recorded with detail={detail!r}: read/write "
+            f"events are missing, so the SI checkers cannot run; record "
+            f"with detail='ops' for checked runs")
+
+
 @dataclass
 class _Analyzed:
     """A committed client transaction with its inferred snapshot(s).
@@ -64,10 +98,14 @@ class _Analyzed:
     candidate snapshot indices, and which one to assume is decided per
     criterion by :func:`_ordering_violations` (choosing minimally, so no
     phantom constraints are invented for later transactions).
+
+    The legacy path stores the candidates as an explicit ascending list;
+    the incremental path stores an :class:`IntervalSet` and expands it
+    only on violation messages.
     """
 
     view: TxnView
-    admissible: list[int]        # candidate snapshots <= upper, ascending
+    admissible: Any              # list[int] (legacy) | IntervalSet (inc.)
     commit_index: Optional[int]  # state index its commit produced (updates)
     upper: int                   # commits before its begin
 
@@ -78,7 +116,29 @@ class _Analyzed:
 
     @property
     def max_admissible(self) -> int:
+        if isinstance(self.admissible, IntervalSet):
+            return self.admissible.max()
         return self.admissible[-1]
+
+    @property
+    def min_admissible(self) -> int:
+        if isinstance(self.admissible, IntervalSet):
+            return self.admissible.min()
+        return self.admissible[0]
+
+    def admissible_list(self) -> list[int]:
+        """Explicit candidate list — violation-message paths only."""
+        if isinstance(self.admissible, IntervalSet):
+            return self.admissible.to_list()
+        return self.admissible
+
+    def first_admissible_at_least(self, lower: int) -> Optional[int]:
+        if isinstance(self.admissible, IntervalSet):
+            return self.admissible.first_at_least(lower)
+        for c in self.admissible:
+            if c >= lower:
+                return c
+        return None
 
 
 def _read_constraints(view: TxnView) -> list[tuple[Any, Any, bool]]:
@@ -115,8 +175,23 @@ def _candidates(states: list[dict[Any, Any]],
             if _satisfied(state, constraints)]
 
 
+def _primary_updates(recorder: HistoryRecorder,
+                     primary_site: str) -> list[TxnView]:
+    """Committed primary update transactions in commit order, with the
+    dense-timestamp sanity check both analysis paths share."""
+    updates = [v for v in recorder.committed(site=primary_site)
+               if v.is_update]
+    for index, view in enumerate(updates, start=1):
+        if view.commit_ts is not None and view.commit_ts != index:
+            raise CheckerError(
+                f"primary commit timestamps not dense: txn "
+                f"{view.logical_id or view.txn_id} has commit_ts "
+                f"{view.commit_ts}, expected {index}")
+    return updates
+
+
 class _HistoryAnalysis:
-    """Shared preprocessing for all criteria over one history."""
+    """Legacy shared preprocessing: materialised prefix states."""
 
     def __init__(self, recorder: HistoryRecorder, primary_site: str):
         self.recorder = recorder
@@ -124,16 +199,8 @@ class _HistoryAnalysis:
         self.states = recorder.replay_states(primary_site)
         # Commit-event sequence numbers of primary update commits, in order;
         # commit i (1-based) produced state S^i.
-        self.commit_seqs: list[int] = []
-        primary_updates = [v for v in recorder.committed(site=primary_site)
-                           if v.is_update]
-        for index, view in enumerate(primary_updates, start=1):
-            self.commit_seqs.append(view.end_seq)
-            if view.commit_ts is not None and view.commit_ts != index:
-                raise CheckerError(
-                    f"primary commit timestamps not dense: txn "
-                    f"{view.logical_id or view.txn_id} has commit_ts "
-                    f"{view.commit_ts}, expected {index}")
+        self.commit_seqs = [v.end_seq
+                            for v in _primary_updates(recorder, primary_site)]
         self.client_views = [v for v in recorder.committed()
                              if not v.is_refresh]
 
@@ -184,12 +251,108 @@ class _HistoryAnalysis:
         return analyzed, violations
 
 
+class _IncrementalAnalysis:
+    """Incremental shared preprocessing: per-key timelines, no prefix
+    states.  Produces the same :class:`_Analyzed` records and the same
+    violations (kind, message, order) as :class:`_HistoryAnalysis`."""
+
+    def __init__(self, recorder: HistoryRecorder, primary_site: str):
+        self.recorder = recorder
+        self.primary_site = primary_site
+        self.timelines = KeyTimelines()
+        self.commit_seqs: list[int] = []
+        for view in _primary_updates(recorder, primary_site):
+            self.commit_seqs.append(view.end_seq)
+            self.timelines.append_commit(view.final_writes)
+        self.client_views = [v for v in recorder.committed()
+                             if not v.is_refresh]
+
+    def commits_before(self, seq: int) -> int:
+        return bisect_left(self.commit_seqs, seq)
+
+    def _pinned_satisfied(self, snapshot: int,
+                          constraints: list[tuple[Any, Any, bool]]) -> bool:
+        value_at = self.timelines.value_at
+        for key, value, present in constraints:
+            actual_present, actual = value_at(key, snapshot)
+            if present:
+                if not actual_present or actual != value:
+                    return False
+            elif actual_present:
+                return False
+        return True
+
+    def _candidate_intervals(
+            self, constraints: list[tuple[Any, Any, bool]]) -> IntervalSet:
+        """Intersection of the per-constraint admissible interval sets."""
+        candidates = IntervalSet.full(self.timelines.num_commits)
+        intervals_for = self.timelines.intervals_for
+        for key, value, present in constraints:
+            candidates = candidates.intersect(
+                intervals_for(key, value, present))
+            if candidates.empty:
+                break       # intersection can only shrink further
+        return candidates
+
+    def analyze(self) -> tuple[list[_Analyzed], list[Violation]]:
+        analyzed: list[_Analyzed] = []
+        violations: list[Violation] = []
+        num_states = self.timelines.num_commits + 1
+        for view in sorted(self.client_views, key=lambda v: v.begin_seq):
+            upper = self.commits_before(view.begin_seq)
+            constraints = _read_constraints(view)
+            if view.site == self.primary_site and view.is_update:
+                snapshot = view.start_ts or 0
+                commit_index = view.commit_ts
+                if snapshot >= num_states or not self._pinned_satisfied(
+                        snapshot, constraints):
+                    violations.append(Violation(
+                        kind="inconsistent-update-read",
+                        message=(f"update txn {view.logical_id or view.txn_id}"
+                                 f" reads do not match primary state "
+                                 f"S^{snapshot}"),
+                        txns=(view.key,)))
+                    continue
+                analyzed.append(_Analyzed(
+                    view, IntervalSet(((snapshot, snapshot),)),
+                    commit_index, upper))
+                continue
+            candidates = self._candidate_intervals(constraints)
+            admissible = candidates.clamp_max(upper)
+            if admissible.empty:
+                if not candidates.empty:
+                    message = (
+                        f"txn {view.logical_id or view.txn_id} saw a state "
+                        f"(index in {candidates.to_list()}) newer than any "
+                        f"committed before it began (<= {upper})")
+                    kind = "future-snapshot"
+                else:
+                    message = (
+                        f"txn {view.logical_id or view.txn_id} reads match "
+                        f"no transaction-consistent primary state")
+                    kind = "no-consistent-snapshot"
+                violations.append(Violation(kind=kind, message=message,
+                                            txns=(view.key,)))
+                continue
+            analyzed.append(_Analyzed(view, admissible, None, upper))
+        return analyzed, violations
+
+
+def _analysis(recorder: HistoryRecorder, primary_site: str, method: str):
+    _check_method(method)
+    _check_detail(recorder)
+    if method == "legacy":
+        return _HistoryAnalysis(recorder, primary_site)
+    return _IncrementalAnalysis(recorder, primary_site)
+
+
 def check_weak_si(recorder: HistoryRecorder,
-                  primary_site: str = "primary") -> CheckResult:
+                  primary_site: str = "primary",
+                  method: str = "incremental") -> CheckResult:
     """Global weak SI (Theorem 3.2): every committed client transaction
     observed *some* transaction-consistent primary snapshot no newer than
     its begin."""
-    analysis = _HistoryAnalysis(recorder, primary_site)
+    analysis = _analysis(recorder, primary_site, method)
     analyzed, violations = analysis.analyze()
     return CheckResult(criterion="weak SI", ok=not violations,
                        violations=violations,
@@ -208,6 +371,9 @@ def _ordering_violations(analyzed: list[_Analyzed],
     constraints on later transactions.  (A greedy *maximum* assignment is
     wrong — it invents phantom freshness obligations for later reads of
     the same session.)
+
+    This is the legacy O(n²) pair loop; see
+    :func:`_incremental_ordering_violations` for the streaming version.
     """
     violations: list[Violation] = []
     ordered = sorted(analyzed, key=lambda a: a.view.begin_seq)
@@ -230,48 +396,150 @@ def _ordering_violations(analyzed: list[_Analyzed],
                 lower = effective
                 lower_source = ti
         if tj.pinned:
-            snapshot = tj.admissible[0]
+            snapshot = tj.min_admissible
             assigned[tj.view.key] = snapshot
             feasible = snapshot >= lower
         else:
-            options = [c for c in tj.admissible if c >= lower]
-            feasible = bool(options)
-            snapshot = options[0] if options else tj.max_admissible
+            option = tj.first_admissible_at_least(lower)
+            feasible = option is not None
+            snapshot = option if feasible else tj.max_admissible
             assigned[tj.view.key] = snapshot
         if not feasible:
-            scope = " in the same session" if same_session_only else ""
-            source = (lower_source.view.logical_id
-                      or lower_source.view.txn_id)
-            violations.append(Violation(
-                kind="transaction-inversion",
-                message=(
-                    f"txn {tj.view.logical_id or tj.view.txn_id} saw "
-                    f"state S^{snapshot} (candidates {tj.admissible}) but "
-                    f"{source} (committed earlier{scope}) requires at "
-                    f"least S^{lower}"),
-                txns=(lower_source.view.key, tj.view.key)))
+            violations.append(_inversion_violation(
+                tj, snapshot, lower, lower_source, same_session_only))
     return violations
 
 
+def _inversion_violation(tj: _Analyzed, snapshot: int, lower: int,
+                         lower_source: _Analyzed,
+                         same_session_only: bool) -> Violation:
+    scope = " in the same session" if same_session_only else ""
+    source = (lower_source.view.logical_id
+              or lower_source.view.txn_id)
+    return Violation(
+        kind="transaction-inversion",
+        message=(
+            f"txn {tj.view.logical_id or tj.view.txn_id} saw "
+            f"state S^{snapshot} (candidates {tj.admissible_list()}) but "
+            f"{source} (committed earlier{scope}) requires at "
+            f"least S^{lower}"),
+        txns=(lower_source.view.key, tj.view.key))
+
+
+class _LowerBound:
+    """Running maximum of ``effective`` snapshots over an admitted pool.
+
+    Replicates the legacy scan's tie-break exactly: the source is the
+    earliest-*begun* transaction achieving the maximum (the legacy loop
+    visits candidates in begin order and replaces only on a strict
+    increase), and an effective index of 0 never names a source (the
+    bound starts at 0 and only strict increases record one).
+    """
+
+    __slots__ = ("lower", "source")
+
+    def __init__(self) -> None:
+        self.lower = 0
+        self.source: Optional[_Analyzed] = None
+
+    def admit(self, ti: _Analyzed, effective: int) -> None:
+        if effective > self.lower:
+            self.lower = effective
+            self.source = ti
+        elif (effective == self.lower and self.source is not None
+              and ti.view.begin_seq < self.source.view.begin_seq):
+            self.source = ti
+
+
+def _incremental_ordering_violations(analyzed: list[_Analyzed],
+                                     same_session_only: bool
+                                     ) -> list[Violation]:
+    """Streaming equivalent of :func:`_ordering_violations`.
+
+    Processing transactions in begin order, every Ti that constrains Tj
+    satisfies ``Ti.end_seq < Tj.begin_seq`` — so a single pointer over
+    the analyzed list sorted by end_seq admits each Ti into a running
+    lower-bound pool exactly once (globally, or per session label),
+    replacing the quadratic pair scan with O(n log n + n)."""
+    violations: list[Violation] = []
+    ordered = sorted(analyzed, key=lambda a: a.view.begin_seq)
+    by_end = sorted((a for a in analyzed if a.view.end_seq >= 0),
+                    key=lambda a: a.view.end_seq)
+    assigned: dict[tuple, int] = {}
+    global_bound = _LowerBound()
+    session_bounds: dict[str, _LowerBound] = {}
+    admit_pos = 0
+    for tj in ordered:
+        begin = tj.view.begin_seq
+        while admit_pos < len(by_end) and \
+                by_end[admit_pos].view.end_seq < begin:
+            ti = by_end[admit_pos]
+            admit_pos += 1
+            effective = (ti.commit_index if ti.pinned
+                         else assigned.get(ti.view.key))
+            if effective is None:
+                continue   # malformed view (end before begin); cannot occur
+            if same_session_only:
+                session = ti.view.session
+                if session is None:
+                    continue
+                bound = session_bounds.get(session)
+                if bound is None:
+                    bound = session_bounds[session] = _LowerBound()
+                bound.admit(ti, effective)
+            else:
+                global_bound.admit(ti, effective)
+        if same_session_only:
+            bound = session_bounds.get(tj.view.session) \
+                if tj.view.session is not None else None
+            lower = bound.lower if bound is not None else 0
+            lower_source = bound.source if bound is not None else None
+        else:
+            lower = global_bound.lower
+            lower_source = global_bound.source
+        if tj.pinned:
+            snapshot = tj.min_admissible
+            assigned[tj.view.key] = snapshot
+            feasible = snapshot >= lower
+        else:
+            option = tj.first_admissible_at_least(lower)
+            feasible = option is not None
+            snapshot = option if feasible else tj.max_admissible
+            assigned[tj.view.key] = snapshot
+        if not feasible:
+            violations.append(_inversion_violation(
+                tj, snapshot, lower, lower_source, same_session_only))
+    return violations
+
+
+def _ordering(analyzed: list[_Analyzed], same_session_only: bool,
+              method: str) -> list[Violation]:
+    if method == "legacy":
+        return _ordering_violations(analyzed, same_session_only)
+    return _incremental_ordering_violations(analyzed, same_session_only)
+
+
 def check_strong_si(recorder: HistoryRecorder,
-                    primary_site: str = "primary") -> CheckResult:
+                    primary_site: str = "primary",
+                    method: str = "incremental") -> CheckResult:
     """Strong SI (Definition 2.1): weak SI plus no transaction inversions
     between *any* pair of committed transactions."""
-    analysis = _HistoryAnalysis(recorder, primary_site)
+    analysis = _analysis(recorder, primary_site, method)
     analyzed, violations = analysis.analyze()
-    violations.extend(_ordering_violations(analyzed, same_session_only=False))
+    violations.extend(_ordering(analyzed, False, method))
     return CheckResult(criterion="strong SI", ok=not violations,
                        violations=violations,
                        checked_transactions=len(analysis.client_views))
 
 
 def check_strong_session_si(recorder: HistoryRecorder,
-                            primary_site: str = "primary") -> CheckResult:
+                            primary_site: str = "primary",
+                            method: str = "incremental") -> CheckResult:
     """Strong session SI (Definition 2.2): weak SI plus no transaction
     inversions between pairs with the same session label."""
-    analysis = _HistoryAnalysis(recorder, primary_site)
+    analysis = _analysis(recorder, primary_site, method)
     analyzed, violations = analysis.analyze()
-    violations.extend(_ordering_violations(analyzed, same_session_only=True))
+    violations.extend(_ordering(analyzed, True, method))
     return CheckResult(criterion="strong session SI", ok=not violations,
                        violations=violations,
                        checked_transactions=len(analysis.client_views))
@@ -279,51 +547,44 @@ def check_strong_session_si(recorder: HistoryRecorder,
 
 def count_transaction_inversions(recorder: HistoryRecorder,
                                  primary_site: str = "primary",
-                                 within_sessions: bool = True) -> int:
+                                 within_sessions: bool = True,
+                                 method: str = "incremental") -> int:
     """Count inversion pairs (for demonstrating weak SI's staleness).
 
     Returns the number of ordered pairs (Ti, Tj) — same-session pairs when
     ``within_sessions`` — where Tj began after Ti committed yet observed an
     older state than Ti installed (or saw).
     """
-    analysis = _HistoryAnalysis(recorder, primary_site)
+    analysis = _analysis(recorder, primary_site, method)
     analyzed, _ = analysis.analyze()
-    return len(_ordering_violations(analyzed,
-                                    same_session_only=within_sessions))
+    return len(_ordering(analyzed, within_sessions, method))
 
 
-def check_completeness(recorder: HistoryRecorder,
-                       primary_site: str = "primary") -> CheckResult:
-    """Theorem 3.1: every state a secondary produces is a primary state.
+def _secondary_timeline(recorder: HistoryRecorder,
+                        site: str) -> list[tuple[int, str, Any]]:
+    """Committed refresh transactions interleaved with recovery jumps at
+    ``site``, in history order."""
+    timeline: list[tuple[int, str, Any]] = []
+    for view in recorder.committed(site=site):
+        if view.is_update:
+            timeline.append((view.end_seq, "commit", view))
+    for event in recorder.events_at(site):
+        if event.kind == "recover":
+            timeline.append((event.seq, "recover", event))
+    timeline.sort(key=lambda entry: entry[0])
+    return timeline
 
-    Refresh commits at a secondary mirror primary commit numbering, so
-    each committed refresh must leave the secondary in exactly the
-    primary state of the same number.  Section 3.4 recovery is the one
-    legitimate discontinuity: the site *jumps* to a quiesced copy of the
-    primary instead of replaying the commits it missed.  Such jumps are
-    recorded in the history (with the copy itself), so the checker
-    verifies that the copy equals the primary state it claims to be,
-    then resumes tracking from there — a recovery handed a corrupt or
-    mistimed copy is flagged, not trusted.
-    """
+
+def _legacy_completeness(recorder: HistoryRecorder,
+                         primary_site: str) -> CheckResult:
     primary_states = recorder.replay_states(primary_site)
     violations: list[Violation] = []
     checked = 0
     for site in recorder.sites():
         if site == primary_site:
             continue
-        # Interleave committed refresh transactions with recovery jumps
-        # in history order.
-        timeline: list[tuple[int, str, Any]] = []
-        for view in recorder.committed(site=site):
-            if view.is_update:
-                timeline.append((view.end_seq, "commit", view))
-        for event in recorder.events_at(site):
-            if event.kind == "recover":
-                timeline.append((event.seq, "recover", event))
-        timeline.sort(key=lambda entry: entry[0])
         current: dict[Any, Any] = {}
-        for _, what, item in timeline:
+        for _, what, item in _secondary_timeline(recorder, site):
             checked += 1
             if what == "recover":
                 index = item.commit_ts or 0
@@ -354,3 +615,118 @@ def check_completeness(recorder: HistoryRecorder,
     return CheckResult(criterion="completeness", ok=not violations,
                        violations=violations,
                        checked_transactions=checked)
+
+
+def _incremental_completeness(recorder: HistoryRecorder,
+                              primary_site: str) -> CheckResult:
+    """Per-key completeness check.
+
+    Invariant: before processing each timeline item the tracked ``current``
+    dict *is* the primary state ``S^prev`` (verified inductively).  A
+    refresh commit to ``S^index`` can therefore only diverge on the keys
+    it wrote plus the keys the primary wrote in commits
+    ``(min(prev, index), max(prev, index)]`` — every other key is equal
+    by the induction hypothesis.  A recovery copy is checked key-by-key
+    against the timeline plus a live-key count (so missing keys are
+    caught without materialising the primary state).  Full states are
+    materialised only to render a divergence message."""
+    timelines = KeyTimelines()
+    for view in recorder.committed(site=primary_site):
+        if view.is_update:
+            timelines.append_commit(view.final_writes)
+    n = timelines.num_commits
+    violations: list[Violation] = []
+    checked = 0
+    for site in recorder.sites():
+        if site == primary_site:
+            continue
+        current: dict[Any, Any] = {}
+        prev = 0
+        for _, what, item in _secondary_timeline(recorder, site):
+            checked += 1
+            if what == "recover":
+                index = item.commit_ts or 0
+                current = dict(item.value or {})
+                suspect_keys = None      # copy checked in full below
+            else:
+                final_writes = item.final_writes
+                for key, (value, deleted) in final_writes.items():
+                    if deleted:
+                        current.pop(key, None)
+                    else:
+                        current[key] = value
+                index = item.commit_ts if item.commit_ts is not None else -1
+                suspect_keys = set(final_writes)
+            if not 0 <= index <= n:
+                violations.append(Violation(
+                    kind="secondary-ahead",
+                    message=(f"site {site!r} produced state S^{index}, but "
+                             f"the primary only reached S^{n}")))
+                break
+            if suspect_keys is None:
+                # Recovery copy: every copy key must match S^index, and the
+                # copy must have exactly S^index's live-key count (catching
+                # keys the copy dropped).
+                diverged = len(current) != timelines.live_counts[index]
+                if not diverged:
+                    value_at = timelines.value_at
+                    for key, value in current.items():
+                        present, expected = value_at(key, index)
+                        if not present or expected != value:
+                            diverged = True
+                            break
+            else:
+                # Refresh commit: only keys written by this refresh or by
+                # the primary between the last verified state and S^index
+                # can differ.
+                lo, hi = (prev, index) if prev <= index else (index, prev)
+                write_keys = timelines.write_keys
+                for i in range(lo + 1, hi + 1):
+                    suspect_keys.update(write_keys[i])
+                diverged = False
+                value_at = timelines.value_at
+                for key in suspect_keys:
+                    present, expected = value_at(key, index)
+                    actual = current.get(key, _MISSING)
+                    if present:
+                        if actual is _MISSING or actual != expected:
+                            diverged = True
+                            break
+                    elif actual is not _MISSING:
+                        diverged = True
+                        break
+            if diverged:
+                what_label = ("recovery copy" if what == "recover"
+                              else "state")
+                violations.append(Violation(
+                    kind="state-divergence",
+                    message=(f"site {site!r} {what_label} S^{index} diverges "
+                             f"from primary: {current!r} != "
+                             f"{timelines.state_at(index)!r}")))
+                break
+            prev = index
+    return CheckResult(criterion="completeness", ok=not violations,
+                       violations=violations,
+                       checked_transactions=checked)
+
+
+def check_completeness(recorder: HistoryRecorder,
+                       primary_site: str = "primary",
+                       method: str = "incremental") -> CheckResult:
+    """Theorem 3.1: every state a secondary produces is a primary state.
+
+    Refresh commits at a secondary mirror primary commit numbering, so
+    each committed refresh must leave the secondary in exactly the
+    primary state of the same number.  Section 3.4 recovery is the one
+    legitimate discontinuity: the site *jumps* to a quiesced copy of the
+    primary instead of replaying the commits it missed.  Such jumps are
+    recorded in the history (with the copy itself), so the checker
+    verifies that the copy equals the primary state it claims to be,
+    then resumes tracking from there — a recovery handed a corrupt or
+    mistimed copy is flagged, not trusted.
+    """
+    _check_method(method)
+    _check_detail(recorder)
+    if method == "legacy":
+        return _legacy_completeness(recorder, primary_site)
+    return _incremental_completeness(recorder, primary_site)

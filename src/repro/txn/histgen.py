@@ -1,0 +1,128 @@
+"""Synthetic replicated-history generator for checker benchmarks/tests.
+
+Checker scaling work needs histories far longer than a simulated chaos
+run can affordably produce (a 10k-commit DES run spends nearly all its
+time in the kernel, not the recorder).  This generator drives raw
+:class:`~repro.storage.SIDatabase` engines directly — one primary plus N
+secondaries sharing one :class:`~repro.txn.history.HistoryRecorder` — and
+produces a *correct* lazy-replication history by construction:
+
+* every primary update commit is replayed at every secondary as a
+  refresh transaction, in primary commit order, with a bounded random
+  lag (so secondaries trail realistically but commit numbering stays
+  aligned with the primary's — Theorem 3.1 numbering);
+* reader sessions are each pinned to one secondary, whose state only
+  advances, so strong session SI holds for them; update sessions are
+  disjoint write-only labels.
+
+All randomness comes from one ``random.Random(seed)``, so a given
+parameter set always yields the identical history.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.storage.engine import SIDatabase
+from repro.txn.history import HistoryRecorder
+
+
+def generate_replicated_history(
+        commits: int,
+        *,
+        secondaries: int = 2,
+        keys: int = 32,
+        reads: Optional[int] = None,
+        readers_per_secondary: int = 2,
+        max_lag: int = 4,
+        delete_fraction: float = 0.05,
+        seed: int = 42,
+        detail: str = "ops") -> HistoryRecorder:
+    """Generate a checker-clean lazy-replication history.
+
+    ``commits`` primary update transactions, fully propagated to
+    ``secondaries`` replicas, interleaved with ``reads`` read-only
+    transactions (default: one per 5 commits) spread over the reader
+    sessions.  Returns the shared recorder.
+    """
+    if commits < 1:
+        raise ValueError("need at least one commit")
+    if reads is None:
+        reads = commits // 5
+    rng = random.Random(seed)
+    now = [0.0]
+
+    def clock() -> float:
+        now[0] += 1.0
+        return now[0]
+
+    recorder = HistoryRecorder(detail=detail)
+    primary = SIDatabase("primary", recorder=recorder, clock=clock)
+    replicas = [SIDatabase(f"secondary-{i + 1}", recorder=recorder,
+                           clock=clock)
+                for i in range(secondaries)]
+    key_pool = [f"k{i}" for i in range(keys)]
+
+    # Per-secondary queue of not-yet-replayed primary commits.
+    pending: list[list[tuple[str, list[tuple[str, int, bool]]]]] = [
+        [] for _ in replicas]
+    # Reader sessions, each bound to one replica (monotone snapshots).
+    sessions = [(f"r-{replica.name}-{s}", replica)
+                for replica in replicas
+                for s in range(readers_per_secondary)]
+    # Spread the read transactions uniformly over the commit steps.
+    read_steps = sorted(rng.randrange(commits) for _ in range(reads))
+    read_pos = 0
+
+    def refresh_one(index: int) -> None:
+        logical, ops = pending[index].pop(0)
+        replica = replicas[index]
+        txn = replica.begin(update=True, metadata={
+            "logical_id": f"refresh-{logical}@{replica.name}",
+            "refresh_of": logical})
+        for key, value, deleted in ops:
+            if deleted:
+                txn.delete(key)
+            else:
+                txn.write(key, value)
+        txn.commit()
+
+    for step in range(commits):
+        logical = f"u{step + 1}"
+        txn = primary.begin(update=True, metadata={
+            "logical_id": logical,
+            "session": f"w{step % 7}"})
+        ops: list[tuple[str, int, bool]] = []
+        for _ in range(rng.randint(1, 3)):
+            key = rng.choice(key_pool)
+            if rng.random() < delete_fraction:
+                txn.delete(key)
+                ops.append((key, 0, True))
+            else:
+                value = rng.randrange(1_000_000)
+                txn.write(key, value)
+                ops.append((key, value, False))
+        txn.commit()
+        for queue in pending:
+            queue.append((logical, ops))
+        # Each replica catches up lazily, never trailing more than
+        # ``max_lag`` commits.
+        for index, queue in enumerate(pending):
+            while len(queue) > max_lag or (queue and rng.random() < 0.6):
+                refresh_one(index)
+        while read_pos < len(read_steps) and read_steps[read_pos] <= step:
+            read_pos += 1
+            session, replica = rng.choice(sessions)
+            txn = replica.begin(metadata={
+                "logical_id": f"r{read_pos}",
+                "session": session})
+            for _ in range(rng.randint(1, 3)):
+                txn.read(rng.choice(key_pool), default=None)
+            txn.commit()
+
+    # Drain: every secondary ends fully caught up.
+    for index, queue in enumerate(pending):
+        while queue:
+            refresh_one(index)
+    return recorder

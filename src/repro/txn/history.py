@@ -17,15 +17,35 @@ Transactions carry optional metadata set by the replication layer:
 ``refresh_of``
     For refresh transactions: the logical id of the replayed primary
     transaction.
+
+Long runs record millions of events, so the recorder is built to be
+memory-lean: events are ``slots`` dataclasses, the repeated identity
+strings (site, session, logical ids) are interned so every event shares
+one copy, and throughput-oriented sweeps can opt out of per-operation
+recording entirely with ``detail="commits"`` (begin/commit/abort only —
+enough for latency/staleness accounting, not for the SI checkers, which
+refuse such histories rather than vacuously pass).
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+#: Event kinds dropped by ``detail="commits"`` recording.
+_OP_KINDS = frozenset({"read", "write", "scan"})
 
-@dataclass(frozen=True)
+HISTORY_DETAILS = ("ops", "commits")
+
+
+def _intern(value: Optional[str]) -> Optional[str]:
+    if type(value) is str:
+        return sys.intern(value)
+    return value
+
+
+@dataclass(frozen=True, slots=True)
 class HistoryEvent:
     """One operation in the global history."""
 
@@ -47,7 +67,7 @@ class HistoryEvent:
     update_declared: bool = False    # begun with update=True
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnView:
     """All recorded facts about one transaction (one site's execution)."""
 
@@ -116,28 +136,61 @@ class TxnView:
 
 
 class HistoryRecorder:
-    """Collects a totally-ordered, multi-site execution history."""
+    """Collects a totally-ordered, multi-site execution history.
 
-    def __init__(self) -> None:
+    ``detail`` selects the recording mode:
+
+    ``"ops"`` (default)
+        Full fidelity: every begin/read/write/scan/commit/abort.  Required
+        by the SI and completeness checkers.
+    ``"commits"``
+        Transaction boundaries only (begin/commit/abort and recovery
+        jumps); read/write/scan calls are dropped at the source.  Orders
+        of magnitude lighter for throughput sweeps — but the checkers
+        raise :class:`~repro.errors.CheckerError` on such histories
+        instead of passing vacuously.
+    """
+
+    def __init__(self, detail: str = "ops") -> None:
+        if detail not in HISTORY_DETAILS:
+            raise ValueError(
+                f"unknown history detail {detail!r}; expected one of "
+                f"{HISTORY_DETAILS}")
+        self.detail = detail
         self.events: list[HistoryEvent] = []
         self._seq = 0
+        self._views_cache: Optional[dict[tuple[str, int], TxnView]] = None
+        self._views_cache_len = -1
 
     def __len__(self) -> int:
         return len(self.events)
 
+    def nbytes(self) -> int:
+        """Approximate resident size of the recorded history in bytes
+        (shallow per-event footprint plus the event list itself; shared
+        interned strings and payload values are not traversed)."""
+        return (sys.getsizeof(self.events)
+                + sum(map(sys.getsizeof, self.events)))
+
     def record(self, kind: str, site: str, txn: Any, time: float,
-               **fields: Any) -> HistoryEvent:
-        """Append one event; called by :class:`~repro.storage.SIDatabase`."""
+               **fields: Any) -> Optional[HistoryEvent]:
+        """Append one event; called by :class:`~repro.storage.SIDatabase`.
+
+        Returns ``None`` (and records nothing) for read/write/scan events
+        when the recorder was built with ``detail="commits"``.
+        """
+        if kind in _OP_KINDS and self.detail == "commits":
+            return None
         meta = getattr(txn, "metadata", None) or {}
         event = HistoryEvent(
             seq=self._seq,
             time=time,
             kind=kind,
-            site=site,
+            site=sys.intern(site),
             txn_id=txn.txn_id,
-            logical_id=meta.get("logical_id"),
-            session=meta.get("session"),
-            refresh_of=meta.get("refresh_of"),
+            logical_id=_intern(meta.get("logical_id")),
+            session=_intern(meta.get("session")),
+            refresh_of=_intern(meta.get("refresh_of")),
             start_ts=txn.start_ts,
             commit_ts=getattr(txn, "commit_ts", None),
             key=fields.get("key"),
@@ -166,7 +219,7 @@ class HistoryRecorder:
             seq=self._seq,
             time=time,
             kind="recover",
-            site=site,
+            site=sys.intern(site),
             txn_id=0,
             logical_id=None,
             session=None,
@@ -180,7 +233,16 @@ class HistoryRecorder:
 
     # -- aggregation -----------------------------------------------------
     def transactions(self) -> dict[tuple[str, int], TxnView]:
-        """Aggregate events into per-transaction views, keyed (site, id)."""
+        """Aggregate events into per-transaction views, keyed (site, id).
+
+        The aggregation is cached and rebuilt only when new events have
+        been recorded since the last call — checkers call this many times
+        over a finished history.  Treat the returned mapping and views as
+        read-only.
+        """
+        if (self._views_cache is not None
+                and self._views_cache_len == len(self.events)):
+            return self._views_cache
         views: dict[tuple[str, int], TxnView] = {}
         for event in self.events:
             if event.kind == "recover":   # site-level, not a transaction
@@ -216,6 +278,8 @@ class HistoryRecorder:
         for view in views.values():
             if view.writes:
                 view.is_update = True   # writers are update txns regardless
+        self._views_cache = views
+        self._views_cache_len = len(self.events)
         return views
 
     def committed(self, site: Optional[str] = None) -> list[TxnView]:

@@ -82,3 +82,15 @@ def test_blocks_reads_property():
     assert not Guarantee.WEAK_SI.blocks_reads
     assert Guarantee.STRONG_SESSION_SI.blocks_reads
     assert Guarantee.STRONG_SI.blocks_reads
+
+
+def test_forget_drops_retired_label(tracker):
+    tracker.on_primary_commit("c1", 3)
+    tracker.on_primary_commit("c2", 5)
+    assert tracker.labels() == ["c1", "c2"]
+    tracker.forget("c1")
+    assert tracker.labels() == ["c2"]
+    assert tracker.global_seq == 5            # global sequence untouched
+    # A forgotten (or never-seen) label restarts at zero.
+    assert tracker.seq("c1") == 0
+    tracker.forget("never-seen")              # no-op, no error

@@ -1,0 +1,85 @@
+"""Tests for the bench harness pieces added with schema 3."""
+
+from pathlib import Path
+
+import repro.evaluation.bench as bench
+from repro.evaluation.figures import SCALES
+
+
+def test_large_scale_preset_registered():
+    large = SCALES["large"]
+    assert large.duration > SCALES["full"].duration
+    assert large.replications >= 1
+    # max_points=None: the large preset never subsamples a sweep.
+    assert large.max_points is None
+    assert large.select_points((1, 2, 3)) == (1, 2, 3)
+
+
+def test_bench_checkers_small_run():
+    result = bench.bench_checkers(commits=150, secondaries=2, reads=40,
+                                  seed=3)
+    assert result["commits"] == 150
+    assert result["history_events"] > 150
+    assert result["history_bytes"] > 0
+    for method in ("incremental", "legacy"):
+        for criterion in ("weak_si", "strong_session_si", "completeness"):
+            assert result[method][criterion] >= 0
+    assert set(result["speedup"]) == {"weak_si", "strong_session_si",
+                                      "completeness"}
+
+
+def test_bench_checkers_can_skip_legacy():
+    result = bench.bench_checkers(commits=60, secondaries=2, reads=10,
+                                  seed=3, include_legacy=False)
+    assert "legacy" not in result
+    assert "speedup" not in result
+    assert result["incremental"]["weak_si"] >= 0
+
+
+def test_figure2_small_skips_parallel_on_single_cpu(monkeypatch):
+    calls = []
+
+    def fake_run_sweep(sweep, scale, seed, jobs):
+        calls.append(jobs)
+        return {"marker": jobs}
+
+    monkeypatch.setattr(bench, "default_jobs", lambda: 1)
+    monkeypatch.setattr(bench, "run_sweep", fake_run_sweep)
+    out = bench.bench_figure2_small(seed=1)
+    assert out["jobs_effective"] == 1
+    assert out["seconds_parallel"] is None
+    assert out["speedup"] is None
+    assert out["csv_identical"] is None
+    assert calls == [1]                      # serial leg only
+
+
+def test_figure2_small_records_speedup_with_real_parallelism(monkeypatch):
+    calls = []
+
+    def fake_run_sweep(sweep, scale, seed, jobs):
+        calls.append(jobs)
+        return {"marker": jobs}
+
+    monkeypatch.setattr(bench, "default_jobs", lambda: 4)
+    monkeypatch.setattr(bench, "run_sweep", fake_run_sweep)
+    monkeypatch.setattr(bench, "figure_series", lambda spec, results: [])
+    monkeypatch.setattr(bench, "write_csv",
+                        lambda series, path: Path(path).write_text("csv\n"))
+    out = bench.bench_figure2_small(seed=1)
+    assert out["jobs_effective"] == 4
+    assert out["jobs"] == 4
+    assert calls == [1, 4]
+    assert out["speedup"] is not None and out["speedup"] > 0
+    assert out["csv_identical"] is True
+
+
+def test_explicit_jobs_still_recorded(monkeypatch):
+    monkeypatch.setattr(bench, "default_jobs", lambda: 1)
+    monkeypatch.setattr(bench, "run_sweep",
+                        lambda sweep, scale, seed, jobs: {})
+    out = bench.bench_figure2_small(jobs=8, seed=1)
+    # The request is recorded, but a single-CPU host still skips the
+    # parallel leg — there is no real parallelism to measure.
+    assert out["jobs"] == 8
+    assert out["jobs_effective"] == 1
+    assert out["speedup"] is None

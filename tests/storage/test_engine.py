@@ -337,3 +337,30 @@ def test_apply_update_records(db):
                               ("a", None, True)])
     txn.commit()
     assert db.state_at() == {"b": 2}
+
+
+def test_repeat_reads_do_not_grow_read_keys(db):
+    _put(db, "x", 1)
+    txn = db.begin()
+    for _ in range(100):
+        txn.read("x")
+        txn.read("y", default=None)
+    assert txn.read_set == {"x", "y"}
+    # First-read order preserved, duplicates dropped at the source.
+    assert txn._read_keys == ["x", "y"]
+
+
+def test_scan_merges_many_own_new_keys(db):
+    _put(db, "a", 0)
+    txn = db.begin(update=True)
+    for i in range(50):
+        txn.write(f"new{i:02d}", i)
+    out = txn.scan()
+    assert len(out) == 51
+    assert out[0] == ("a", 0)
+    assert ("new00", 0) in out and ("new49", 49) in out
+    # Own-written keys already emitted from the index are not duplicated.
+    txn.write("a", 99)
+    out = txn.scan()
+    assert [k for k, _ in out].count("a") == 1
+    assert dict(out)["a"] == 99

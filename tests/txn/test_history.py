@@ -151,3 +151,105 @@ def test_events_at_site_filter(db, recorder):
     assert all(e.site == "primary" for e in recorder.events_at("primary"))
     assert all(e.site == "other" for e in recorder.events_at("other"))
     assert len(recorder.events_at("primary")) == 3
+
+
+# ---------------------------------------------------------------------------
+# Recording modes, interning, and memory accounting
+# ---------------------------------------------------------------------------
+
+def test_commits_detail_drops_operation_events():
+    recorder = HistoryRecorder(detail="commits")
+    db = SIDatabase(name="primary", recorder=recorder)
+    txn = db.begin(update=True, metadata={"logical_id": "t1",
+                                          "session": "c1"})
+    txn.write("x", 1)
+    txn.read("x")
+    txn.commit()
+    ro = db.begin()
+    ro.read("x")
+    ro.commit()
+    kinds = [e.kind for e in recorder.events]
+    assert kinds == ["begin", "commit", "begin", "commit"]
+    # Seq numbers stay dense over the recorded events.
+    assert [e.seq for e in recorder.events] == [0, 1, 2, 3]
+    # Transaction boundaries still aggregate (update flag comes from the
+    # begin event's declaration, not the dropped write events).
+    views = recorder.committed()
+    assert len(views) == 2
+    assert views[0].is_update and views[0].commit_ts == 1
+
+
+def test_commits_detail_is_much_smaller():
+    def fill(recorder):
+        db = SIDatabase(name="primary", recorder=recorder)
+        for i in range(50):
+            txn = db.begin(update=True)
+            for j in range(5):
+                txn.write(f"k{j}", i)
+                txn.read(f"k{j}")
+            txn.commit()
+        return recorder
+
+    full = fill(HistoryRecorder())
+    lean = fill(HistoryRecorder(detail="commits"))
+    assert lean.nbytes() < full.nbytes() / 3
+    assert len(lean) == 100                   # begin+commit only
+    assert full.nbytes() > 0
+
+
+def test_unknown_detail_rejected():
+    with pytest.raises(ValueError, match="unknown history detail"):
+        HistoryRecorder(detail="everything")
+
+
+def test_checkers_refuse_commits_detail_history():
+    from repro.errors import CheckerError
+    from repro.txn.checkers import check_completeness, check_weak_si
+
+    recorder = HistoryRecorder(detail="commits")
+    db = SIDatabase(name="primary", recorder=recorder)
+    txn = db.begin(update=True)
+    txn.write("x", 1)
+    txn.commit()
+    for check in (check_weak_si, check_completeness):
+        for method in ("incremental", "legacy"):
+            with pytest.raises(CheckerError, match="detail"):
+                check(recorder, method=method)
+
+
+def test_identity_strings_are_interned(recorder):
+    db = SIDatabase(name="primary", recorder=recorder)
+    for _ in range(2):
+        txn = db.begin(update=True,
+                       metadata={"logical_id": "L" + "ong-id" * 3,
+                                 "session": "sess" + "ion" * 5})
+        txn.write("x", 1)
+        txn.commit()
+    events = recorder.events
+    sites = {id(e.site) for e in events}
+    sessions = {id(e.session) for e in events if e.session is not None}
+    assert len(sites) == 1                    # one shared "primary" str
+    assert len(sessions) == 1
+
+
+def test_events_are_slots_backed(recorder):
+    db = SIDatabase(name="primary", recorder=recorder)
+    db.begin().commit()
+    event = recorder.events[0]
+    assert not hasattr(event, "__dict__")
+    with pytest.raises((AttributeError, TypeError)):
+        event.scratch = 1
+
+
+def test_transactions_cache_invalidated_by_new_events(db, recorder):
+    txn = db.begin(update=True)
+    txn.write("x", 1)
+    txn.commit()
+    first = recorder.transactions()
+    assert recorder.transactions() is first   # cached: no new events
+    txn = db.begin(update=True)
+    txn.write("x", 2)
+    txn.commit()
+    second = recorder.transactions()
+    assert second is not first
+    assert len(second) == 2
