@@ -28,6 +28,7 @@ from repro.core.monitoring import (StalenessProbe, SystemStatus,
                                    aggregate_sessions, system_status)
 from repro.core.records import (PropagatedAbort, PropagatedBatch,
                                 PropagatedCommit, PropagatedStart)
+from repro.core.promotion import PromotionConfig, PromotionReport
 from repro.core.propagation import Propagator, ReliableLink
 from repro.core.refresh import Refresher
 from repro.core.sessions import SequenceTracker
@@ -45,6 +46,8 @@ __all__ = [
     "PropagatedBatch",
     "PropagatedCommit",
     "PropagatedAbort",
+    "PromotionConfig",
+    "PromotionReport",
     "Propagator",
     "ReliableLink",
     "Refresher",

@@ -68,6 +68,11 @@ class SystemStatus:
     # -- propagator shipping counters (per-endpoint deliveries) -----------
     records_sent: int = 0
     batches_sent: int = 0
+    # -- promotion counters (zero while the original primary survives) ----
+    cluster_epoch: int = 0
+    promotions: int = 0
+    fenced_stale_records: int = 0
+    lost_update_windows: int = 0
 
     def report(self) -> str:
         """A human-readable multi-line status report."""
@@ -113,6 +118,14 @@ class SystemStatus:
         if self.batches_sent:
             lines.append(f"  propagator: records={self.records_sent}  "
                          f"batches={self.batches_sent}")
+        # Promotion line, only once a promotion happened, so pre-failover
+        # (and promotion-disabled) reports stay byte-identical.
+        if self.promotions:
+            lines.append(
+                f"  promotions: {self.promotions} (epoch "
+                f"{self.cluster_epoch})  "
+                f"fenced-records={self.fenced_stale_records}  "
+                f"lost-windows={self.lost_update_windows}")
         for site in (self.primary,) + self.secondaries:
             if not site.vacuum_runs:
                 continue
@@ -157,6 +170,10 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
     secondaries = []
     max_lag = 0
     for secondary in system.secondaries:
+        if secondary.retired:
+            # A retired site *is* the current primary (reported above);
+            # listing it as a secondary would double-count its engine.
+            continue
         lag = None
         if not secondary.engine.crashed:
             lag = primary_ts - secondary.seq_db
@@ -205,7 +222,13 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
                         secondaries=tuple(secondaries),
                         max_lag=max_lag,
                         records_sent=system.propagator.records_sent,
-                        batches_sent=system.propagator.batches_sent)
+                        batches_sent=system.propagator.batches_sent,
+                        cluster_epoch=getattr(system, "cluster_epoch", 0),
+                        promotions=getattr(system, "promotions", 0),
+                        fenced_stale_records=getattr(
+                            system, "fenced_stale_records", 0),
+                        lost_update_windows=getattr(
+                            system, "lost_update_windows", 0))
 
 
 @dataclass
@@ -220,6 +243,8 @@ class SessionStats:
     fcw_retries: int = 0
     freshness_timeouts: int = 0
     failovers: int = 0
+    no_primary_errors: int = 0
+    lost_sessions: int = 0
 
     @property
     def blocked_fraction(self) -> float:
@@ -243,6 +268,9 @@ def aggregate_sessions(sessions: list["ClientSession"]) -> SessionStats:
         stats.fcw_retries += session.fcw_retries
         stats.freshness_timeouts += session.freshness_timeouts
         stats.failovers += session.failovers
+        stats.no_primary_errors += getattr(session, "no_primary_errors", 0)
+        if getattr(session, "_lost_window", None) is not None:
+            stats.lost_sessions += 1
     return stats
 
 
@@ -279,7 +307,7 @@ class StalenessProbe:
             lag = 0
             primary_ts = self.system.primary.latest_commit_ts
             for secondary in self.system.secondaries:
-                if not secondary.engine.crashed:
+                if secondary.live:
                     lag = max(lag, primary_ts - secondary.seq_db)
             self.stats.add(lag)
             self.samples.append((self.system.kernel.now, lag))

@@ -395,8 +395,23 @@ class Propagator:
                 self.records_sent += 1
 
     # -- recovery support (Section 3.4) -------------------------------------
+    def retire(self) -> None:
+        """Permanently disconnect this propagator (primary promotion).
+
+        Unsubscribes from the dead primary's log and forgets every
+        endpoint and link, so nothing is ever emitted again — but the
+        :attr:`archive` stays readable: promotion uses it to replay the
+        surviving prefix to replicas behind the truncation point.
+        """
+        self.log.unsubscribe(self._on_log_record)
+        self._paused = True
+        self._endpoints.clear()
+        self._links.clear()
+        self._outbox.clear()
+
     def replay_to(self, endpoint: PropagationEndpoint,
-                  after_commit_ts: int) -> int:
+                  after_commit_ts: int,
+                  up_to_commit_ts: Optional[int] = None) -> int:
         """Replay archived commits newer than ``after_commit_ts``.
 
         Each replayed transaction is delivered as a start record followed
@@ -409,11 +424,19 @@ class Propagator:
         propagation traffic, so it is not subject to channel faults
         (resync the link first — see
         :meth:`~repro.core.system.ReplicatedSystem.recover_secondary`).
+
+        ``up_to_commit_ts`` caps the replay (inclusive): a promotion
+        replays a fenced replica only up to the new primary's base state —
+        commits beyond the truncation point died with the old primary and
+        must never resurface.
         """
         replayed = 0
         for commit in self.archive:
             if commit.commit_ts <= after_commit_ts:
                 continue
+            if up_to_commit_ts is not None \
+                    and commit.commit_ts > up_to_commit_ts:
+                break
             endpoint.deliver_later(
                 PropagatedStart(txn_id=commit.txn_id,
                                 start_ts=commit.commit_ts - 1), 0.0)

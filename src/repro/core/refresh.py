@@ -137,6 +137,27 @@ class Refresher:
         self._refresh_txns.clear()
         self._max_enqueued_ts = 0
 
+    def fence(self, restart: bool = True) -> None:
+        """Discard all refresh state across a cluster-epoch fence.
+
+        Unlike a crash — where ``engine.crash()`` aborts every open
+        transaction as a side effect — a fenced site keeps its engine up
+        to serve reads, so the open refresh transactions must be aborted
+        explicitly: both the ones still parked in ``_refresh_txns``
+        awaiting their commit records and the ones already claimed by an
+        applicator (popped from the dict, held only by the process about
+        to be killed).  With ``restart=False`` the refresher stays down
+        (a promoted site permanently leaves the replica tier).
+        """
+        from repro.storage.engine import TxnStatus
+        for txn in list(self.site.engine.active_transactions):
+            if (txn.metadata or {}).get("refresh_of") is not None \
+                    and txn.status is TxnStatus.ACTIVE:
+                txn.abort("cluster epoch fence")
+        self.stop()
+        if restart:
+            self.start()
+
     @property
     def idle(self) -> bool:
         """True when there is no queued or in-flight refresh work."""

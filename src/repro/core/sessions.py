@@ -26,6 +26,9 @@ class SequenceTracker:
     def __init__(self) -> None:
         self._seq: dict[str, int] = defaultdict(int)
         self._global_seq = 0
+        #: Per-label acknowledged-but-truncated commit windows ``(kept,
+        #: lost]`` recorded by :meth:`truncate` across primary promotions.
+        self.lost_windows: dict[str, tuple[int, int]] = {}
 
     @property
     def global_seq(self) -> int:
@@ -58,6 +61,30 @@ class SequenceTracker:
         if guarantee is Guarantee.STRONG_SI:
             return self._global_seq
         return self._seq[label]
+
+    def truncate(self, truncation_ts: int) -> dict[str, tuple[int, int]]:
+        """Reconcile every seq(c) across a primary promotion.
+
+        The new primary's history ends at ``truncation_ts``; any session
+        whose seq(c) points past it committed updates the promoted
+        replica never received — those are the *lost-update windows*.
+        Each such label's window ``(truncation_ts, old seq(c)]`` is
+        recorded in :attr:`lost_windows` and returned (the promotion
+        machinery turns them into :class:`~repro.errors.LostUpdatesError`
+        for the affected sessions); all sequence numbers, including the
+        global ALG-STRONG-SI one, are clamped to ``truncation_ts`` so
+        surviving sessions wait for states that can actually appear.
+        """
+        truncated: dict[str, tuple[int, int]] = {}
+        for label, seq in self._seq.items():
+            if seq > truncation_ts:
+                window = (truncation_ts, seq)
+                truncated[label] = window
+                self.lost_windows[label] = window
+                self._seq[label] = truncation_ts
+        if self._global_seq > truncation_ts:
+            self._global_seq = truncation_ts
+        return truncated
 
     def forget(self, label: str) -> None:
         """Drop a retired session label's sequence entry.

@@ -13,6 +13,7 @@ from typing import Any, Optional
 
 from repro.core.records import PropagatedBatch, PropagationRecord
 from repro.core.refresh import Refresher
+from repro.errors import ConfigurationError
 from repro.kernel import Condition, Kernel, Queue
 from repro.storage.engine import SIDatabase, Transaction
 from repro.storage.wal import LogicalLog
@@ -30,6 +31,31 @@ class PrimarySite:
                                  clock=lambda: kernel.now)
         self.crash_count = 0
         self.restart_count = 0
+        #: Set by :meth:`kill`: the site is gone for good (disk and WAL
+        #: lost), so :meth:`restart` refuses — the only way forward is
+        #: promoting a secondary.
+        self.permanently_failed = False
+
+    @classmethod
+    def adopt(cls, kernel: Kernel, site: "SecondarySite",
+              log: LogicalLog) -> "PrimarySite":
+        """Wrap a promoted secondary's engine as the new primary.
+
+        The engine keeps its identity — name, recorder, committed state
+        and version history all carry over, so commit timestamps continue
+        the shared numbering from the promoted state.  Only the
+        primary-side attachments are new: the freshly seeded logical log
+        and the crash/restart accounting.
+        """
+        primary = cls.__new__(cls)
+        primary.kernel = kernel
+        primary.name = site.name
+        primary.log = log
+        primary.engine = site.engine
+        primary.crash_count = 0
+        primary.restart_count = 0
+        primary.permanently_failed = False
+        return primary
 
     def begin_update(self, metadata: Optional[dict] = None) -> Transaction:
         """Start a forwarded update transaction under local strong SI."""
@@ -66,6 +92,16 @@ class PrimarySite:
             txn.abort("primary crash")
         self.engine.crash()
 
+    def kill(self) -> None:
+        """Permanently fail the primary.
+
+        In-flight updates abort exactly as in :meth:`crash`; the
+        difference is durability — the WAL is lost with the site, so
+        :meth:`restart` refuses afterwards.
+        """
+        self.crash()
+        self.permanently_failed = True
+
     def restart(self) -> int:
         """Recover the primary by replaying its write-ahead (logical) log.
 
@@ -76,6 +112,10 @@ class PrimarySite:
         always equals the pre-crash committed state (Section 3.4 takes
         this recoverability for granted; here it is exercised).
         """
+        if self.permanently_failed:
+            raise ConfigurationError(
+                f"primary {self.name!r} failed permanently (no WAL to "
+                f"replay); promote a secondary instead of restarting")
         recovered_ts = self.engine.restart_from_wal()
         self.restart_count += 1
         return recovered_ts
@@ -115,10 +155,22 @@ class SecondarySite:
         self.catch_up_times: list[float] = []
         self._recovered_at: Optional[float] = None
         self._catch_up_target: Optional[int] = None
+        #: Set when this site was promoted to primary: it permanently
+        #: leaves the replica tier (bound sessions fail over and the
+        #: refresher stays down), while the same engine keeps running as
+        #: the new primary under :class:`PrimarySite`.
+        self.retired = False
 
     @property
     def crashed(self) -> bool:
         return self.engine.crashed
+
+    @property
+    def live(self) -> bool:
+        """The one "can this replica serve?" predicate: up and not
+        retired by a promotion.  Used by failover, staleness accounting,
+        quiescence detection and fault-plan applicability alike."""
+        return not self.engine.crashed and not self.retired
 
     # -- propagation endpoint ----------------------------------------------
     def deliver_later(self, record: PropagationRecord, delay: float) -> None:
@@ -206,6 +258,50 @@ class SecondarySite:
         self._recovered_at = self.kernel.now
         self.refresher.start()
         self.seq_cond.notify_all()
+
+    # -- promotion (cluster epoch fence) --------------------------------------
+    def _discard_stale(self) -> int:
+        """Bump the delivery epoch and drop all pre-fence refresh work.
+
+        Returns the number of stale records discarded *here* (queued
+        frames count as their contained records); in-flight deliveries
+        from the old epoch are dropped on arrival by the epoch check and
+        land in ``records_dropped`` as usual.
+        """
+        self.epoch += 1
+        discarded = sum(item.count if isinstance(item, PropagatedBatch) else 1
+                        for item in self.update_queue.items)
+        discarded += len(self.refresher.pending)
+        self.update_queue.drain()
+        self.records_unprocessed = 0
+        return discarded
+
+    def fence(self) -> int:
+        """Fence the old cluster epoch without losing the site.
+
+        The committed state and all read service survive — only
+        replication state from the dead primary's regime is discarded:
+        queued records, pending refreshes and open refresh transactions
+        go, and the refresher restarts clean for the new primary's feed.
+        """
+        discarded = self._discard_stale()
+        self.refresher.fence()
+        self.seq_cond.notify_all()
+        return discarded
+
+    def retire(self) -> int:
+        """Withdraw this site from the replica tier: it was promoted.
+
+        Like :meth:`fence`, but the refresher stays down and ``retired``
+        flips — ``live`` turns False, so bound sessions fail over to the
+        remaining replicas while the engine serves on as the primary.
+        """
+        discarded = self._discard_stale()
+        self.refresher.fence(restart=False)
+        self.retired = True
+        self._catch_up_target = None
+        self.seq_cond.notify_all()
+        return discarded
 
     def track_catch_up(self, target_seq: int) -> None:
         """Arm catch-up timing: record how long after recovery it takes

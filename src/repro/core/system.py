@@ -30,6 +30,7 @@ from typing import Any, Callable, Optional
 
 from repro.core.autovacuum import AutovacuumDaemon
 from repro.core.guarantees import Guarantee
+from repro.core.promotion import PromotionConfig, PromotionReport, promote
 from repro.core.propagation import Propagator, ReliableLink
 from repro.core.sessions import SequenceTracker
 from repro.core.site import PrimarySite, SecondarySite
@@ -37,7 +38,9 @@ from repro.errors import (
     ConfigurationError,
     FirstCommitterWinsError,
     FreshnessTimeoutError,
+    LostUpdatesError,
     NoLiveSecondariesError,
+    NoPrimaryError,
     ReplicationError,
     SessionClosedError,
     SiteUnavailableError,
@@ -89,6 +92,12 @@ class ClientSession:
         #: the state strong session SI orders later reads after.  PCSI
         #: deliberately ignores it (Section 7's distinction).
         self.last_observed_seq = 0
+        #: Set by a primary promotion when state this session depends on
+        #: fell in the truncated window ``(kept, lost]``; every later
+        #: operation raises :class:`~repro.errors.LostUpdatesError`.
+        self._lost_window: Optional[tuple[int, int]] = None
+        #: Update attempts that exhausted the promotion wait budget.
+        self.no_primary_errors = 0
 
     # -- context manager ---------------------------------------------------
     def __enter__(self) -> "ClientSession":
@@ -104,6 +113,10 @@ class ClientSession:
         if self.closed:
             raise SessionClosedError(f"session {self.label} is closed")
 
+    def _check_not_lost(self) -> None:
+        if self._lost_window is not None:
+            raise LostUpdatesError(self.label, self._lost_window)
+
     # -- update transactions -------------------------------------------------
     def execute_update(self, work: TransactionBody, *,
                        max_retries: int = 25) -> Any:
@@ -115,13 +128,23 @@ class ClientSession:
         Returns ``work``'s return value.
         """
         self._check_open()
+        self._check_not_lost()
         system = self.system
         attempts = 0
         while True:
-            txn = system.primary.begin_update(metadata={
-                "logical_id": system._txn_ids.next(),
-                "session": self.label,
-            })
+            try:
+                txn = system.primary.begin_update(metadata={
+                    "logical_id": system._txn_ids.next(),
+                    "session": self.label,
+                })
+            except SiteUnavailableError:
+                if system.promotion is None:
+                    raise
+                # Permanent-failure mode: wait (bounded) for a promotion
+                # to install a new primary, then retry the forward there.
+                self._await_primary()
+                self._check_not_lost()
+                continue
             try:
                 result = work(txn)
                 commit_ts = txn.commit()
@@ -148,7 +171,41 @@ class ClientSession:
         aborts if the body raises.
         """
         self._check_open()
+        self._check_not_lost()
+        if self.system.promotion is not None and self.system.primary.crashed:
+            self._await_primary()
+            self._check_not_lost()
         return _InteractiveUpdate(self)
+
+    def _await_primary(self) -> None:
+        """Block (in virtual time) until a live primary exists.
+
+        A promotion swaps ``system.primary`` for a new object, so the
+        predicate re-reads the attribute on every probe.  Bounded
+        exponential backoff over the promotion config's
+        ``promotion_wait`` budget; raises
+        :class:`~repro.errors.NoPrimaryError` on exhaustion.
+        """
+        system = self.system
+        config = system.promotion
+
+        def body():
+            kernel = system.kernel
+            deadline = kernel.now + config.promotion_wait
+            backoff = config.retry_backoff
+            while system.primary.crashed:
+                if kernel.now >= deadline:
+                    self.no_primary_errors += 1
+                    raise NoPrimaryError(
+                        f"session {self.label}: no live primary appeared "
+                        f"within the promotion wait budget "
+                        f"({config.promotion_wait}s)")
+                yield kernel.sleep(min(backoff, deadline - kernel.now))
+                backoff = min(backoff * 2, config.max_backoff)
+
+        process = system.kernel.spawn(
+            body(), name=f"await-primary@{self.label}")
+        system.kernel.run_until_complete(process)
 
     # -- read-only transactions ------------------------------------------------
     def execute_read_only(self, work: TransactionBody, *,
@@ -169,6 +226,7 @@ class ClientSession:
         (an explicit, observable weak-SI escape hatch).
         """
         self._check_open()
+        self._check_not_lost()
         if on_timeout not in ("error", "stale"):
             raise ConfigurationError(
                 f"on_timeout must be 'error' or 'stale', got {on_timeout!r}")
@@ -199,6 +257,7 @@ class ClientSession:
         up first.  Vacuumed-away history raises.
         """
         self._check_open()
+        self._check_not_lost()
         if sequence < 0:
             raise ConfigurationError("sequence must be >= 0")
 
@@ -208,8 +267,14 @@ class ClientSession:
                 self.blocked_reads += 1
                 started = self.system.kernel.now
                 yield secondary.seq_cond.wait_for(
-                    lambda: secondary.seq_db >= sequence)
+                    lambda: secondary.seq_db >= sequence
+                    or secondary.retired)
                 self.total_read_wait += self.system.kernel.now - started
+            if secondary.retired:
+                raise SiteUnavailableError(
+                    f"session {self.label}: replica {secondary.name} was "
+                    f"promoted to primary; rebind with move_to() for "
+                    f"time-travel reads")
             txn = secondary.engine.begin(snapshot_ts=sequence, metadata={
                 "logical_id": self.system._txn_ids.next(),
                 # Time-travel reads opt out of session ordering: they are
@@ -231,17 +296,20 @@ class ClientSession:
         from repro.kernel import Timeout, TimeoutExpired
         while True:
             secondary = self.secondary
-            if secondary.crashed:
+            if not secondary.live:
                 # Client-session failover: retry on a live replica; the
                 # seq(c) <= seq(DBsec) blocking rule still applies below,
-                # so session guarantees survive the rebind.
+                # so session guarantees survive the rebind.  A *retired*
+                # replica (promoted to primary) fails over exactly like a
+                # crashed one.
                 secondary = yield from self._failover(required)
             if required > secondary.seq_db:
                 self.blocked_reads += 1
                 started = self.system.kernel.now
                 wait = secondary.seq_cond.wait_for(
                     lambda: secondary.seq_db >= required
-                    or secondary.crashed)
+                    or not secondary.live
+                    or self._lost_window is not None)
                 if max_wait is None:
                     yield wait
                 else:
@@ -258,8 +326,12 @@ class ClientSession:
                                 f"(seq(DBsec)={secondary.seq_db})")
                         # 'stale': fall through and read what is there now.
                 self.total_read_wait += self.system.kernel.now - started
-                if secondary.crashed:
-                    continue   # replica died mid-wait: fail over and retry
+                if self._lost_window is not None:
+                    # A promotion truncated the state this read was
+                    # waiting for; it would otherwise block forever.
+                    raise LostUpdatesError(self.label, self._lost_window)
+                if not secondary.live:
+                    continue   # replica died/retired mid-wait: fail over
             txn = secondary.begin_read_only(metadata={
                 "logical_id": self.system._txn_ids.next(),
                 "session": self.label,
@@ -285,7 +357,7 @@ class ClientSession:
         kernel = system.kernel
         deadline = kernel.now + self.failover_wait
         while True:
-            live = [s for s in system.secondaries if not s.crashed]
+            live = [s for s in system.secondaries if s.live]
             if live:
                 fresh = [s for s in live if s.seq_db >= required]
                 pool = fresh or live
@@ -420,6 +492,15 @@ class ReplicatedSystem:
     retransmit_timeout:
         Base retransmission timeout for reliable links (default: four
         propagation delays, floored at 1.0 virtual seconds).
+    promotion:
+        Optional :class:`~repro.core.promotion.PromotionConfig` enabling
+        secondary promotion after a permanent primary failure
+        (:meth:`kill_primary` + :meth:`promote_secondary`), including the
+        bounded update-retry behaviour of client sessions.  ``None`` (the
+        default) keeps the system bit-identical to its pre-promotion
+        behaviour: updates fail with
+        :class:`~repro.errors.SiteUnavailableError` while the primary is
+        down, exactly as before.
     """
 
     def __init__(self, num_secondaries: int = 1, *,
@@ -434,7 +515,8 @@ class ReplicatedSystem:
                  channel_faults: Optional[ChannelFaults] = None,
                  ack_faults: Optional[ChannelFaults] = None,
                  fault_seed: int = 0,
-                 retransmit_timeout: Optional[float] = None):
+                 retransmit_timeout: Optional[float] = None,
+                 promotion: Optional[PromotionConfig] = None):
         if num_secondaries < 1:
             raise ConfigurationError("need at least one secondary site")
         self.kernel = kernel or Kernel()
@@ -483,6 +565,18 @@ class ReplicatedSystem:
         self._session_ids = IdAllocator("session")
         self._txn_ids = IdAllocator("txn")
         self._next_secondary = 0
+        self.promotion = promotion
+        #: Bumped by each promotion; 0 for the original topology.
+        self.cluster_epoch = 0
+        self.promotions = 0
+        #: Stale pre-promotion records discarded by epoch fences.
+        self.fenced_stale_records = 0
+        #: Promotions that truncated acknowledged commits.
+        self.lost_update_windows = 0
+        self.promotion_reports: list[PromotionReport] = []
+        #: Every session ever opened (promotion reconciles their seq(c)
+        #: state); closed sessions are pruned at each promotion.
+        self._sessions: list[ClientSession] = []
 
     # -- sessions -------------------------------------------------------------
     def session(self, guarantee: Guarantee = Guarantee.STRONG_SESSION_SI,
@@ -502,14 +596,21 @@ class ReplicatedSystem:
         if failover_wait < 0:
             raise ConfigurationError("failover_wait must be >= 0")
         if secondary is None:
-            index = self._next_secondary
-            self._next_secondary = (index + 1) % len(self.secondaries)
+            # Round-robin over non-retired replicas (identical arithmetic
+            # to the classic single-step advance while none are retired).
+            for _ in range(len(self.secondaries)):
+                index = self._next_secondary
+                self._next_secondary = (index + 1) % len(self.secondaries)
+                if not self.secondaries[index].retired:
+                    break
         else:
             index = secondary
-        return ClientSession(self, self._session_ids.next(), guarantee,
-                             self._secondary_at(index),
-                             freshness_bound=freshness_bound,
-                             failover_wait=failover_wait)
+        session = ClientSession(self, self._session_ids.next(), guarantee,
+                                self._secondary_at(index),
+                                freshness_bound=freshness_bound,
+                                failover_wait=failover_wait)
+        self._sessions.append(session)
+        return session
 
     def _secondary_at(self, index: int) -> SecondarySite:
         if not 0 <= index < len(self.secondaries):
@@ -545,7 +646,7 @@ class ReplicatedSystem:
         if not self.propagator.idle:
             return False
         for secondary in self.secondaries:
-            if secondary.engine.crashed:
+            if not secondary.live:
                 continue
             if secondary.in_flight or not secondary.refresher.idle:
                 return False
@@ -554,7 +655,12 @@ class ReplicatedSystem:
     # -- failure injection (Section 3.4) ------------------------------------------
     def crash_secondary(self, index: int) -> None:
         """Fail a secondary: queued updates and refresh state are lost."""
-        self.secondaries[index].crash()
+        site = self.secondaries[index]
+        if site.retired:
+            raise ConfigurationError(
+                f"{site.name!r} was promoted to primary; use "
+                f"crash_primary()/kill_primary()")
+        site.crash()
 
     def recover_secondary(self, index: int) -> None:
         """Recover a secondary per Section 3.4.
@@ -567,6 +673,10 @@ class ReplicatedSystem:
         retransmissions cannot corrupt the recovered stream.
         """
         secondary = self.secondaries[index]
+        if secondary.retired:
+            raise ConfigurationError(
+                f"{secondary.name!r} was promoted to primary; it cannot "
+                f"rejoin the replica tier")
         link = self.propagator.link_for(secondary)
         if link is not None:
             link.resync()
@@ -591,6 +701,22 @@ class ReplicatedSystem:
         """
         return self.primary.restart()
 
+    def kill_primary(self) -> None:
+        """Permanently fail the primary (disk and WAL gone).
+
+        In-flight updates abort exactly as in :meth:`crash_primary`; the
+        difference is that :meth:`restart_primary` refuses afterwards —
+        the only way forward is :meth:`promote_secondary`.
+        """
+        self.primary.kill()
+
+    def promote_secondary(self,
+                          index: Optional[int] = None) -> PromotionReport:
+        """Promote a live secondary (default: the freshest) to primary
+        under a new cluster epoch.  Requires ``promotion`` to have been
+        configured; see :mod:`repro.core.promotion` for the mechanics."""
+        return promote(self, index=index)
+
     # -- inspection ----------------------------------------------------------------
     def primary_state(self) -> dict:
         """Latest committed key-value state at the primary."""
@@ -612,11 +738,11 @@ class ReplicatedSystem:
             up to date.
         """
         latest = self.primary.latest_commit_ts
-        lags = [latest - s.seq_db
-                for s in self.secondaries if not s.engine.crashed]
+        lags = [latest - s.seq_db for s in self.secondaries if s.live]
         if not lags:
             raise NoLiveSecondariesError(
-                "max_staleness is undefined: every secondary is crashed")
+                "max_staleness is undefined: every secondary is crashed "
+                "or retired")
         return max(lags)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

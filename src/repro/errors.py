@@ -92,6 +92,38 @@ class NoLiveSecondariesError(ReplicationError):
     are undefined."""
 
 
+class NoPrimaryError(ReplicationError):
+    """No live primary appeared within a session's promotion wait budget.
+
+    After a permanent primary failure, update transactions retry with
+    bounded exponential backoff while a promotion is pending
+    (:class:`~repro.core.promotion.PromotionConfig`); this error surfaces
+    when the ``promotion_wait`` budget is exhausted first.
+    """
+
+
+class LostUpdatesError(ReplicationError):
+    """A primary promotion truncated commits this session depends on.
+
+    The promoted secondary's state defines the new axis of comparison;
+    anything the old primary committed beyond that truncation point is
+    gone.  A session whose own acknowledged updates fell in that window
+    (or whose strong-session reads observed it) can never be served
+    consistently again, so every subsequent operation raises this error
+    instead of silently forgetting the loss.  ``window`` is the
+    half-open commit-timestamp interval ``(kept, lost]``.
+    """
+
+    def __init__(self, label: str, window: tuple[int, int]):
+        self.label = label
+        self.window = window
+        super().__init__(
+            f"session {label} lost acknowledged state in the commit window "
+            f"({window[0]}, {window[1]}]: a primary promotion truncated "
+            f"history past S^{window[0]}"
+        )
+
+
 class SessionClosedError(ReplicationError):
     """An operation was issued on a closed client session."""
 

@@ -1,7 +1,8 @@
 """Chaos CLI: ``python -m repro.faults --seeds 20``.
 
 Runs one seeded chaos schedule per seed (lossy channels, secondary
-crash/recovery, primary crash with WAL restart, propagator stall, all
+crash/recovery, primary crash with WAL restart — or a permanent kill
+plus promotion with ``--primary-kill`` — propagator stall, all
 under a concurrent client workload), prints one summary block per run,
 and exits non-zero if any run fails its convergence or SI checks —
 reproduce a failure exactly with ``--seed <n>``.
@@ -50,6 +51,10 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: %(default)s)")
     parser.add_argument("--no-primary-crash", action="store_true",
                         help="skip the primary crash/restart window")
+    parser.add_argument("--primary-kill", action="store_true",
+                        help="make the primary failure permanent: kill "
+                             "it and promote the freshest secondary "
+                             "under a new cluster epoch")
     parser.add_argument("--quiet", action="store_true",
                         help="only print failing runs and the final tally")
     args = parser.parse_args(argv)
@@ -65,7 +70,8 @@ def main(argv: list[str] | None = None) -> int:
         config = ChaosConfig(seed=seed, num_secondaries=args.secondaries,
                              ops=args.ops, horizon=args.horizon,
                              faults=faults,
-                             primary_crash=not args.no_primary_crash)
+                             primary_crash=not args.no_primary_crash,
+                             primary_kill=args.primary_kill)
         result = run_chaos(config)
         if not result.ok:
             failures += 1

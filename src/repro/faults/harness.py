@@ -5,8 +5,10 @@
 channels (drop/duplicate/jitter/reorder, all drawn from seeded streams),
 runs a seeded multi-session client workload while a seeded
 :class:`~repro.faults.plan.FaultPlan` crashes and recovers secondaries,
-crashes and WAL-restarts the primary, and stalls the propagator — then
-verifies that nothing the paper proves was lost:
+crashes and WAL-restarts the primary (or, with ``primary_kill``, kills
+it for good and promotes a secondary under a new cluster epoch), and
+stalls the propagator — then verifies that nothing the paper proves was
+lost:
 
 * the system **converges**: after recovery and ``quiesce()`` every
   secondary state equals the primary state;
@@ -26,9 +28,12 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.guarantees import Guarantee
+from repro.core.promotion import PromotionConfig
 from repro.core.system import ReplicatedSystem
 from repro.errors import (
     FirstCommitterWinsError,
+    LostUpdatesError,
+    NoPrimaryError,
     SiteUnavailableError,
 )
 from repro.faults.channel import ChannelFaults
@@ -63,6 +68,13 @@ class ChaosConfig:
     secondary_outages: int = 2
     primary_crash: bool = True
     propagator_stall: bool = True
+    #: Make the primary failure *permanent*: the plan's primary window
+    #: becomes kill + promotion of the freshest live secondary, the
+    #: system gets ``promotion=PromotionConfig(promotion_wait=...)``,
+    #: and the workload rides the failover (retrying updates, replacing
+    #: sessions whose acknowledged commits were truncated).
+    primary_kill: bool = False
+    promotion_wait: float = 30.0
     failover_wait: float = 60.0
     update_fraction: float = 0.4
     #: Throughput knobs (all default-off so classic chaos runs are
@@ -107,6 +119,13 @@ class ChaosResult:
     secondary_recoveries: int = 0
     primary_crashes: int = 0
     primary_restarts: int = 0
+    #: Promotion activity (all zero unless ``primary_kill`` is set).
+    primary_kills: int = 0
+    promotions: int = 0
+    fenced_stale_records: int = 0
+    lost_update_windows: int = 0
+    lost_sessions: int = 0
+    no_primary_errors: int = 0
     #: Storage-maintenance outcome (zero with autovacuum off).
     vacuum_runs: int = 0
     versions_reclaimed: int = 0
@@ -141,6 +160,14 @@ class ChaosResult:
             f"(+{self.secondary_recoveries} recoveries), "
             f"{self.primary_crashes} primary "
             f"(+{self.primary_restarts} restarts)")
+        if self.primary_kills or self.promotions:
+            lines.append(
+                f"  promotion: {self.primary_kills} kills, "
+                f"{self.promotions} promotions, "
+                f"{self.fenced_stale_records} fenced records, "
+                f"{self.lost_update_windows} lost windows, "
+                f"{self.lost_sessions} lost sessions, "
+                f"{self.no_primary_errors} no-primary errors")
         if self.vacuum_runs:
             lines.append(
                 f"  vacuum: {self.vacuum_runs} runs, "
@@ -153,6 +180,8 @@ class ChaosResult:
 def run_chaos(config: ChaosConfig) -> ChaosResult:
     """Execute one seeded chaos schedule and audit the result."""
     streams = RandomStreams(config.seed)
+    promotion = (PromotionConfig(promotion_wait=config.promotion_wait)
+                 if config.primary_kill else None)
     system = ReplicatedSystem(
         num_secondaries=config.num_secondaries,
         propagation_delay=config.propagation_delay,
@@ -161,13 +190,15 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
         autovacuum_interval=config.autovacuum_interval,
         history_detail=config.history_detail,
         channel_faults=config.faults,
-        fault_seed=config.seed)
+        fault_seed=config.seed,
+        promotion=promotion)
     plan = FaultPlan.random(
         streams["plan"], horizon=config.horizon,
         num_secondaries=config.num_secondaries,
         secondary_outages=config.secondary_outages,
         primary_crash=config.primary_crash,
-        propagator_stall=config.propagator_stall)
+        propagator_stall=config.propagator_stall,
+        permanent_primary_kill=config.primary_kill)
     injector = FaultInjector(system, plan)
     injector.start()
 
@@ -176,6 +207,15 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
     sessions = [system.session(Guarantee.STRONG_SESSION_SI,
                                failover_wait=config.failover_wait)
                 for _ in range(config.num_sessions)]
+    all_sessions = list(sessions)      # replaced sessions still count
+
+    def replace_lost(session) -> None:
+        """Swap a session poisoned by ``LostUpdatesError`` for a fresh
+        one — the client-side answer to a truncated session."""
+        fresh = system.session(Guarantee.STRONG_SESSION_SI,
+                               failover_wait=config.failover_wait)
+        sessions[sessions.index(session)] = fresh
+        all_sessions.append(fresh)
 
     result = ChaosResult(seed=config.seed, converged=False, plan=plan)
     workload = streams["workload"]
@@ -194,11 +234,20 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
                 # Primary down: a real client would queue/retry; the
                 # harness counts and moves on (reads keep working).
                 result.deferred_updates += 1
+            except NoPrimaryError:
+                # Promotion-enabled runs retry internally; the bounded
+                # wait expired before a new primary appeared.
+                result.deferred_updates += 1
+            except LostUpdatesError:
+                replace_lost(session)
             except FirstCommitterWinsError:
                 result.fcw_aborts += 1
         else:
-            session.read(key, default=None)
-            result.reads += 1
+            try:
+                session.read(key, default=None)
+                result.reads += 1
+            except LostUpdatesError:
+                replace_lost(session)
 
     # Drain the plan, then bring everything back and settle the system.
     if plan.horizon > system.kernel.now:
@@ -207,17 +256,23 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
     if system.propagator._paused:          # pragma: no cover - plan ends resumed
         system.propagator.resume()
     if system.primary.crashed:             # pragma: no cover - plan ends restarted
-        system.restart_primary()
+        if system.primary.permanently_failed:
+            system.promote_secondary()
+        else:
+            system.restart_primary()
     for index, secondary in enumerate(system.secondaries):
         if secondary.crashed:              # pragma: no cover - plan ends recovered
             system.recover_secondary(index)
     system.quiesce()
 
+    # Retired sites share the new primary's engine; convergence is over
+    # the replicas that still follow the feed.
     primary_state = system.primary_state()
     result.converged = all(
         system.secondary_state(i) == primary_state
         and system.secondaries[i].seq_db == system.primary.latest_commit_ts
-        for i in range(config.num_secondaries))
+        for i in range(config.num_secondaries)
+        if not system.secondaries[i].retired)
     result.recorder = system.recorder
     result.history_bytes = system.recorder.nbytes()
     if config.history_detail == "ops":
@@ -230,19 +285,29 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
 
     for secondary in system.secondaries:
         link = system.propagator.link_for(secondary)
-        result.channel_drops += link.data_channel.dropped \
-            + link.ack_channel.dropped
-        result.channel_duplicates += link.data_channel.duplicated \
-            + link.ack_channel.duplicated
-        result.channel_reorders += link.data_channel.reordered \
-            + link.ack_channel.reordered
-        result.retransmissions += link.retransmissions
-        result.duplicates_filtered += link.duplicates_filtered
+        if link is not None:               # None for the promoted site
+            result.channel_drops += link.data_channel.dropped \
+                + link.ack_channel.dropped
+            result.channel_duplicates += link.data_channel.duplicated \
+                + link.ack_channel.duplicated
+            result.channel_reorders += link.data_channel.reordered \
+                + link.ack_channel.reordered
+            result.retransmissions += link.retransmissions
+            result.duplicates_filtered += link.duplicates_filtered
         result.secondary_crashes += secondary.crash_count
         result.secondary_recoveries += secondary.recover_count
-    result.failovers = sum(s.failovers for s in sessions)
+    result.failovers = sum(s.failovers for s in all_sessions)
+    result.no_primary_errors = sum(s.no_primary_errors
+                                   for s in all_sessions)
     result.primary_crashes = system.primary.crash_count
     result.primary_restarts = system.primary.restart_count
+    result.primary_kills = sum(1 for event in injector.applied
+                               if event.action == "kill_primary")
+    result.promotions = system.promotions
+    result.fenced_stale_records = system.fenced_stale_records
+    result.lost_update_windows = system.lost_update_windows
+    result.lost_sessions = sum(len(r.lost_sessions)
+                               for r in system.promotion_reports)
     result.vacuum_runs = sum(d.runs for d in system.autovacuums)
     result.versions_reclaimed = sum(d.versions_reclaimed
                                     for d in system.autovacuums)

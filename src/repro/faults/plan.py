@@ -2,7 +2,8 @@
 
 A :class:`FaultPlan` is an ordered list of :class:`FaultEvent`\\ s — site
 crashes and recoveries, propagator stalls, a primary crash with
-WAL-replay restart — either hand-written or drawn from a seeded
+WAL-replay restart, or a *permanent* primary kill answered by a
+secondary promotion — either hand-written or drawn from a seeded
 :class:`~repro.sim.rng.RandomStream` via :meth:`FaultPlan.random`.  A
 :class:`FaultInjector` replays the plan against a
 :class:`~repro.core.system.ReplicatedSystem` as a daemon process on the
@@ -32,6 +33,8 @@ ACTIONS = (
     "recover_secondary",
     "crash_primary",
     "restart_primary",
+    "kill_primary",
+    "promote_secondary",
     "pause_propagator",
     "resume_propagator",
 )
@@ -43,7 +46,9 @@ class FaultEvent:
 
     at: float
     action: str
-    target: Optional[int] = None   # secondary index; None for primary/propagator
+    #: Secondary index; None for primary/propagator events and for
+    #: ``promote_secondary`` (which then picks the freshest live site).
+    target: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.action not in ACTIONS:
@@ -90,15 +95,20 @@ class FaultPlan:
                num_secondaries: int,
                secondary_outages: int = 2,
                primary_crash: bool = True,
-               propagator_stall: bool = True) -> "FaultPlan":
-        """Draw a seeded schedule of crash/recover windows within
+               propagator_stall: bool = True,
+               permanent_primary_kill: bool = False) -> "FaultPlan":
+        """Draw a seeded schedule of fault windows within
         ``(0.05*horizon, 0.9*horizon)``.
 
         Secondary outage windows are sequential (never overlapping), so
         with ``num_secondaries >= 2`` at least one replica stays live for
-        failover.  Every crash is paired with its recovery before the
-        horizon; a caller running the plan to completion always ends with
-        a fully live system.
+        failover, and every *secondary* crash is paired with its recovery
+        before the horizon.  The primary window is a crash/restart pair
+        by default; with ``permanent_primary_kill`` it becomes a
+        permanent ``kill_primary`` followed by a ``promote_secondary``
+        trigger — the one deliberately unpaired failure in a random plan,
+        resolved by promotion rather than recovery.  Either way a caller
+        running the plan to completion ends with a live update path.
         """
         if horizon <= 0:
             raise ConfigurationError("plan horizon must be > 0")
@@ -122,8 +132,17 @@ class FaultPlan:
         if primary_crash:
             down = rng.uniform(lo, 0.8 * horizon)
             up = rng.uniform(down + 0.01 * horizon, hi)
-            events.append(FaultEvent(at=down, action="crash_primary"))
-            events.append(FaultEvent(at=up, action="restart_primary"))
+            if permanent_primary_kill:
+                # Same draws as the crash/restart pair, so turning the
+                # kill on (or off) never shifts any other seeded choice:
+                # the primary dies for good at ``down`` and the promotion
+                # of the freshest live secondary triggers at ``up``.
+                events.append(FaultEvent(at=down, action="kill_primary"))
+                events.append(FaultEvent(at=up,
+                                         action="promote_secondary"))
+            else:
+                events.append(FaultEvent(at=down, action="crash_primary"))
+                events.append(FaultEvent(at=up, action="restart_primary"))
         if propagator_stall:
             stall = rng.uniform(lo, 0.8 * horizon)
             unstall = rng.uniform(stall + 0.01 * horizon, hi)
@@ -162,11 +181,13 @@ class FaultInjector:
         system = self.system
         action, target = event.action, event.target
         if action == "crash_secondary":
-            applicable = not system.secondaries[target].crashed
+            site = system.secondaries[target]
+            applicable = site.live
             if applicable:
                 system.crash_secondary(target)
         elif action == "recover_secondary":
-            applicable = system.secondaries[target].crashed
+            site = system.secondaries[target]
+            applicable = site.crashed and not site.retired
             if applicable:
                 system.recover_secondary(target)
         elif action == "crash_primary":
@@ -174,9 +195,23 @@ class FaultInjector:
             if applicable:
                 system.crash_primary()
         elif action == "restart_primary":
-            applicable = system.primary.crashed
+            applicable = (system.primary.crashed
+                          and not system.primary.permanently_failed)
             if applicable:
                 system.restart_primary()
+        elif action == "kill_primary":
+            applicable = not system.primary.crashed
+            if applicable:
+                system.kill_primary()
+        elif action == "promote_secondary":
+            secondaries = system.secondaries
+            applicable = (
+                system.promotion is not None
+                and system.primary.crashed
+                and (any(s.live for s in secondaries) if target is None
+                     else secondaries[target].live))
+            if applicable:
+                system.promote_secondary(target)
         elif action == "pause_propagator":
             applicable = not system.propagator._paused
             if applicable:

@@ -108,6 +108,7 @@ class _Analyzed:
     admissible: Any              # list[int] (legacy) | IntervalSet (inc.)
     commit_index: Optional[int]  # state index its commit produced (updates)
     upper: int                   # commits before its begin
+    era: int = 0                 # promotion era the txn began in
 
     @property
     def pinned(self) -> bool:
@@ -190,36 +191,151 @@ def _primary_updates(recorder: HistoryRecorder,
     return updates
 
 
+@dataclass(frozen=True)
+class _Era:
+    """One primary regime delimited by promotion events.
+
+    ``site`` is the primary from history sequence ``start_seq``
+    (exclusive) onward; its timeline ("axis") inherits the first
+    ``base_ts`` commits of the previous era's axis as a shared prefix —
+    the states that survived the truncation.
+    """
+
+    index: int
+    site: str
+    start_seq: int
+    base_ts: int
+
+
+def _promotion_eras(recorder: HistoryRecorder,
+                    primary_site: str) -> list[_Era]:
+    """Split the history into eras at its promotion events (usually one
+    era: histories without promotions take the classic code paths)."""
+    eras = [_Era(0, primary_site, -1, 0)]
+    for event in recorder.events:
+        if event.kind == "promote":
+            eras.append(_Era(len(eras), event.site, event.seq,
+                             event.commit_ts or 0))
+    return eras
+
+
+def _era_of(eras: list[_Era], seq: int) -> int:
+    """Index of the era a history sequence number falls in."""
+    era = 0
+    for candidate in eras[1:]:
+        if candidate.start_seq < seq:
+            era = candidate.index
+        else:
+            break
+    return era
+
+
+def _era_axes(recorder: HistoryRecorder,
+              eras: list[_Era]) -> list[list[TxnView]]:
+    """Per-era primary timelines (the axes of comparison).
+
+    Axis 0 is the original primary's committed update sequence; axis e
+    splices the first ``base_ts`` commits of axis e-1 (the prefix that
+    survived the promotion) with the new primary's own commits.  The
+    promoted engine keeps the shared commit numbering, so each era's
+    commits must be dense from its base.  Old-primary commits past the
+    truncation point stay on axis 0 only: they were acknowledged but
+    lost, and later eras must never observe them.
+    """
+    axes: list[list[TxnView]] = []
+    for era in eras:
+        commits = [v for v in recorder.committed(site=era.site)
+                   if v.is_update and not v.is_refresh
+                   and v.end_seq > era.start_seq]
+        expected = era.base_ts
+        for view in commits:
+            expected += 1
+            if view.commit_ts is not None and view.commit_ts != expected:
+                raise CheckerError(
+                    f"primary commit timestamps not dense in era "
+                    f"{era.index}: txn {view.logical_id or view.txn_id} "
+                    f"has commit_ts {view.commit_ts}, expected {expected}")
+        if era.index == 0:
+            axes.append(commits)
+        else:
+            prefix = axes[era.index - 1]
+            if era.base_ts > len(prefix):
+                raise CheckerError(
+                    f"promotion base S^{era.base_ts} exceeds the previous "
+                    f"primary's last state S^{len(prefix)}")
+            axes.append(prefix[:era.base_ts] + commits)
+    return axes
+
+
+def _materialise_states(axis: list[TxnView]) -> list[dict[Any, Any]]:
+    """S^0..S^n materialised from one axis' commits (legacy method)."""
+    states: list[dict[Any, Any]] = [{}]
+    current: dict[Any, Any] = {}
+    for view in axis:
+        for key, (value, deleted) in view.final_writes.items():
+            if deleted:
+                current.pop(key, None)
+            else:
+                current[key] = value
+        states.append(dict(current))
+    return states
+
+
+def _shared_prefix_bound(eras: list[_Era], from_era: int,
+                         to_era: int) -> int:
+    """Highest state index comparable between two eras' axes.
+
+    The axes agree exactly on the commits below every intervening
+    truncation point, so a freshness obligation carried from an earlier
+    era clamps to the smallest base in between — beyond it the old
+    regime's states no longer exist on the new axis.
+    """
+    return min(eras[e].base_ts for e in range(from_era + 1, to_era + 1))
+
+
 class _HistoryAnalysis:
     """Legacy shared preprocessing: materialised prefix states."""
 
     def __init__(self, recorder: HistoryRecorder, primary_site: str):
         self.recorder = recorder
         self.primary_site = primary_site
-        self.states = recorder.replay_states(primary_site)
-        # Commit-event sequence numbers of primary update commits, in order;
-        # commit i (1-based) produced state S^i.
-        self.commit_seqs = [v.end_seq
-                            for v in _primary_updates(recorder, primary_site)]
+        self.eras = _promotion_eras(recorder, primary_site)
+        if len(self.eras) == 1:
+            # Classic single-primary history: identical to the
+            # pre-promotion checker, byte for byte.
+            axis_states = [recorder.replay_states(primary_site)]
+            axis_commit_seqs = [
+                [v.end_seq
+                 for v in _primary_updates(recorder, primary_site)]]
+        else:
+            axes = _era_axes(recorder, self.eras)
+            axis_states = [_materialise_states(axis) for axis in axes]
+            axis_commit_seqs = [[v.end_seq for v in axis] for axis in axes]
+        self.axis_states = axis_states
+        self.axis_commit_seqs = axis_commit_seqs
         self.client_views = [v for v in recorder.committed()
                              if not v.is_refresh]
 
-    def commits_before(self, seq: int) -> int:
-        """Number of primary update commits whose commit precedes ``seq``."""
-        return bisect_left(self.commit_seqs, seq)
+    def commits_before(self, era: int, seq: int) -> int:
+        """Number of era-axis commits whose commit precedes ``seq``."""
+        return bisect_left(self.axis_commit_seqs[era], seq)
 
     def analyze(self) -> tuple[list[_Analyzed], list[Violation]]:
         """Infer candidate snapshots for all committed client txns."""
         analyzed: list[_Analyzed] = []
         violations: list[Violation] = []
+        eras = self.eras
+        multi = len(eras) > 1
         for view in sorted(self.client_views, key=lambda v: v.begin_seq):
-            upper = self.commits_before(view.begin_seq)
+            era = _era_of(eras, view.begin_seq) if multi else 0
+            states = self.axis_states[era]
+            upper = self.commits_before(era, view.begin_seq)
             constraints = _read_constraints(view)
-            if view.site == self.primary_site and view.is_update:
+            if view.site == eras[era].site and view.is_update:
                 snapshot = view.start_ts or 0
                 commit_index = view.commit_ts
-                if snapshot >= len(self.states) or not _satisfied(
-                        self.states[snapshot], constraints):
+                if snapshot >= len(states) or not _satisfied(
+                        states[snapshot], constraints):
                     violations.append(Violation(
                         kind="inconsistent-update-read",
                         message=(f"update txn {view.logical_id or view.txn_id}"
@@ -228,9 +344,9 @@ class _HistoryAnalysis:
                         txns=(view.key,)))
                     continue
                 analyzed.append(_Analyzed(view, [snapshot], commit_index,
-                                          upper))
+                                          upper, era))
                 continue
-            candidates = _candidates(self.states, constraints)
+            candidates = _candidates(states, constraints)
             admissible = [i for i in candidates if i <= upper]
             if not admissible:
                 if candidates:
@@ -247,7 +363,7 @@ class _HistoryAnalysis:
                 violations.append(Violation(kind=kind, message=message,
                                             txns=(view.key,)))
                 continue
-            analyzed.append(_Analyzed(view, admissible, None, upper))
+            analyzed.append(_Analyzed(view, admissible, None, upper, era))
         return analyzed, violations
 
 
@@ -259,20 +375,34 @@ class _IncrementalAnalysis:
     def __init__(self, recorder: HistoryRecorder, primary_site: str):
         self.recorder = recorder
         self.primary_site = primary_site
-        self.timelines = KeyTimelines()
-        self.commit_seqs: list[int] = []
-        for view in _primary_updates(recorder, primary_site):
-            self.commit_seqs.append(view.end_seq)
-            self.timelines.append_commit(view.final_writes)
+        self.eras = _promotion_eras(recorder, primary_site)
+        self.axis_timelines: list[KeyTimelines] = []
+        self.axis_commit_seqs: list[list[int]] = []
+        if len(self.eras) == 1:
+            timelines = KeyTimelines()
+            commit_seqs: list[int] = []
+            for view in _primary_updates(recorder, primary_site):
+                commit_seqs.append(view.end_seq)
+                timelines.append_commit(view.final_writes)
+            self.axis_timelines.append(timelines)
+            self.axis_commit_seqs.append(commit_seqs)
+        else:
+            for axis in _era_axes(recorder, self.eras):
+                timelines = KeyTimelines()
+                for view in axis:
+                    timelines.append_commit(view.final_writes)
+                self.axis_timelines.append(timelines)
+                self.axis_commit_seqs.append([v.end_seq for v in axis])
+
         self.client_views = [v for v in recorder.committed()
                              if not v.is_refresh]
 
-    def commits_before(self, seq: int) -> int:
-        return bisect_left(self.commit_seqs, seq)
+    def commits_before(self, era: int, seq: int) -> int:
+        return bisect_left(self.axis_commit_seqs[era], seq)
 
-    def _pinned_satisfied(self, snapshot: int,
+    def _pinned_satisfied(self, era: int, snapshot: int,
                           constraints: list[tuple[Any, Any, bool]]) -> bool:
-        value_at = self.timelines.value_at
+        value_at = self.axis_timelines[era].value_at
         for key, value, present in constraints:
             actual_present, actual = value_at(key, snapshot)
             if present:
@@ -283,10 +413,12 @@ class _IncrementalAnalysis:
         return True
 
     def _candidate_intervals(
-            self, constraints: list[tuple[Any, Any, bool]]) -> IntervalSet:
+            self, era: int,
+            constraints: list[tuple[Any, Any, bool]]) -> IntervalSet:
         """Intersection of the per-constraint admissible interval sets."""
-        candidates = IntervalSet.full(self.timelines.num_commits)
-        intervals_for = self.timelines.intervals_for
+        timelines = self.axis_timelines[era]
+        candidates = IntervalSet.full(timelines.num_commits)
+        intervals_for = timelines.intervals_for
         for key, value, present in constraints:
             candidates = candidates.intersect(
                 intervals_for(key, value, present))
@@ -297,15 +429,18 @@ class _IncrementalAnalysis:
     def analyze(self) -> tuple[list[_Analyzed], list[Violation]]:
         analyzed: list[_Analyzed] = []
         violations: list[Violation] = []
-        num_states = self.timelines.num_commits + 1
+        eras = self.eras
+        multi = len(eras) > 1
         for view in sorted(self.client_views, key=lambda v: v.begin_seq):
-            upper = self.commits_before(view.begin_seq)
+            era = _era_of(eras, view.begin_seq) if multi else 0
+            num_states = self.axis_timelines[era].num_commits + 1
+            upper = self.commits_before(era, view.begin_seq)
             constraints = _read_constraints(view)
-            if view.site == self.primary_site and view.is_update:
+            if view.site == eras[era].site and view.is_update:
                 snapshot = view.start_ts or 0
                 commit_index = view.commit_ts
                 if snapshot >= num_states or not self._pinned_satisfied(
-                        snapshot, constraints):
+                        era, snapshot, constraints):
                     violations.append(Violation(
                         kind="inconsistent-update-read",
                         message=(f"update txn {view.logical_id or view.txn_id}"
@@ -315,9 +450,9 @@ class _IncrementalAnalysis:
                     continue
                 analyzed.append(_Analyzed(
                     view, IntervalSet(((snapshot, snapshot),)),
-                    commit_index, upper))
+                    commit_index, upper, era))
                 continue
-            candidates = self._candidate_intervals(constraints)
+            candidates = self._candidate_intervals(era, constraints)
             admissible = candidates.clamp_max(upper)
             if admissible.empty:
                 if not candidates.empty:
@@ -334,7 +469,7 @@ class _IncrementalAnalysis:
                 violations.append(Violation(kind=kind, message=message,
                                             txns=(view.key,)))
                 continue
-            analyzed.append(_Analyzed(view, admissible, None, upper))
+            analyzed.append(_Analyzed(view, admissible, None, upper, era))
         return analyzed, violations
 
 
@@ -512,8 +647,64 @@ def _incremental_ordering_violations(analyzed: list[_Analyzed],
     return violations
 
 
+def _era_ordering_violations(analyzed: list[_Analyzed],
+                             same_session_only: bool,
+                             eras: list[_Era]) -> list[Violation]:
+    """Definition 2.1/2.2 pair constraints across promotion eras.
+
+    Identical to :func:`_ordering_violations` except that a constraint
+    carried from an earlier era is clamped to the shared prefix of the
+    two transactions' axes (:func:`_shared_prefix_bound`): beyond the
+    truncation point the axes are incomparable — the old regime's tail
+    was discarded — so the only freshness obligation that survives a
+    promotion is "at least the surviving prefix state".  Used by *both*
+    checker methods: promotion histories are chaos-storm sized, so the
+    O(n²) scan is fine, and one shared implementation keeps the verdicts
+    method-independent by construction.
+    """
+    violations: list[Violation] = []
+    ordered = sorted(analyzed, key=lambda a: a.view.begin_seq)
+    assigned: dict[tuple, int] = {}
+    for j, tj in enumerate(ordered):
+        lower = 0
+        lower_source = None
+        for ti in ordered[:j]:
+            if ti.view.end_seq < 0:
+                continue
+            if ti.view.end_seq >= tj.view.begin_seq:
+                continue
+            if same_session_only and (
+                    ti.view.session is None
+                    or ti.view.session != tj.view.session):
+                continue
+            effective = (ti.commit_index if ti.pinned
+                         else assigned[ti.view.key])
+            if ti.era != tj.era:
+                effective = min(
+                    effective, _shared_prefix_bound(eras, ti.era, tj.era))
+            if effective > lower:
+                lower = effective
+                lower_source = ti
+        if tj.pinned:
+            snapshot = tj.min_admissible
+            assigned[tj.view.key] = snapshot
+            feasible = snapshot >= lower
+        else:
+            option = tj.first_admissible_at_least(lower)
+            feasible = option is not None
+            snapshot = option if feasible else tj.max_admissible
+            assigned[tj.view.key] = snapshot
+        if not feasible:
+            violations.append(_inversion_violation(
+                tj, snapshot, lower, lower_source, same_session_only))
+    return violations
+
+
 def _ordering(analyzed: list[_Analyzed], same_session_only: bool,
-              method: str) -> list[Violation]:
+              method: str,
+              eras: Optional[list[_Era]] = None) -> list[Violation]:
+    if eras is not None and len(eras) > 1:
+        return _era_ordering_violations(analyzed, same_session_only, eras)
     if method == "legacy":
         return _ordering_violations(analyzed, same_session_only)
     return _incremental_ordering_violations(analyzed, same_session_only)
@@ -526,7 +717,7 @@ def check_strong_si(recorder: HistoryRecorder,
     between *any* pair of committed transactions."""
     analysis = _analysis(recorder, primary_site, method)
     analyzed, violations = analysis.analyze()
-    violations.extend(_ordering(analyzed, False, method))
+    violations.extend(_ordering(analyzed, False, method, analysis.eras))
     return CheckResult(criterion="strong SI", ok=not violations,
                        violations=violations,
                        checked_transactions=len(analysis.client_views))
@@ -539,7 +730,7 @@ def check_strong_session_si(recorder: HistoryRecorder,
     inversions between pairs with the same session label."""
     analysis = _analysis(recorder, primary_site, method)
     analyzed, violations = analysis.analyze()
-    violations.extend(_ordering(analyzed, True, method))
+    violations.extend(_ordering(analyzed, True, method, analysis.eras))
     return CheckResult(criterion="strong session SI", ok=not violations,
                        violations=violations,
                        checked_transactions=len(analysis.client_views))
@@ -557,7 +748,7 @@ def count_transaction_inversions(recorder: HistoryRecorder,
     """
     analysis = _analysis(recorder, primary_site, method)
     analyzed, _ = analysis.analyze()
-    return len(_ordering(analyzed, within_sessions, method))
+    return len(_ordering(analyzed, within_sessions, method, analysis.eras))
 
 
 def _secondary_timeline(recorder: HistoryRecorder,
@@ -710,6 +901,118 @@ def _incremental_completeness(recorder: HistoryRecorder,
                        checked_transactions=checked)
 
 
+def _era_completeness(recorder: HistoryRecorder, primary_site: str,
+                      eras: list[_Era], method: str) -> CheckResult:
+    """Theorem 3.1 across promotion eras (both methods).
+
+    Every timeline item at a secondary is audited against the axis of
+    the era it committed in — the truncation point becomes the new axis
+    of comparison, so a replica that applied the old primary's truncated
+    tail and carried it into the new era is flagged as divergent, not
+    excused.  At an era crossing (and after any recovery) the per-key
+    induction restarts with a full-state comparison: the axes agree only
+    on the shared prefix, so inducting across the boundary would be
+    unsound.  A promoted site is audited as a secondary only up to its
+    promotion; afterwards its own commits *define* the axis.
+    """
+    axes = _era_axes(recorder, eras)
+    legacy = method == "legacy"
+    if legacy:
+        axis_states = [_materialise_states(axis) for axis in axes]
+        axis_timelines = None
+    else:
+        axis_states = None
+        axis_timelines = []
+        for axis in axes:
+            timelines = KeyTimelines()
+            for view in axis:
+                timelines.append_commit(view.final_writes)
+            axis_timelines.append(timelines)
+    promoted_at = {era.site: era.start_seq for era in eras[1:]}
+    violations: list[Violation] = []
+    checked = 0
+    for site in recorder.sites():
+        if site == eras[0].site:
+            continue
+        cutoff = promoted_at.get(site)
+        current: dict[Any, Any] = {}
+        prev = 0
+        prev_era = 0
+        for seq, what, item in _secondary_timeline(recorder, site):
+            if cutoff is not None and seq > cutoff:
+                break   # promoted: from here on its commits are the axis
+            checked += 1
+            era = _era_of(eras, seq)
+            if what == "recover":
+                index = item.commit_ts or 0
+                current = dict(item.value or {})
+                full_check = True
+            else:
+                final_writes = item.final_writes
+                for key, (value, deleted) in final_writes.items():
+                    if deleted:
+                        current.pop(key, None)
+                    else:
+                        current[key] = value
+                index = item.commit_ts if item.commit_ts is not None else -1
+                full_check = era != prev_era
+            n = (len(axis_states[era]) - 1 if legacy
+                 else axis_timelines[era].num_commits)
+            if not 0 <= index <= n:
+                violations.append(Violation(
+                    kind="secondary-ahead",
+                    message=(f"site {site!r} produced state S^{index}, but "
+                             f"the primary only reached S^{n}")))
+                break
+            if legacy:
+                diverged = current != axis_states[era][index]
+            elif full_check:
+                timelines = axis_timelines[era]
+                diverged = len(current) != timelines.live_counts[index]
+                if not diverged:
+                    value_at = timelines.value_at
+                    for key, value in current.items():
+                        present, expected = value_at(key, index)
+                        if not present or expected != value:
+                            diverged = True
+                            break
+            else:
+                timelines = axis_timelines[era]
+                suspect_keys = set(item.final_writes)
+                lo, hi = (prev, index) if prev <= index else (index, prev)
+                write_keys = timelines.write_keys
+                for i in range(lo + 1, hi + 1):
+                    suspect_keys.update(write_keys[i])
+                diverged = False
+                value_at = timelines.value_at
+                for key in suspect_keys:
+                    present, expected = value_at(key, index)
+                    actual = current.get(key, _MISSING)
+                    if present:
+                        if actual is _MISSING or actual != expected:
+                            diverged = True
+                            break
+                    elif actual is not _MISSING:
+                        diverged = True
+                        break
+            if diverged:
+                what_label = ("recovery copy" if what == "recover"
+                              else "state")
+                expected_state = (axis_states[era][index] if legacy
+                                  else axis_timelines[era].state_at(index))
+                violations.append(Violation(
+                    kind="state-divergence",
+                    message=(f"site {site!r} {what_label} S^{index} diverges "
+                             f"from primary: {current!r} != "
+                             f"{expected_state!r}")))
+                break
+            prev = index
+            prev_era = era
+    return CheckResult(criterion="completeness", ok=not violations,
+                       violations=violations,
+                       checked_transactions=checked)
+
+
 def check_completeness(recorder: HistoryRecorder,
                        primary_site: str = "primary",
                        method: str = "incremental") -> CheckResult:
@@ -727,6 +1030,9 @@ def check_completeness(recorder: HistoryRecorder,
     """
     _check_method(method)
     _check_detail(recorder)
+    eras = _promotion_eras(recorder, primary_site)
+    if len(eras) > 1:
+        return _era_completeness(recorder, primary_site, eras, method)
     if method == "legacy":
         return _legacy_completeness(recorder, primary_site)
     return _incremental_completeness(recorder, primary_site)

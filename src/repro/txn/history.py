@@ -231,6 +231,33 @@ class HistoryRecorder:
         self.events.append(event)
         return event
 
+    def record_promotion(self, old_site: str, new_site: str, time: float,
+                         truncation_ts: int) -> HistoryEvent:
+        """Append a primary-promotion event (the cluster-epoch boundary).
+
+        ``truncation_ts`` is the promoted secondary's last applied primary
+        commit: states S^0..S^truncation_ts survive into the new era as a
+        shared prefix, while anything the old primary committed beyond it
+        is truncated.  Checkers split the history into eras at these
+        events and re-anchor the axis of comparison on the new primary's
+        timeline (``site`` is the new primary, ``value`` the old one).
+        """
+        event = HistoryEvent(
+            seq=self._seq,
+            time=time,
+            kind="promote",
+            site=sys.intern(new_site),
+            txn_id=0,
+            logical_id=None,
+            session=None,
+            refresh_of=None,
+            commit_ts=truncation_ts,
+            value=sys.intern(old_site),
+        )
+        self._seq += 1
+        self.events.append(event)
+        return event
+
     # -- aggregation -----------------------------------------------------
     def transactions(self) -> dict[tuple[str, int], TxnView]:
         """Aggregate events into per-transaction views, keyed (site, id).
@@ -245,7 +272,7 @@ class HistoryRecorder:
             return self._views_cache
         views: dict[tuple[str, int], TxnView] = {}
         for event in self.events:
-            if event.kind == "recover":   # site-level, not a transaction
+            if event.kind in ("recover", "promote"):   # site-level events
                 continue
             key = (event.site, event.txn_id)
             view = views.get(key)

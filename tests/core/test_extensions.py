@@ -103,6 +103,53 @@ def test_weak_si_migration_allows_regression_without_blocking():
     system.quiesce()
 
 
+@pytest.mark.parametrize("guarantee,time_travels", [
+    (Guarantee.WEAK_SI, True),
+    (Guarantee.PCSI, True),
+    (Guarantee.STRONG_SESSION_SI, False),
+    (Guarantee.STRONG_SI, False),
+])
+def test_move_to_time_travel_matrix(guarantee, time_travels):
+    """Pin both halves of the move_to() docstring: after rebinding to a
+    stale replica, PCSI/WEAK_SI sessions observe time going backwards,
+    while STRONG_SESSION_SI/STRONG_SI sessions wait for the new replica
+    to reach everything the session already saw."""
+    from repro.errors import FreshnessTimeoutError
+
+    system = make_system(propagation_delay=0.0)
+    writer = system.session(Guarantee.WEAK_SI, secondary=1)
+    writer.write("x", 1)
+    system.quiesce()
+    system.propagator.pause()
+    writer.write("x", 2)
+    system.run()
+    # Replica 0 gets the second commit by targeted replay; replica 1
+    # stays one state behind.
+    system.propagator.replay_to(system.secondaries[0], after_commit_ts=1)
+    system.run()
+    assert system.secondaries[0].seq_db == 2
+    assert system.secondaries[1].seq_db == 1
+
+    session = system.session(guarantee, secondary=0)
+    assert session.read("x") == 2         # observes S^2 at the fresh site
+    session.move_to(1)
+    if time_travels:
+        # Time goes backwards, immediately and without blocking.
+        assert session.read("x") == 1
+        assert session.blocked_reads == 0
+    else:
+        # The read refuses to regress: it blocks until the stale replica
+        # reaches S^2, which cannot happen while propagation is paused.
+        with pytest.raises(FreshnessTimeoutError):
+            session.execute_read_only(lambda t: t.read("x"),
+                                      max_wait=5.0)
+        system.propagator.resume()
+        assert session.read("x") == 2     # catch-up, then the fresh value
+        assert session.blocked_reads >= 1
+    system.propagator.resume()
+    system.quiesce()
+
+
 def test_move_to_validates_index():
     system = make_system()
     s = system.session()

@@ -90,3 +90,102 @@ def test_injector_skips_inapplicable_events():
     system.run(until=3.0)
     assert injector.applied == []
     assert len(injector.skipped) == 2
+
+
+# ---------------------------------------------------------------------------
+# Permanent primary kill + promotion trigger
+# ---------------------------------------------------------------------------
+
+def test_random_kill_plan_shape():
+    rng = RandomStreams(5)["plan"]
+    plan = FaultPlan.random(rng, horizon=100.0, num_secondaries=3,
+                            secondary_outages=2,
+                            permanent_primary_kill=True)
+    assert plan.count("kill_primary") == 1
+    assert plan.count("promote_secondary") == 1
+    assert plan.count("crash_primary") == 0
+    assert plan.count("restart_primary") == 0
+    kill = next(e for e in plan if e.action == "kill_primary")
+    promote = next(e for e in plan if e.action == "promote_secondary")
+    assert kill.at < promote.at
+    assert promote.target is None     # freshest live secondary wins
+
+
+def test_kill_plan_reuses_the_crash_plan_draws():
+    """Flipping permanent_primary_kill must not shift any other seeded
+    choice: the kill/promote pair lands exactly where the crash/restart
+    pair would have."""
+    for seed in range(10):
+        crash = FaultPlan.random(RandomStreams(seed)["plan"],
+                                 horizon=100.0, num_secondaries=3)
+        kill = FaultPlan.random(RandomStreams(seed)["plan"],
+                                horizon=100.0, num_secondaries=3,
+                                permanent_primary_kill=True)
+        remap = {"crash_primary": "kill_primary",
+                 "restart_primary": "promote_secondary"}
+        assert [(e.at, remap.get(e.action, e.action), e.target)
+                for e in crash] \
+            == [(e.at, e.action, e.target) for e in kill]
+
+
+def test_injector_applies_kill_and_promotion():
+    from repro.core.promotion import PromotionConfig
+
+    system = ReplicatedSystem(num_secondaries=3, propagation_delay=0.0,
+                              promotion=PromotionConfig())
+    session = system.session()
+    session.write("x", 1)
+    system.quiesce()
+    plan = FaultPlan.of([
+        FaultEvent(at=5.0, action="kill_primary"),
+        FaultEvent(at=10.0, action="promote_secondary"),
+    ])
+    injector = FaultInjector(system, plan)
+    injector.start()
+    system.run(until=6.0)
+    assert system.primary.crashed and system.primary.permanently_failed
+    system.run(until=11.0)
+    assert not system.primary.crashed
+    assert system.promotions == 1
+    assert len(injector.applied) == 2
+    session.write("x", 2)
+    system.quiesce()
+    assert system.primary_state() == {"x": 2}
+
+
+def test_injector_skips_promotion_when_disabled_or_primary_live():
+    system = ReplicatedSystem(num_secondaries=2)
+    plan = FaultPlan.of([
+        # Primary is live, so neither event applies: promotion answers
+        # a failure that has not happened...
+        FaultEvent(at=1.0, action="promote_secondary"),
+        # ...and with promotion=None the trigger is inert even after a
+        # crash (no accidental epoch churn on classic configurations).
+        FaultEvent(at=2.0, action="crash_primary"),
+        FaultEvent(at=3.0, action="promote_secondary"),
+    ])
+    injector = FaultInjector(system, plan)
+    injector.start()
+    system.run(until=4.0)
+    assert [e.action for e in injector.applied] == ["crash_primary"]
+    assert [e.action for e in injector.skipped] \
+        == ["promote_secondary", "promote_secondary"]
+    system.restart_primary()
+
+
+def test_injector_skips_restart_after_permanent_kill():
+    from repro.core.promotion import PromotionConfig
+
+    system = ReplicatedSystem(num_secondaries=2, propagation_delay=0.0,
+                              promotion=PromotionConfig())
+    plan = FaultPlan.of([
+        FaultEvent(at=1.0, action="kill_primary"),
+        FaultEvent(at=2.0, action="restart_primary"),   # must be refused
+        FaultEvent(at=3.0, action="promote_secondary"),
+    ])
+    injector = FaultInjector(system, plan)
+    injector.start()
+    system.run(until=4.0)
+    assert [e.action for e in injector.applied] \
+        == ["kill_primary", "promote_secondary"]
+    assert [e.action for e in injector.skipped] == ["restart_primary"]
