@@ -38,7 +38,7 @@ def baseline():
 
 
 def test_baseline_schema(baseline):
-    assert baseline["schema"] == 3
+    assert baseline["schema"] == 4
     assert baseline["kernel"]["events_per_sec"] > 0
     assert set(baseline["run_once_seconds"]) == {
         "strong-session-si", "weak-si", "strong-si"}
@@ -62,6 +62,24 @@ def test_baseline_schema(baseline):
     # criteria at the baseline history length.
     assert checkers["speedup"]["weak_si"] >= 5
     assert checkers["speedup"]["strong_session_si"] >= 5
+    # Schema 4: the rewritten per-key completeness pass must at least
+    # break even with the legacy replay (it previously lagged at 0.83x).
+    assert checkers["speedup"]["completeness"] >= 1
+    # Schema 4: parallel refresh vs FIFO pool.  These legs run in
+    # virtual time, so the recorded numbers are deterministic and the
+    # acceptance bars can be asserted exactly: >= 3x apply throughput
+    # at 8 workers on the 95/5 mix, and strictly lower replication lag
+    # at every worker count >= 2 on both mixes.
+    parallel = baseline["parallel_refresh"]
+    assert set(parallel["mixes"]) == {"80/20", "95/5"}
+    assert parallel["workers"] == [1, 2, 4, 8]
+    assert parallel["mixes"]["95/5"]["throughput_speedup_at_8"] >= 3.0
+    for mix_stats in parallel["mixes"].values():
+        for workers in ("2", "4", "8"):
+            fifo = mix_stats["fifo"][workers]
+            par = mix_stats["parallel"][workers]
+            assert par["mean_lag"] < fifo["mean_lag"]
+            assert par["apply_throughput"] > fifo["apply_throughput"]
     # Schema 3: figure2_small carries the real host parallelism; on a
     # single-CPU host the speedup is null, never a nonsense ratio.
     figure2 = baseline["figure2_small"]

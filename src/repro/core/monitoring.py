@@ -46,6 +46,11 @@ class SiteStatus:
     max_chain_length: int = 0       # longest per-key version chain
     vacuum_runs: int = 0
     versions_reclaimed: int = 0
+    # -- parallel-refresh counters (None/zero with parallel refresh off) --
+    parallel_workers: Optional[int] = None
+    out_of_order_commits: int = 0   # commits applied ahead of the watermark
+    peak_runnable_depth: int = 0    # deepest runnable queue observed
+    watermark_lag: int = 0          # newest enqueued commit - watermark
 
     @property
     def fault_activity(self) -> bool:
@@ -65,9 +70,17 @@ class SystemStatus:
     primary: SiteStatus
     secondaries: tuple[SiteStatus, ...]
     max_lag: int
-    # -- propagator shipping counters (per-endpoint deliveries) -----------
+    # -- propagator shipping counters ------------------------------------
+    #: Per-endpoint deliveries (replays and retransmissions included);
+    #: grows with the number of attached secondaries.  Before the
+    #: batch-shipping overhaul this counted each log record once — that
+    #: endpoint-independent metric now lives in :attr:`records_logged`.
     records_sent: int = 0
     batches_sent: int = 0
+    #: Log records the propagator sniffed, counted once regardless of
+    #: endpoint count — the pre-overhaul ``records_sent`` semantics,
+    #: kept for baseline comparability.
+    records_logged: int = 0
     # -- promotion counters (zero while the original primary survives) ----
     cluster_epoch: int = 0
     promotions: int = 0
@@ -117,7 +130,19 @@ class SystemStatus:
         # knob fired, so classic-configuration reports stay byte-identical.
         if self.batches_sent:
             lines.append(f"  propagator: records={self.records_sent}  "
-                         f"batches={self.batches_sent}")
+                         f"batches={self.batches_sent}  "
+                         f"logged={self.records_logged}")
+        # Parallel-refresh lines, only for sites running the dependency
+        # scheduler, so FIFO-configuration reports stay byte-identical.
+        for site in self.secondaries:
+            if site.parallel_workers is None:
+                continue
+            lines.append(
+                f"  {site.name + ' parallel:':<22}"
+                f"workers={site.parallel_workers}  "
+                f"out-of-order={site.out_of_order_commits}  "
+                f"peak-runnable={site.peak_runnable_depth}  "
+                f"watermark-lag={site.watermark_lag}")
         # Promotion line, only once a promotion happened, so pre-failover
         # (and promotion-disabled) reports stay byte-identical.
         if self.promotions:
@@ -198,7 +223,7 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
             seq_db=secondary.seq_db,
             lag=lag,
             queued_records=len(secondary.update_queue),
-            pending_refreshes=len(secondary.refresher.pending),
+            pending_refreshes=secondary.refresher.pending_count,
             refreshes_applied=secondary.refresher.refreshes_applied,
             peak_applicators=secondary.refresher
             .max_concurrent_applicators,
@@ -215,6 +240,10 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
             max_chain_length=secondary.engine.max_chain_length,
             vacuum_runs=vacuum_stats(secondary.engine)[0],
             versions_reclaimed=vacuum_stats(secondary.engine)[1],
+            parallel_workers=secondary.refresher.parallel,
+            out_of_order_commits=secondary.refresher.out_of_order_commits,
+            peak_runnable_depth=secondary.refresher.max_runnable_depth,
+            watermark_lag=secondary.refresher.watermark_lag,
         ))
     return SystemStatus(now=system.kernel.now,
                         primary_commit_ts=primary_ts,
@@ -223,6 +252,7 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
                         max_lag=max_lag,
                         records_sent=system.propagator.records_sent,
                         batches_sent=system.propagator.batches_sent,
+                        records_logged=system.propagator.records_logged,
                         cluster_epoch=getattr(system, "cluster_epoch", 0),
                         promotions=getattr(system, "promotions", 0),
                         fenced_stale_records=getattr(

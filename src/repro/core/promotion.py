@@ -197,11 +197,19 @@ def promote(system: "ReplicatedSystem",
 
     new_propagator = Propagator(
         system.kernel, log, delay=old_propagator.delay,
-        batch_interval=old_propagator.batch_interval)
+        batch_interval=old_propagator.batch_interval,
+        # The new propagator's per-key last-writer map starts empty, so
+        # the first new-epoch writer of any key would otherwise ship
+        # dep_ts=0 and could be applied by a parallel secondary before
+        # the replayed archive tail that leads up to S^base.  Flooring
+        # every dependency at ``base`` keeps new-epoch commits behind
+        # the entire surviving prefix.
+        dep_floor=base)
     # Shipping counters continue across the epoch (monitoring reads
     # whichever propagator is current).
     new_propagator.records_sent = old_propagator.records_sent
     new_propagator.batches_sent = old_propagator.batches_sent
+    new_propagator.records_logged = old_propagator.records_logged
 
     replayed: dict[str, int] = {}
     for site in system.secondaries:

@@ -46,6 +46,7 @@ from repro.core.records import (
     PropagatedCommit,
     PropagatedStart,
     PropagationRecord,
+    key_fingerprint,
 )
 from repro.kernel import Kernel
 from repro.storage.wal import (
@@ -242,11 +243,21 @@ class Propagator:
     batch_interval:
         If set, records are buffered and flushed together at most every
         ``batch_interval`` (scheduled lazily so an idle system quiesces).
+    dep_floor:
+        Lower bound on every shipped ``dep_ts``: a committed transaction
+        whose keys have no recorded prior writer still depends on (at
+        least) this commit number.  0 normally; a promotion passes the
+        new primary's base state so new-epoch commits can never be
+        applied by a parallel secondary before the replayed archive tail
+        that produced the base state (the per-key last-writer map of a
+        fresh propagator starts empty and knows nothing about the
+        previous epoch's writers).
     """
 
     def __init__(self, kernel: Kernel, log: LogicalLog, *,
                  delay: float = 0.0,
                  batch_interval: Optional[float] = None,
+                 dep_floor: int = 0,
                  name: str = "propagator"):
         if delay < 0:
             raise ReplicationError("propagation delay must be >= 0")
@@ -256,6 +267,7 @@ class Propagator:
         self.log = log
         self.delay = delay
         self.batch_interval = batch_interval
+        self.dep_floor = dep_floor
         self.name = name
         self._endpoints: list[PropagationEndpoint] = []
         self._links: dict[str, ReliableLink] = {}
@@ -269,10 +281,19 @@ class Propagator:
         #: used to bring a recovered secondary back up to date (Section 3.4).
         self.archive: list[PropagatedCommit] = []
         #: Per-endpoint record deliveries: a record shipped to three
-        #: secondaries counts three times.
+        #: secondaries counts three times.  (Before the batch-shipping
+        #: change this was a single per-record count independent of the
+        #: endpoint count — that metric now lives in ``records_logged``.)
         self.records_sent = 0
         #: Batch frames shipped (per endpoint); zero unless batching is on.
         self.batches_sent = 0
+        #: Records emitted from the log, counted once each regardless of
+        #: how many endpoints they fan out to — the pre-batching
+        #: ``records_sent`` semantics, kept for baseline comparability.
+        self.records_logged = 0
+        #: Per-key last-writer map (key fingerprint -> commit_ts) feeding
+        #: the dependency summary shipped with every commit record.
+        self._last_writer: dict[int, int] = {}
         log.subscribe(self._on_log_record)
 
     # -- membership -------------------------------------------------------
@@ -339,9 +360,26 @@ class Propagator:
         elif isinstance(record, CommitRecord):
             updates = tuple(self._update_lists.pop(record.txn_id, ()))
             self._start_ts.pop(record.txn_id, None)
+            # Dependency summary (incremental, O(write set)): fingerprint
+            # every written key, take the newest prior writer among them
+            # as dep_ts, then record this commit as the new last writer.
+            last_writer = self._last_writer
+            write_fps: list[int] = []
+            seen_fps: set[int] = set()
+            dep_ts = self.dep_floor
+            for key, _value, _deleted in updates:
+                fp = key_fingerprint(key)
+                if fp in seen_fps:
+                    continue
+                seen_fps.add(fp)
+                write_fps.append(fp)
+                prev = last_writer.get(fp)
+                if prev is not None and prev > dep_ts:
+                    dep_ts = prev
+                last_writer[fp] = record.commit_ts
             commit = PropagatedCommit(
                 txn_id=record.txn_id, commit_ts=record.commit_ts,
-                updates=updates)
+                updates=updates, write_fps=tuple(write_fps), dep_ts=dep_ts)
             self.archive.append(commit)
             self._emit(commit)
         elif isinstance(record, AbortRecord):
@@ -351,6 +389,7 @@ class Propagator:
 
     # -- emission ----------------------------------------------------------
     def _emit(self, record: PropagationRecord) -> None:
+        self.records_logged += 1
         self._outbox.append(record)
         if self._paused:
             return

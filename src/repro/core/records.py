@@ -9,11 +9,25 @@ discard the corresponding refresh transaction.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Any, Tuple
 
 #: One logical update: (key, value, deleted).
 UpdateTuple = Tuple[Any, Any, bool]
+
+
+def key_fingerprint(key: Any) -> int:
+    """Stable 32-bit fingerprint of a written key.
+
+    CRC-32 over ``repr(key)`` — deliberately *not* Python's ``hash()``,
+    whose per-process ``PYTHONHASHSEED`` randomisation for strings would
+    make fingerprints (and therefore the parallel-refresh conflict
+    relation and every downstream artifact) differ between the sweep
+    subprocesses and across runs.  Collisions are safe: a collision can
+    only *add* an ordering edge (over-serialise), never drop one.
+    """
+    return zlib.crc32(repr(key).encode("utf-8", "backslashreplace"))
 
 
 @dataclass(frozen=True)
@@ -27,12 +41,33 @@ class PropagatedStart:
 
 @dataclass(frozen=True)
 class PropagatedCommit:
-    """commit_p(T) plus T's full update list, shipped only after commit."""
+    """commit_p(T) plus T's full update list, shipped only after commit.
+
+    ``write_fps`` and ``dep_ts`` are the dependency summary used by the
+    parallel-refresh scheduler (C5-style out-of-order apply):
+
+    ``write_fps``
+        One stable 32-bit fingerprint per written key, in write order.
+        Fingerprints are computed by :func:`key_fingerprint` at the
+        propagator so every site derives the same conflict relation
+        without shipping the (arbitrarily large) keys twice.
+    ``dep_ts``
+        Commit timestamp of the latest prior committed transaction that
+        wrote any of the same keys (0 when none) — an upper bound on
+        every true per-key predecessor, letting secondaries prune
+        fingerprint-collision false dependencies: any fingerprint match
+        newer than ``dep_ts`` cannot be a real conflict.
+
+    Both default to their empty values so FIFO-mode records (and records
+    from before this wire-format revision) are unchanged.
+    """
 
     txn_id: int
     commit_ts: int
     updates: tuple[UpdateTuple, ...]
     logical_id: str = ""
+    write_fps: tuple[int, ...] = ()
+    dep_ts: int = 0
 
     @property
     def update_count(self) -> int:

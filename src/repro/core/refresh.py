@@ -40,6 +40,31 @@ The applicator additionally maintains ``seq(DBsec)`` for
 ALG-STRONG-SESSION-SI: immediately after R commits — and before the commit
 record is removed from the pending queue — it sets ``seq(DBsec)`` to
 ``commit_p(T)`` (Section 4).
+
+Dependency-tracked parallel refresh
+-----------------------------------
+Both of the modes above commit refresh transactions strictly in primary
+commit order, so apply parallelism never exceeds 1: every worker but the
+pending-queue head is blocked.  ``parallel`` workers instead run a
+conflict-graph scheduler over the dependency summary the propagator now
+ships with each commit (C5-style out-of-order apply):
+
+* a commit record becomes **runnable** once every conflicting
+  predecessor — computed from the shipped write-set key fingerprints
+  against a local last-writer map, with the shipped ``dep_ts`` pruning
+  fingerprint-collision false edges — has applied; non-conflicting
+  commits run (and commit, at their explicit primary timestamps) in any
+  order, on any worker;
+* a **watermark** tracks the contiguous applied prefix; ``seq(DBsec)``
+  and the engine's snapshot counter advance only at watermark
+  boundaries, so versions committed out of order above the watermark
+  are invisible to every read until the prefix below them is complete.
+
+Observationally the secondary is unchanged: reads begin at snapshot
+``watermark`` and see exactly the primary state of that number, strong
+session blocking waits on the watermark, and promotion fencing sees
+``latest_commit_ts == seq(DBsec)`` — relationships 1-3 hold for every
+*visible* state even though the physical apply order is relaxed.
 """
 
 from __future__ import annotations
@@ -64,9 +89,19 @@ class Refresher:
     """The refresh process plus its applicator pool at one secondary."""
 
     def __init__(self, kernel: Kernel, site: "SecondarySite",
-                 serial: bool = False, pool_size: Optional[int] = None):
+                 serial: bool = False, pool_size: Optional[int] = None,
+                 parallel: Optional[int] = None,
+                 apply_cost: float = 0.0):
         if pool_size is not None and pool_size < 1:
             raise ReplicationError("applicator pool size must be >= 1")
+        if parallel is not None and parallel < 1:
+            raise ReplicationError("parallel refresh worker count must "
+                                   "be >= 1")
+        if parallel is not None and (serial or pool_size is not None):
+            raise ReplicationError(
+                "parallel refresh excludes serial/pooled FIFO modes")
+        if apply_cost < 0:
+            raise ReplicationError("refresh apply cost must be >= 0")
         self.kernel = kernel
         self.site = site
         #: Serial mode applies each transaction to completion before
@@ -77,6 +112,13 @@ class Refresher:
         #: Reusable-applicator pool size; ``None`` keeps the classic
         #: spawn-per-commit behaviour (bit-identical to the pre-pool code).
         self.pool_size = None if serial else pool_size
+        #: Dependency-tracked out-of-order worker count; ``None`` keeps
+        #: the strict-FIFO commit order of the other modes.
+        self.parallel = parallel
+        #: Modelled apply cost (virtual time per update operation) spent
+        #: by an applicator before replaying a commit's update list; 0.0
+        #: adds no kernel events (bit-identical).
+        self.apply_cost = apply_cost
         self.pending: deque[int] = deque()
         self.pending_cond = Condition(kernel, name=f"{site.name}-pending")
         self._refresh_txns: dict[int, object] = {}
@@ -85,6 +127,25 @@ class Refresher:
         self._work: Optional[Queue] = None
         self._busy_workers = 0
         self._notify_scheduled = False
+        # -- conflict-graph scheduler state (parallel mode only) --------
+        #: Runnable commit records, claimable by any worker.
+        self._runnable: Optional[Queue] = None
+        #: key fingerprint -> newest enqueued commit_ts writing it.
+        self._fp_last_writer: dict[int, int] = {}
+        #: blocked commit_ts -> unapplied conflicting predecessor ts.
+        self._blockers: dict[int, set[int]] = {}
+        #: predecessor ts -> commit_ts values waiting on it.
+        self._dependents: dict[int, list[int]] = {}
+        #: blocked commit_ts -> its commit record (parked until runnable).
+        self._parked: dict[int, PropagatedCommit] = {}
+        #: Every enqueued-but-not-yet-applied commit_ts (parked, queued
+        #: runnable, or claimed by a worker) — the parallel-mode
+        #: equivalent of the FIFO pending queue.
+        self._inflight: set[int] = set()
+        #: Applied commit_ts above the watermark (holes pending below).
+        self._applied: set[int] = set()
+        #: Contiguous applied prefix; the only state reads ever see.
+        self._watermark = 0
         #: Incarnation counter: bumped on stop() so notify callbacks
         #: scheduled by a crashed incarnation are no-ops after restart.
         self._epoch = 0
@@ -98,6 +159,14 @@ class Refresher:
         #: Coalesced pending-queue notifications actually issued (pooled
         #: mode only; the spawn-per-commit path notifies per transition).
         self.coalesced_notifies = 0
+        #: Refresh transactions committed at a timestamp beyond
+        #: watermark+1 (parallel mode): actual out-of-order applies.
+        self.out_of_order_commits = 0
+        #: Peak depth of the runnable queue (parallel mode).
+        self.max_runnable_depth = 0
+        #: Peak of ``_max_enqueued_ts - watermark`` observed at apply
+        #: time (parallel mode): how far the backlog stretched.
+        self.max_watermark_lag = 0
         self.process: Optional[Process] = None
         self.start()
 
@@ -105,7 +174,21 @@ class Refresher:
         """(Re)start the refresher process (after construction or crash)."""
         self.process = self.kernel.spawn(
             self._run(), name=f"refresher@{self.site.name}", daemon=True)
-        if self.pool_size is not None:
+        if self.parallel is not None:
+            # The watermark resumes from the visible state: after a
+            # recovery the installed copy *is* S^seq_db, so everything at
+            # or below it is applied by definition.
+            self._watermark = self.site.seq_db
+            self._runnable = Queue(self.kernel,
+                                   name=f"{self.site.name}-runnable")
+            self._workers = [
+                self.kernel.spawn(
+                    self._parallel_worker(),
+                    name=f"refresh-worker@{self.site.name}:{i}",
+                    daemon=True)
+                for i in range(self.parallel)
+            ]
+        elif self.pool_size is not None:
             self._work = Queue(self.kernel,
                                name=f"{self.site.name}-applicator-work")
             self._workers = [
@@ -130,6 +213,15 @@ class Refresher:
         if self._work is not None:
             self._work.drain()
             self._work = None
+        if self._runnable is not None:
+            self._runnable.drain()
+            self._runnable = None
+        self._fp_last_writer.clear()
+        self._blockers.clear()
+        self._dependents.clear()
+        self._parked.clear()
+        self._inflight.clear()
+        self._applied.clear()
         self._busy_workers = 0
         self._notify_scheduled = False
         self._epoch += 1
@@ -137,7 +229,7 @@ class Refresher:
         self._refresh_txns.clear()
         self._max_enqueued_ts = 0
 
-    def fence(self, restart: bool = True) -> None:
+    def fence(self, restart: bool = True) -> int:
         """Discard all refresh state across a cluster-epoch fence.
 
         Unlike a crash — where ``engine.crash()`` aborts every open
@@ -148,20 +240,50 @@ class Refresher:
         applicator (popped from the dict, held only by the process about
         to be killed).  With ``restart=False`` the refresher stays down
         (a promoted site permanently leaves the replica tier).
+
+        In parallel mode, commits applied out of order above the
+        watermark are additionally rolled back
+        (``engine.truncate_after``): they were never visible to any read,
+        and the new regime re-delivers or supersedes them — leaving their
+        versions installed would collide with that re-delivery.  Returns
+        the number of such discarded out-of-order commits (0 in FIFO
+        modes).
         """
         from repro.storage.engine import TxnStatus
         for txn in list(self.site.engine.active_transactions):
             if (txn.metadata or {}).get("refresh_of") is not None \
                     and txn.status is TxnStatus.ACTIVE:
                 txn.abort("cluster epoch fence")
+        stale_applied = 0
+        if self.parallel is not None and self._applied:
+            stale_applied = len(self._applied)
+            self.site.engine.truncate_after(self._watermark)
         self.stop()
         if restart:
             self.start()
+        return stale_applied
+
+    @property
+    def pending_count(self) -> int:
+        """Accepted-but-unapplied refresh transactions, any mode (the
+        FIFO pending queue, or the parallel scheduler's in-flight set)."""
+        if self.parallel is not None:
+            return len(self._inflight)
+        return len(self.pending)
+
+    @property
+    def watermark_lag(self) -> int:
+        """How far the newest accepted commit runs ahead of the visible
+        contiguous prefix (0 in FIFO modes, where they coincide)."""
+        if self.parallel is None:
+            return 0
+        return max(0, self._max_enqueued_ts - self._watermark)
 
     @property
     def idle(self) -> bool:
         """True when there is no queued or in-flight refresh work."""
-        return (not self.pending and self.site.update_queue.empty
+        return (not self.pending and not self._inflight
+                and self.site.update_queue.empty
                 and self.site.records_unprocessed == 0)
 
     # -- Algorithm 3.2 -----------------------------------------------------
@@ -185,7 +307,13 @@ class Refresher:
                 # propagator's own resumed stream); already begun.
                 self.stale_records_dropped += 1
                 return
-            yield self.pending_cond.wait_for(lambda: not self.pending)
+            if self.parallel is None:
+                yield self.pending_cond.wait_for(lambda: not self.pending)
+            # Parallel mode needs no relationship-2 wait: the refresh
+            # transaction only buffers writes and commits at an explicit
+            # primary timestamp, so its begin snapshot carries no
+            # ordering obligation — conflict scheduling at commit time
+            # provides exactly the serialisation the wait provided.
             self._begin_refresh(record.txn_id, record.start_ts)
         elif isinstance(record, PropagatedCommit):
             if record.commit_ts <= max(self.site.seq_db,
@@ -196,11 +324,13 @@ class Refresher:
                 # would shift the local state numbering off the
                 # primary's, so discard it — and the refresh
                 # transaction a redelivered start may have opened.
-                if record.commit_ts in self.pending:
+                if record.commit_ts in self.pending \
+                        or record.commit_ts in self._inflight:
                     # The original commit is still queued for
-                    # application (pooled work-queue backlog): its
-                    # refresh transaction is live and owned by an
-                    # applicator, so only the duplicate is dropped.
+                    # application (pooled work-queue backlog or the
+                    # parallel scheduler's in-flight set): its refresh
+                    # transaction is live and owned by an applicator,
+                    # so only the duplicate is dropped.
                     self.stale_records_dropped += 1
                     return
                 txn = self._refresh_txns.pop(record.txn_id, None)
@@ -209,6 +339,11 @@ class Refresher:
                 self.stale_records_dropped += 1
                 return
             self._max_enqueued_ts = record.commit_ts
+            if self.parallel is not None:
+                if record.txn_id not in self._refresh_txns:
+                    self._begin_refresh(record.txn_id, None)
+                self._schedule(record)
+                return
             if record.txn_id not in self._refresh_txns:
                 # Late join after recovery: the start record was lost
                 # with the old epoch.  Serialise this transaction.
@@ -248,9 +383,112 @@ class Refresher:
         })
         self._refresh_txns[primary_txn_id] = txn
 
+    # -- conflict-graph scheduling (parallel mode) ----------------------------
+    def _schedule(self, record: PropagatedCommit) -> None:
+        """Admit one commit record: park it behind its unapplied
+        conflicting predecessors, or hand it straight to the workers.
+
+        Records arrive in primary commit order, so the local last-writer
+        map mirrors the propagator's at every admission point; a
+        predecessor missing from the in-flight set is already applied
+        (or predates this refresher incarnation's visible state) and
+        imposes no edge.  The shipped ``dep_ts`` upper-bounds every true
+        per-key predecessor, pruning fingerprint-collision edges that
+        would only over-serialise.
+        """
+        ts = record.commit_ts
+        inflight = self._inflight
+        inflight.add(ts)
+        fp_last = self._fp_last_writer
+        dep_ts = record.dep_ts
+        blockers: Optional[set[int]] = None
+        for fp in record.write_fps:
+            prev = fp_last.get(fp)
+            if prev is not None and prev <= dep_ts and prev in inflight \
+                    and prev != ts:
+                if blockers is None:
+                    blockers = set()
+                blockers.add(prev)
+            fp_last[fp] = ts
+        if blockers:
+            self._blockers[ts] = blockers
+            self._parked[ts] = record
+            dependents = self._dependents
+            for prev in blockers:
+                dependents.setdefault(prev, []).append(ts)
+        else:
+            self._make_runnable(record)
+
+    def _make_runnable(self, record: PropagatedCommit) -> None:
+        self._runnable.put(record)
+        depth = len(self._runnable)
+        if depth > self.max_runnable_depth:
+            self.max_runnable_depth = depth
+
+    def _parallel_worker(self):
+        """One out-of-order applicator: applies any runnable commit and
+        commits it at its explicit primary timestamp."""
+        while True:
+            record = yield self._runnable.get()
+            self._busy_workers += 1
+            if self._busy_workers > self.max_concurrent_applicators:
+                self.max_concurrent_applicators = self._busy_workers
+            txn = self._refresh_txns.pop(record.txn_id, None)
+            if txn is None:
+                # Defensive mirror of the pooled path: the refresh
+                # transaction vanished, so retire the commit unapplied —
+                # its dependents (and the watermark) must not wedge.
+                self.stale_records_dropped += 1
+                self._mark_applied(record.commit_ts)
+                self._busy_workers -= 1
+                continue
+            if self.apply_cost > 0.0 and record.updates:
+                yield self.kernel.sleep(
+                    self.apply_cost * len(record.updates))
+            txn.apply_update_records(record.updates)
+            self.site.engine.commit_refresh_at(txn, record.commit_ts)
+            if record.commit_ts != self._watermark + 1:
+                self.out_of_order_commits += 1
+            lag = self._max_enqueued_ts - self._watermark
+            if lag > self.max_watermark_lag:
+                self.max_watermark_lag = lag
+            self.refreshes_applied += 1
+            self._mark_applied(record.commit_ts)
+            self._busy_workers -= 1
+
+    def _mark_applied(self, commit_ts: int) -> None:
+        """Retire an applied commit: release its dependents and publish
+        any newly contiguous prefix as the watermark."""
+        self._inflight.discard(commit_ts)
+        self._applied.add(commit_ts)
+        for dep_ts in self._dependents.pop(commit_ts, ()):
+            blockers = self._blockers.get(dep_ts)
+            if blockers is None:
+                continue
+            blockers.discard(commit_ts)
+            if not blockers:
+                del self._blockers[dep_ts]
+                self._make_runnable(self._parked.pop(dep_ts))
+        watermark = self._watermark
+        applied = self._applied
+        advanced = False
+        while watermark + 1 in applied:
+            watermark += 1
+            applied.remove(watermark)
+            advanced = True
+        if advanced:
+            self._watermark = watermark
+            # Counter first, then seq(DBsec): a session woken by the
+            # seq_cond notify may immediately begin a transaction at
+            # snapshot watermark, which the engine must already accept.
+            self.site.engine.advance_commit_counter(watermark)
+            self.site.set_seq_db(watermark)
+
     # -- Algorithm 3.3 (one applicator iteration) ----------------------------
     def _apply(self, record: PropagatedCommit):
         txn = self._refresh_txns.pop(record.txn_id)
+        if self.apply_cost > 0.0 and record.updates:
+            yield self.kernel.sleep(self.apply_cost * len(record.updates))
         txn.apply_update_records(record.updates)
         yield self.pending_cond.wait_for(
             lambda: self.pending and self.pending[0] == record.commit_ts)
@@ -293,6 +531,9 @@ class Refresher:
                 self.stale_records_dropped += 1
                 self._busy_workers -= 1
                 continue
+            if self.apply_cost > 0.0 and record.updates:
+                yield self.kernel.sleep(
+                    self.apply_cost * len(record.updates))
             txn.apply_update_records(record.updates)
             if not (pending and pending[0] == record.commit_ts):
                 yield self.pending_cond.wait_for(

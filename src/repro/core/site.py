@@ -126,7 +126,9 @@ class SecondarySite:
 
     def __init__(self, kernel: Kernel, name: str, recorder: Any = None,
                  serial_refresh: bool = False,
-                 applicator_pool: Optional[int] = None):
+                 applicator_pool: Optional[int] = None,
+                 parallel_refresh: Optional[int] = None,
+                 refresh_apply_cost: float = 0.0):
         self.kernel = kernel
         self.name = name
         self.recorder = recorder
@@ -140,7 +142,9 @@ class SecondarySite:
         #: before the failure are discarded on arrival.
         self.epoch = 0
         self.refresher = Refresher(kernel, self, serial=serial_refresh,
-                                   pool_size=applicator_pool)
+                                   pool_size=applicator_pool,
+                                   parallel=parallel_refresh,
+                                   apply_cost=refresh_apply_cost)
         self.records_dropped = 0
         #: Records scheduled for delivery but not yet arrived (used by
         #: :meth:`ReplicatedSystem.quiesce` to detect idleness).
@@ -271,7 +275,7 @@ class SecondarySite:
         self.epoch += 1
         discarded = sum(item.count if isinstance(item, PropagatedBatch) else 1
                         for item in self.update_queue.items)
-        discarded += len(self.refresher.pending)
+        discarded += self.refresher.pending_count
         self.update_queue.drain()
         self.records_unprocessed = 0
         return discarded
@@ -285,7 +289,7 @@ class SecondarySite:
         go, and the refresher restarts clean for the new primary's feed.
         """
         discarded = self._discard_stale()
-        self.refresher.fence()
+        discarded += self.refresher.fence()
         self.seq_cond.notify_all()
         return discarded
 
@@ -297,7 +301,7 @@ class SecondarySite:
         remaining replicas while the engine serves on as the primary.
         """
         discarded = self._discard_stale()
-        self.refresher.fence(restart=False)
+        discarded += self.refresher.fence(restart=False)
         self.retired = True
         self._catch_up_target = None
         self.seq_cond.notify_all()
@@ -321,4 +325,4 @@ class SecondarySite:
         """
         queued = sum(item.count if isinstance(item, PropagatedBatch) else 1
                      for item in self.update_queue.items)
-        return queued + len(self.refresher.pending)
+        return queued + self.refresher.pending_count

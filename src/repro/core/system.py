@@ -469,6 +469,23 @@ class ReplicatedSystem:
         processes (no per-commit process creation) and pending-queue
         wakeups are coalesced; ``None`` (the default) keeps the classic
         spawn-per-commit refresher, bit-identical to earlier versions.
+    parallel_refresh:
+        Optional worker count enabling **dependency-tracked parallel
+        refresh** at every secondary: commit records carry write-set
+        fingerprints and a conflict dependency, workers apply any
+        runnable (all conflicting predecessors applied) commit
+        out of primary order, and ``seq(DBsec)`` advances only at the
+        contiguous-applied watermark so every externally visible
+        snapshot is still some primary state S^i.  Mutually exclusive
+        with ``serial_refresh``/``applicator_pool``; ``None`` (the
+        default) keeps the strict-FIFO refreshers, bit-identical to
+        earlier versions.
+    refresh_apply_cost:
+        Virtual-time cost charged per update operation while applying a
+        refresh transaction (models the secondary's apply work; the
+        quantity parallel refresh overlaps).  ``0.0`` (the default)
+        adds no events and keeps runs bit-identical to earlier
+        versions.
     autovacuum_interval:
         Optional virtual-time cadence for per-site autovacuum daemons
         that garbage-collect version chains at the GC horizon (primary
@@ -510,6 +527,8 @@ class ReplicatedSystem:
                  history_detail: str = "ops",
                  serial_refresh: bool = False,
                  applicator_pool: Optional[int] = None,
+                 parallel_refresh: Optional[int] = None,
+                 refresh_apply_cost: float = 0.0,
                  autovacuum_interval: Optional[float] = None,
                  kernel: Optional[Kernel] = None,
                  channel_faults: Optional[ChannelFaults] = None,
@@ -528,7 +547,9 @@ class ReplicatedSystem:
             SecondarySite(self.kernel, name=f"secondary-{i + 1}",
                           recorder=self.recorder,
                           serial_refresh=serial_refresh,
-                          applicator_pool=applicator_pool)
+                          applicator_pool=applicator_pool,
+                          parallel_refresh=parallel_refresh,
+                          refresh_apply_cost=refresh_apply_cost)
             for i in range(num_secondaries)
         ]
         self.autovacuums: list[AutovacuumDaemon] = []

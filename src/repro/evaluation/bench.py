@@ -17,7 +17,12 @@ tolerance):
   serial run racing itself);
 * **checker timings** (schema 3) — incremental vs legacy SI checkers
   over a generated 10k-commit, 5-secondary history, plus the recorded
-  history's approximate byte size.
+  history's approximate byte size;
+* **parallel refresh** (schema 4) — secondary apply throughput and
+  replication lag of the dependency-tracked parallel scheduler vs the
+  FIFO applicator pool at 1/2/4/8 workers under the 80/20 and 95/5
+  transaction mixes.  These legs run in *virtual* time, so the numbers
+  are deterministic per seed (they measure scheduling, not the host).
 """
 
 from __future__ import annotations
@@ -40,8 +45,10 @@ from repro.evaluation.runner import figure_series, run_sweep, write_csv
 #: ``checker_timings`` (incremental vs legacy SI verification over a
 #: generated 10k-commit history) + ``history_bytes``, and replaces the
 #: meaningless single-CPU figure-2 speedup with ``jobs_effective`` and a
-#: ``null`` speedup.
-BENCH_SCHEMA = 3
+#: ``null`` speedup.  Schema 4 adds ``parallel_refresh``: secondary
+#: apply throughput and replication lag, FIFO pool vs dependency-tracked
+#: parallel scheduler, per worker count and transaction mix.
+BENCH_SCHEMA = 4
 
 #: Representative Figure 2 point timed per algorithm (100 clients on the
 #: 5-secondary 80/20 clients sweep — mid-load, past the warm-up knee).
@@ -196,8 +203,9 @@ def bench_checkers(commits: int = CHECKER_BENCH_COMMITS,
     :func:`repro.txn.histgen.generate_replicated_history` — ``commits``
     primary commits fully replicated to ``secondaries`` replicas — and
     is checker-clean by construction, so every timed run must come back
-    ``ok``.  The per-transaction aggregation cache is warmed first so
-    both paths time *checking*, not shared event aggregation.
+    ``ok``.  The shared aggregation caches — per-transaction views and
+    the per-site committed/event lists — are warmed first so both paths
+    time *checking*, not shared event aggregation.
     """
     from repro.txn import checkers
     from repro.txn.histgen import generate_replicated_history
@@ -206,7 +214,11 @@ def bench_checkers(commits: int = CHECKER_BENCH_COMMITS,
     recorder = generate_replicated_history(
         commits, secondaries=secondaries, reads=reads, seed=seed)
     generate_seconds = perf_counter() - started
-    recorder.transactions()            # warm the aggregation cache
+    recorder.transactions()            # warm the shared aggregation caches
+    recorder.committed()
+    for site in recorder.sites():
+        recorder.committed(site=site)
+        recorder.events_at(site)
 
     check_fns = {
         "weak_si": checkers.check_weak_si,
@@ -242,6 +254,152 @@ def bench_checkers(commits: int = CHECKER_BENCH_COMMITS,
                              2)
             for criterion in _CHECKER_CRITERIA}
     return out
+
+
+# -- schema 4: dependency-tracked parallel refresh ---------------------------
+
+#: Worker counts compared (applicator_pool=N vs parallel_refresh=N).
+APPLY_BENCH_WORKERS = (1, 2, 4, 8)
+
+#: Transaction mixes: label -> update-transaction probability.  80/20 is
+#: Table 1's shopping mix, 95/5 the browsing mix; reads ship nothing, so
+#: the mix sets how many update transactions hit the refresh pipeline.
+APPLY_BENCH_MIXES = (("80/20", 0.20), ("95/5", 0.05))
+
+#: Client operations drawn per mix (each is an update with the mix's
+#: probability, a read otherwise).
+APPLY_BENCH_OPS = 3000
+
+#: Keyspace the update transactions write over — small enough that real
+#: write-write conflicts occur, large enough that most commits are
+#: independent and can legally reorder.
+APPLY_BENCH_KEYS = 512
+
+#: Virtual seconds of apply work per update operation at the secondary.
+APPLY_BENCH_COST = 0.05
+
+#: Virtual seconds between paced update transactions in the lag leg —
+#: an offered load well above one worker's apply capacity (the mean
+#: transaction carries ~4.6 ops = ~0.23 s of work), so a scheduler that
+#: cannot overlap applies falls behind and its lag grows.
+APPLY_BENCH_PACE = 0.15
+
+
+def _apply_bench_txns(update_prob: float, seed: int) -> list[list]:
+    """The deterministic update-transaction stream for one mix.
+
+    Sizes are heavy-tailed — ~90% of update transactions carry 1-2
+    operations, ~10% carry 25-40 — so a strict-FIFO pipeline stalls the
+    whole feed behind each big transaction (head-of-line blocking)
+    while the conflict scheduler keeps its workers busy.  Each
+    transaction writes a *contiguous* key range from a random base
+    (bulk-update locality): big transactions are expensive to apply but
+    overlap each other rarely, so most of them may legally reorder —
+    the regime dependency tracking exists for.
+    """
+    from repro.sim.rng import RandomStreams
+    stream = RandomStreams(seed).stream(f"apply-bench-{update_prob}")
+    txns: list[list] = []
+    for _ in range(APPLY_BENCH_OPS):
+        if not stream.bernoulli(update_prob):
+            continue                     # a read: nothing to replicate
+        size = stream.randint(25, 40) if stream.bernoulli(0.10) \
+            else stream.randint(1, 2)
+        base = stream.randint(0, APPLY_BENCH_KEYS - 1)
+        txns.append([(f"k{(base + j) % APPLY_BENCH_KEYS}",
+                      stream.randint(0, 9999))
+                     for j in range(size)])
+    return txns
+
+
+def _apply_bench_system(mode: str, workers: int):
+    from repro.core.system import ReplicatedSystem
+    knob = {"applicator_pool": workers} if mode == "fifo" \
+        else {"parallel_refresh": workers}
+    return ReplicatedSystem(num_secondaries=1, propagation_delay=0.1,
+                            record_history=False,
+                            refresh_apply_cost=APPLY_BENCH_COST, **knob)
+
+
+def _commit_txn(system, updates) -> None:
+    txn = system.primary.begin_update()
+    for key, value in updates:
+        txn.write(key, value)
+    txn.commit()
+
+
+def _drain_throughput(txns: list[list], mode: str, workers: int) -> float:
+    """Secondary apply throughput (commits per virtual second).
+
+    The whole stream is committed at the primary behind a paused
+    propagator, then released at once: the drain time from release to
+    quiescence is pure refresh-pipeline time, uncontaminated by client
+    pacing.
+    """
+    system = _apply_bench_system(mode, workers)
+    system.propagator.pause()
+    for updates in txns:
+        _commit_txn(system, updates)
+    released_at = system.kernel.now
+    system.propagator.resume()
+    system.quiesce()
+    drained = system.kernel.now - released_at
+    if system.secondary_state(0) != system.primary_state():
+        raise RuntimeError(           # pragma: no cover - scheduler bug
+            f"apply bench diverged ({mode}, {workers} workers)")
+    return len(txns) / drained
+
+
+def _paced_lag(txns: list[list], mode: str, workers: int) -> float:
+    """Mean replication lag (commits behind) under a paced feed.
+
+    One update transaction commits every ``APPLY_BENCH_PACE`` virtual
+    seconds; lag is sampled right after each commit at the identical
+    instants for every configuration.
+    """
+    system = _apply_bench_system(mode, workers)
+    secondary = system.secondaries[0]
+    samples = []
+    when = 0.0
+    for updates in txns:
+        if when > system.kernel.now:
+            system.run(until=when)
+        _commit_txn(system, updates)
+        samples.append(system.primary.latest_commit_ts - secondary.seq_db)
+        when += APPLY_BENCH_PACE
+    system.quiesce()
+    return sum(samples) / len(samples)
+
+
+def bench_parallel_refresh(seed: int = 42) -> dict:
+    """FIFO pool vs dependency-tracked parallel refresh (schema 4)."""
+    result: dict = {
+        "workers": list(APPLY_BENCH_WORKERS),
+        "apply_cost": APPLY_BENCH_COST,
+        "pace": APPLY_BENCH_PACE,
+        "keys": APPLY_BENCH_KEYS,
+        "mixes": {},
+    }
+    for mix, update_prob in APPLY_BENCH_MIXES:
+        txns = _apply_bench_txns(update_prob, seed)
+        per_mix: dict = {
+            "update_txns": len(txns),
+            "update_ops": sum(len(t) for t in txns),
+            "fifo": {},
+            "parallel": {},
+        }
+        for workers in APPLY_BENCH_WORKERS:
+            for mode in ("fifo", "parallel"):
+                per_mix[mode][str(workers)] = {
+                    "apply_throughput": round(
+                        _drain_throughput(txns, mode, workers), 3),
+                    "mean_lag": round(_paced_lag(txns, mode, workers), 3),
+                }
+        fifo8 = per_mix["fifo"]["8"]["apply_throughput"]
+        par8 = per_mix["parallel"]["8"]["apply_throughput"]
+        per_mix["throughput_speedup_at_8"] = round(par8 / fifo8, 2)
+        result["mixes"][mix] = per_mix
+    return result
 
 
 def run_profile(scale: str = "quick", seed: int = 42, top: int = 20,
@@ -365,6 +523,19 @@ def run_bench(jobs: Optional[int] = None, out: Optional[Path] = None,
     print(f"  history: {checker_timings['history_events']} events, "
           f"{checker_timings['history_bytes'] / 1e6:.1f} MB")
 
+    print("Benchmarking parallel refresh vs FIFO pool "
+          f"(workers {APPLY_BENCH_WORKERS}) ...")
+    parallel_refresh = bench_parallel_refresh(seed=seed)
+    for mix, stats in parallel_refresh["mixes"].items():
+        fifo8 = stats["fifo"]["8"]
+        par8 = stats["parallel"]["8"]
+        print(f"  {mix:<6} {stats['update_txns']} txns: "
+              f"fifo {fifo8['apply_throughput']:.1f} c/s "
+              f"(lag {fifo8['mean_lag']:.1f}) vs parallel "
+              f"{par8['apply_throughput']:.1f} c/s "
+              f"(lag {par8['mean_lag']:.1f}) at 8 workers "
+              f"-> {stats['throughput_speedup_at_8']:.2f}x")
+
     print(f"Benchmarking figure 2 end-to-end at scale 'small' "
           f"(jobs=1 vs jobs={jobs}) ...")
     figure2 = bench_figure2_small(jobs=jobs, seed=seed)
@@ -390,6 +561,7 @@ def run_bench(jobs: Optional[int] = None, out: Optional[Path] = None,
         "version_stats": version_stats,
         "checker_timings": checker_timings,
         "history_bytes": checker_timings["history_bytes"],
+        "parallel_refresh": parallel_refresh,
         "figure2_small": figure2,
     }
     out.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")

@@ -55,6 +55,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="make the primary failure permanent: kill "
                              "it and promote the freshest secondary "
                              "under a new cluster epoch")
+    parser.add_argument("--parallel-refresh", type=int, default=None,
+                        metavar="N",
+                        help="dependency-tracked parallel refresh with N "
+                             "workers per secondary (default: strict "
+                             "FIFO refresh)")
+    parser.add_argument("--refresh-apply-cost", type=float, default=None,
+                        metavar="T",
+                        help="virtual seconds of apply work per update "
+                             "operation (default: 0.02 when "
+                             "--parallel-refresh is set, else 0)")
     parser.add_argument("--quiet", action="store_true",
                         help="only print failing runs and the final tally")
     args = parser.parse_args(argv)
@@ -65,13 +75,21 @@ def main(argv: list[str] | None = None) -> int:
     seeds = ([args.seed] if args.seed is not None
              else list(range(args.first_seed, args.first_seed + args.seeds)))
 
+    apply_cost = args.refresh_apply_cost
+    if apply_cost is None:
+        # Free applies finish instantly and in order; charge a default
+        # cost so parallel runs actually exercise reordering.
+        apply_cost = 0.02 if args.parallel_refresh is not None else 0.0
+
     failures = 0
     for seed in seeds:
         config = ChaosConfig(seed=seed, num_secondaries=args.secondaries,
                              ops=args.ops, horizon=args.horizon,
                              faults=faults,
                              primary_crash=not args.no_primary_crash,
-                             primary_kill=args.primary_kill)
+                             primary_kill=args.primary_kill,
+                             parallel_refresh=args.parallel_refresh,
+                             refresh_apply_cost=apply_cost)
         result = run_chaos(config)
         if not result.ok:
             failures += 1

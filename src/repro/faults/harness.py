@@ -83,6 +83,13 @@ class ChaosConfig:
     batch_interval: Optional[float] = None
     applicator_pool: Optional[int] = None
     autovacuum_interval: Optional[float] = None
+    #: Dependency-tracked parallel refresh (workers per secondary) and
+    #: per-update-op virtual apply cost.  A nonzero cost is what makes
+    #: reordering actually happen under faults — with free applies every
+    #: commit finishes instantly and in order.  Both default off, so
+    #: classic chaos runs stay bit-identical.
+    parallel_refresh: Optional[int] = None
+    refresh_apply_cost: float = 0.0
     #: Checker implementation ("incremental" or "legacy") and history
     #: recording mode ("ops" records every operation; "commits" records
     #: only transaction boundaries — the SI/completeness audits are then
@@ -126,6 +133,9 @@ class ChaosResult:
     lost_update_windows: int = 0
     lost_sessions: int = 0
     no_primary_errors: int = 0
+    #: Parallel-refresh activity, summed over all secondaries (zero
+    #: unless ``parallel_refresh`` is set).
+    out_of_order_commits: int = 0
     #: Storage-maintenance outcome (zero with autovacuum off).
     vacuum_runs: int = 0
     versions_reclaimed: int = 0
@@ -168,6 +178,10 @@ class ChaosResult:
                 f"{self.lost_update_windows} lost windows, "
                 f"{self.lost_sessions} lost sessions, "
                 f"{self.no_primary_errors} no-primary errors")
+        if self.out_of_order_commits:
+            lines.append(
+                f"  parallel refresh: {self.out_of_order_commits} "
+                f"commits applied out of order")
         if self.vacuum_runs:
             lines.append(
                 f"  vacuum: {self.vacuum_runs} runs, "
@@ -187,6 +201,8 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
         propagation_delay=config.propagation_delay,
         batch_interval=config.batch_interval,
         applicator_pool=config.applicator_pool,
+        parallel_refresh=config.parallel_refresh,
+        refresh_apply_cost=config.refresh_apply_cost,
         autovacuum_interval=config.autovacuum_interval,
         history_detail=config.history_detail,
         channel_faults=config.faults,
@@ -296,6 +312,7 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
             result.duplicates_filtered += link.duplicates_filtered
         result.secondary_crashes += secondary.crash_count
         result.secondary_recoveries += secondary.recover_count
+        result.out_of_order_commits += secondary.refresher.out_of_order_commits
     result.failovers = sum(s.failovers for s in all_sessions)
     result.no_primary_errors = sum(s.no_primary_errors
                                    for s in all_sessions)

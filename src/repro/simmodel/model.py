@@ -65,6 +65,9 @@ class _CommitRecord:
     txn_key: int
     commit_ts: int
     update_ops: int
+    #: Commit number of the latest earlier commit this one conflicts
+    #: with (0: none).  Only nonzero under ``parallel_refresh``.
+    dep_ts: int = 0
 
 
 class _SecondaryModel:
@@ -80,6 +83,13 @@ class _SecondaryModel:
         self.pending_cond = Condition(kernel, name=f"sec{index}-pending")
         self.started: set[int] = set()
         self.refreshes_applied = 0
+        # -- pool / parallel-refresh state (dormant in classic mode) ----
+        self.work: Queue | None = None
+        self.applied: set[int] = set()
+        self.parked: dict[int, list[_CommitRecord]] = {}
+        self.watermark = 0
+        self.inflight = 0
+        self.out_of_order = 0
 
 
 @dataclass
@@ -114,6 +124,12 @@ class LazyReplicationModel:
         ]
         self._commit_counter = 0
         self._txn_counter = 0
+        # Conflict dependencies are drawn from a dedicated stream, and
+        # only when parallel refresh is on, so every other
+        # configuration's random sequences stay byte-identical.
+        self._conflict_rng = (self.streams.stream("conflicts")
+                              if params.parallel_refresh is not None
+                              else None)
         self._propagation_buffer: list = []
         self._session_counter = 0
         #: Sampled replication lag (commits behind the primary) across all
@@ -242,7 +258,15 @@ class LazyReplicationModel:
         self._commit_counter += 1
         commit_ts = self._commit_counter
         self.counters.update_commits += 1
-        self._propagate(_CommitRecord(txn_key, commit_ts, update_ops))
+        dep_ts = 0
+        if self._conflict_rng is not None and commit_ts > 1 \
+                and self._conflict_rng.bernoulli(params.conflict_prob):
+            # Conflict with a recent earlier commit (the paper's hotspot
+            # analogue): the refresh scheduler must order the pair.
+            dep_ts = self._conflict_rng.randint(
+                max(1, commit_ts - 8), commit_ts - 1)
+        self._propagate(_CommitRecord(txn_key, commit_ts, update_ops,
+                                      dep_ts))
         self.tracker.on_primary_commit(label, commit_ts)
         self.metrics.record_completion("update", submitted, self.kernel.now)
 
@@ -290,30 +314,59 @@ class LazyReplicationModel:
     def _refresher(self, secondary: _SecondaryModel):
         # Hot path: locals and a constant spawn name (profiling shows the
         # per-commit f-string and attribute walks add up at scale).
+        params = self.params
+        parallel = params.parallel_refresh
+        pool = params.applicator_pool
         spawn = self.kernel.spawn
         pending = secondary.pending
         started = secondary.started
         max_pending = self.counters.max_pending
         applicator_name = f"applicator-{secondary.index}"
+        if parallel is not None or pool is not None:
+            secondary.work = Queue(self.kernel,
+                                   name=f"sec{secondary.index}-work")
+            runner = (self._parallel_worker if parallel is not None
+                      else self._pool_worker)
+            for i in range(parallel if parallel is not None else pool):
+                spawn(runner(secondary), name=f"{applicator_name}:{i}",
+                      daemon=True)
         while True:
             batch = yield secondary.update_queue.get()
             for record in batch:
                 if isinstance(record, _StartRecord):
-                    if pending:
+                    # Relationship 2 is enforced by FIFO commit ordering;
+                    # under parallel refresh the conflict scheduler
+                    # provides it instead, so start records never block.
+                    if parallel is None and pending:
                         yield secondary.pending_cond.wait_for(
                             lambda: not pending)
                     started.add(record.txn_key)
                 elif isinstance(record, _AbortRecord):
                     started.discard(record.txn_key)
+                elif parallel is not None:
+                    started.discard(record.txn_key)
+                    secondary.inflight += 1
+                    if secondary.inflight > max_pending.get(
+                            secondary.index, 0):
+                        max_pending[secondary.index] = secondary.inflight
+                    dep = record.dep_ts
+                    if dep > secondary.watermark \
+                            and dep not in secondary.applied:
+                        secondary.parked.setdefault(dep, []).append(record)
+                    else:
+                        secondary.work.put(record)
                 else:
                     started.discard(record.txn_key)
                     pending.append(record.commit_ts)
                     if len(pending) > max_pending.get(secondary.index, 0):
                         max_pending[secondary.index] = len(pending)
+                    if pool is not None:
+                        secondary.work.put(record)
+                        continue
                     applicator = spawn(
                         self._applicator(secondary, record),
                         name=applicator_name, daemon=True, eager=True)
-                    if self.params.serial_refresh:
+                    if params.serial_refresh:
                         # Ablation: naive log-sequence replay — apply
                         # each transaction to completion before the next.
                         yield applicator.join()
@@ -337,6 +390,60 @@ class LazyReplicationModel:
         secondary.refreshes_applied += 1
         secondary.pending_cond.notify_all()
         secondary.seq_cond.notify_all()
+
+    def _pool_worker(self, secondary: _SecondaryModel):
+        """Long-lived FIFO applicator: applies work-queue records in
+        arrival (= primary commit) order, committing at the pending head
+        exactly like the spawn-per-commit applicator.  Workers dequeue in
+        commit order, so the pending head is always held by some worker
+        and head-of-line blocking cannot deadlock."""
+        params = self.params
+        while True:
+            record = yield secondary.work.get()
+            if record.update_ops:
+                yield secondary.server.request(
+                    record.update_ops * params.op_service_time)
+            if not (secondary.pending
+                    and secondary.pending[0] == record.commit_ts):
+                yield secondary.pending_cond.wait_for(
+                    lambda: (secondary.pending
+                             and secondary.pending[0] == record.commit_ts))
+            if record.commit_ts > secondary.seq_db:
+                secondary.seq_db = record.commit_ts
+            secondary.pending.popleft()
+            secondary.refreshes_applied += 1
+            secondary.pending_cond.notify_all()
+            secondary.seq_cond.notify_all()
+
+    def _parallel_worker(self, secondary: _SecondaryModel):
+        """Dependency-tracked applicator: applies any runnable commit
+        (conflicting predecessor already applied) out of primary order;
+        ``seq(DBsec)`` advances only at the contiguous watermark so
+        readers still observe primary states in order."""
+        params = self.params
+        while True:
+            record = yield secondary.work.get()
+            if record.update_ops:
+                yield secondary.server.request(
+                    record.update_ops * params.op_service_time)
+            ts = record.commit_ts
+            applied = secondary.applied
+            applied.add(ts)
+            secondary.inflight -= 1
+            secondary.refreshes_applied += 1
+            if ts != secondary.watermark + 1:
+                secondary.out_of_order += 1
+            watermark = secondary.watermark
+            while watermark + 1 in applied:
+                watermark += 1
+                applied.remove(watermark)
+            if watermark != secondary.watermark:
+                secondary.watermark = watermark
+                if watermark > secondary.seq_db:
+                    secondary.seq_db = watermark
+                    secondary.seq_cond.notify_all()
+            for parked in secondary.parked.pop(ts, ()):
+                secondary.work.put(parked)
 
     # -- diagnostics -----------------------------------------------------------------------
     def primary_utilization(self) -> float:

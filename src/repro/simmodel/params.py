@@ -63,6 +63,24 @@ class SimulationParameters:
     server_discipline: str = "ps"      # "ps" | "rr" | "fifo"
     per_op_requests: bool = False      # one server request per operation
     serial_refresh: bool = False       # naive serial replay (ablation)
+    #: Bounded FIFO applicator pool per secondary: commit records are
+    #: applied by this many long-lived workers in arrival order, still
+    #: committing in primary commit order (head-of-line blocking and
+    #: all).  ``None`` keeps the classic unbounded spawn-per-commit
+    #: applicators, bit-identical to earlier versions.
+    applicator_pool: int | None = None
+    #: Dependency-tracked parallel refresh: commit records carry a
+    #: conflict dependency and this many workers apply any runnable
+    #: commit out of order; ``seq(DBsec)`` advances at the contiguous
+    #: watermark.  Mutually exclusive with ``serial_refresh`` and
+    #: ``applicator_pool``; ``None`` (default) is bit-identical to
+    #: earlier versions.
+    parallel_refresh: int | None = None
+    #: Probability a commit conflicts with (depends on) a recent earlier
+    #: commit.  Drawn from a dedicated RNG stream, and only when
+    #: ``parallel_refresh`` is enabled, so every other configuration's
+    #: random sequences are untouched.
+    conflict_prob: float = 0.2
     freshness_bound: int | None = None  # bounded-staleness reads (extension)
     #: Periodic vacuum pass at each secondary server (models the storage
     #: maintenance daemon): every ``autovacuum_interval`` seconds the
@@ -90,6 +108,17 @@ class SimulationParameters:
                 f"unknown server discipline {self.server_discipline!r}")
         if self.freshness_bound is not None and self.freshness_bound < 0:
             raise ConfigurationError("freshness_bound must be >= 0")
+        if self.applicator_pool is not None and self.applicator_pool < 1:
+            raise ConfigurationError("applicator_pool must be >= 1")
+        if self.parallel_refresh is not None:
+            if self.parallel_refresh < 1:
+                raise ConfigurationError("parallel_refresh must be >= 1")
+            if self.serial_refresh or self.applicator_pool is not None:
+                raise ConfigurationError(
+                    "parallel_refresh is mutually exclusive with "
+                    "serial_refresh and applicator_pool")
+        if not 0.0 <= self.conflict_prob <= 1.0:
+            raise ConfigurationError("conflict_prob must be in [0,1]")
         if self.autovacuum_interval is not None \
                 and self.autovacuum_interval <= 0:
             raise ConfigurationError("autovacuum_interval must be > 0")

@@ -380,6 +380,61 @@ class SIDatabase:
         self._record("commit", txn)
         return commit_ts
 
+    def commit_refresh_at(self, txn: Transaction, commit_ts: int) -> int:
+        """Commit a refresh transaction at an explicit primary timestamp.
+
+        The parallel-refresh scheduler applies non-conflicting refresh
+        transactions out of primary commit order, which breaks the two
+        assumptions of the ordinary :meth:`Transaction.commit` path:
+
+        * **first-committer-wins does not apply** — a conflicting
+          predecessor legitimately committed *after* this refresh
+          transaction's snapshot was taken (the primary already
+          serialised the pair; re-running its concurrency control here
+          would re-fight a settled conflict);
+        * **the commit counter must not advance** — ``commit_ts`` is the
+          primary's state number for this transaction, and the local
+          counter (== ``seq(DBsec)``) only moves at watermark boundaries
+          via :meth:`advance_commit_counter`, so snapshots never expose
+          a state with holes in it.
+
+        Per-chain monotonicity still holds: the scheduler orders
+        conflicting predecessors first, so every written chain's newest
+        version predates ``commit_ts`` (``VersionChain.install`` raises
+        otherwise, turning a scheduler bug into a loud failure).
+        """
+        txn._check_active()
+        self._check_up()
+        if commit_ts <= self._vacuum_horizon:
+            raise TransactionStateError(
+                f"refresh commit ts {commit_ts} predates the vacuum "
+                f"horizon {self._vacuum_horizon}")
+        for key, (value, deleted) in txn._writes.items():
+            chain = self._chains.get(key)
+            if chain is None:
+                chain = VersionChain(key)
+                self._chains[key] = chain
+                self._index.add(key)
+            chain.install(Version(commit_ts=commit_ts, value=value,
+                                  txn_id=txn.txn_id, deleted=deleted))
+        txn.status = TxnStatus.COMMITTED
+        txn.commit_ts = commit_ts
+        del self._active[txn.txn_id]
+        self.commits += 1
+        if txn.is_update and self.log is not None:
+            self.log.append_commit(txn.txn_id, commit_ts)
+        self._record("commit", txn)
+        return commit_ts
+
+    def advance_commit_counter(self, commit_ts: int) -> None:
+        """Publish the watermark: move the latest-snapshot pointer to
+        ``commit_ts`` (forward-only).  Versions installed beyond the old
+        counter by :meth:`commit_refresh_at` become visible to new
+        default-snapshot transactions exactly when the contiguous applied
+        prefix reaches them."""
+        if commit_ts > self._commit_counter:
+            self._commit_counter = commit_ts
+
     def _abort(self, txn: Transaction, reason: str) -> None:
         txn.status = TxnStatus.ABORTED
         self._active.pop(txn.txn_id, None)
@@ -442,6 +497,27 @@ class SIDatabase:
         for key in empty_keys:
             del self._chains[key]
         return reclaimed
+
+    def truncate_after(self, commit_ts: int) -> int:
+        """Drop every version newer than ``commit_ts`` from all chains.
+
+        Used at a cluster-epoch fence in parallel-refresh mode: commits
+        applied out of order above the watermark were never visible to
+        any read, and the new primary's regime (or the recovery replay)
+        will re-deliver them — leaving them installed would collide with
+        that re-delivery.  Returns the number of versions removed.
+        """
+        removed = 0
+        empty_keys = []
+        for key, chain in self._chains.items():
+            removed += chain.truncate_after(commit_ts)
+            if len(chain) == 0:
+                empty_keys.append(key)
+        for key in empty_keys:
+            del self._chains[key]
+        if self._commit_counter > commit_ts:
+            self._commit_counter = commit_ts
+        return removed
 
     @property
     def version_count(self) -> int:

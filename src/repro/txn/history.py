@@ -87,6 +87,10 @@ class TxnView:
     reads: list[HistoryEvent] = field(default_factory=list)
     writes: list[HistoryEvent] = field(default_factory=list)
     scans: list[HistoryEvent] = field(default_factory=list)
+    #: Memoised :attr:`final_writes` (the checkers read it once per site
+    #: per pass; recomputing the dict dominated their profiles).
+    _final_writes: Optional[dict] = field(default=None, repr=False,
+                                          compare=False)
 
     @property
     def key(self) -> tuple[str, int]:
@@ -128,10 +132,18 @@ class TxnView:
 
     @property
     def final_writes(self) -> dict[Any, tuple[Any, bool]]:
-        """Last-write-wins view of the write set: key -> (value, deleted)."""
-        out: dict[Any, tuple[Any, bool]] = {}
-        for event in self.writes:
-            out[event.key] = (event.value, event.deleted)
+        """Last-write-wins view of the write set: key -> (value, deleted).
+
+        Memoised after the transaction completes — callers must not
+        mutate the returned dict (checkers treat it as read-only).
+        """
+        out = self._final_writes
+        if out is None:
+            out = {}
+            for event in self.writes:
+                out[event.key] = (event.value, event.deleted)
+            if self.status != "active":
+                self._final_writes = out
         return out
 
 
@@ -161,6 +173,10 @@ class HistoryRecorder:
         self._seq = 0
         self._views_cache: Optional[dict[tuple[str, int], TxnView]] = None
         self._views_cache_len = -1
+        self._committed_cache: dict[Optional[str], list[TxnView]] = {}
+        self._committed_cache_len = -1
+        self._events_at_cache: dict[str, list[HistoryEvent]] = {}
+        self._events_at_cache_len = -1
 
     def __len__(self) -> int:
         return len(self.events)
@@ -310,10 +326,22 @@ class HistoryRecorder:
         return views
 
     def committed(self, site: Optional[str] = None) -> list[TxnView]:
-        """Committed transactions (optionally one site), in commit order."""
-        views = [v for v in self.transactions().values()
-                 if v.committed and (site is None or v.site == site)]
-        views.sort(key=lambda v: v.end_seq)
+        """Committed transactions (optionally one site), in commit order.
+
+        Cached per site until new events are recorded — the checkers walk
+        these lists once per site per pass, and re-filtering every
+        transaction view each time dominated their profiles.  Treat the
+        returned list as read-only.
+        """
+        if self._committed_cache_len != len(self.events):
+            self._committed_cache = {}
+            self._committed_cache_len = len(self.events)
+        views = self._committed_cache.get(site)
+        if views is None:
+            views = [v for v in self.transactions().values()
+                     if v.committed and (site is None or v.site == site)]
+            views.sort(key=lambda v: v.end_seq)
+            self._committed_cache[site] = views
         return views
 
     def client_transactions(self) -> list[TxnView]:
@@ -321,7 +349,15 @@ class HistoryRecorder:
         return [v for v in self.committed() if not v.is_refresh]
 
     def events_at(self, site: str) -> list[HistoryEvent]:
-        return [e for e in self.events if e.site == site]
+        """Events recorded at ``site`` (cached; treat as read-only)."""
+        if self._events_at_cache_len != len(self.events):
+            self._events_at_cache = {}
+            self._events_at_cache_len = len(self.events)
+        events = self._events_at_cache.get(site)
+        if events is None:
+            events = [e for e in self.events if e.site == site]
+            self._events_at_cache[site] = events
+        return events
 
     def sites(self) -> list[str]:
         seen: dict[str, None] = {}

@@ -334,6 +334,79 @@ def test_fencing_discards_stale_inflight_records():
     assert_checkers_pass(system)
 
 
+def test_promotion_fences_loaded_applicator_pools():
+    """Promotion while every secondary's pool is mid-drain — commits
+    queued in the work queue, refresh transactions claimed by workers
+    and open in the engine — must not wedge: the fence aborts the open
+    refreshes, counts every queued-but-unapplied record, and the new
+    regime proceeds cleanly."""
+    system = make_system(applicator_pool=2, refresh_apply_cost=0.4)
+    session = system.session()
+    for i in range(6):
+        session.write(f"k{i}", i)
+    # Records arrive at t=1 (propagation delay); each apply costs 0.4 s,
+    # so stopping at t=1.5 catches workers mid-apply with a backlog.
+    system.run(until=1.5)
+    loaded = [s for s in system.secondaries if s.refresher.pending_count]
+    assert loaded, "pools drained early; the scenario needs a backlog"
+    inflight_refreshes = [
+        txn for s in system.secondaries
+        for txn in s.engine.active_transactions
+        if (txn.metadata or {}).get("refresh_of") is not None]
+    assert inflight_refreshes, "no refresh transaction was in flight"
+    expected_fenced = sum(s.lag for s in system.secondaries)
+
+    system.kill_primary()
+    report = system.promote_secondary()
+    assert report.fenced_records == expected_fenced > 0
+    assert system.fenced_stale_records == report.fenced_records
+    # Every claimed refresh transaction was aborted by the fence, on
+    # retired and fenced sites alike — nothing is left open to wedge a
+    # worker or hold back the engine.
+    for site in [system.primary, *system.secondaries]:
+        assert not [txn for txn in site.engine.active_transactions
+                    if (txn.metadata or {}).get("refresh_of") is not None]
+
+    # The new regime is fully live: a fresh session writes through the
+    # promoted primary and the surviving replicas converge on it.
+    fresh = system.session()
+    fresh.write("post", 42)
+    system.quiesce()
+    state = system.primary_state()
+    assert state["post"] == 42
+    for i, secondary in enumerate(system.secondaries):
+        if not secondary.retired:
+            assert system.secondary_state(i) == state
+            assert secondary.seq_db == system.primary.latest_commit_ts
+    assert_checkers_pass(system)
+
+
+def test_promotion_fences_parallel_refresh_mid_hole():
+    """Same scenario with the parallel scheduler: commits applied out
+    of order above the watermark are rolled back by the fence (they
+    were never visible), and replay brings the survivors level."""
+    system = make_system(parallel_refresh=2, refresh_apply_cost=0.4)
+    session = system.session()
+    for i in range(6):
+        session.write(f"k{i}", i)
+    system.run(until=1.5)
+    assert any(s.refresher.pending_count for s in system.secondaries)
+
+    system.kill_primary()
+    report = system.promote_secondary()
+    assert report.fenced_records >= 0
+    fresh = system.session()
+    fresh.write("post", 42)
+    system.quiesce()
+    state = system.primary_state()
+    assert state["post"] == 42
+    for i, secondary in enumerate(system.secondaries):
+        if not secondary.retired:
+            assert system.secondary_state(i) == state
+            assert secondary.seq_db == system.primary.latest_commit_ts
+    assert_checkers_pass(system)
+
+
 def test_crash_and_recover_refuse_retired_targets():
     system = make_system()
     session = system.session()

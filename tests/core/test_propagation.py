@@ -224,6 +224,23 @@ def test_records_sent_counts_per_endpoint(kernel, log, db):
     assert propagator.batches_sent == 0
 
 
+def test_records_logged_keeps_single_count_semantics(kernel, log, db):
+    """``records_logged`` restores the pre-batch-shipping meaning of
+    ``records_sent``: one count per log record, independent of how many
+    endpoints it fans out to (and of whether it ships at all)."""
+    propagator = Propagator(kernel, log)
+    for i in range(3):
+        propagator.attach(FakeEndpoint(kernel, f"e{i}"))
+    _commit(db, "x", 1)
+    assert propagator.records_logged == 2    # start + commit, once each
+    assert propagator.records_sent == 6      # the same two, x 3 endpoints
+    # A paused propagator buffers: nothing sent, but still logged.
+    propagator.pause()
+    _commit(db, "y", 2)
+    assert propagator.records_logged == 4
+    assert propagator.records_sent == 6
+
+
 def test_batches_sent_counter(kernel, log, db):
     propagator = Propagator(kernel, log, batch_interval=10.0)
     for i in range(2):

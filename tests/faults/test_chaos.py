@@ -12,6 +12,11 @@ import pytest
 from repro.core.system import ReplicatedSystem
 from repro.faults.channel import ChannelFaults
 from repro.faults.harness import ChaosConfig, run_chaos
+from repro.txn.checkers import (
+    check_completeness,
+    check_strong_session_si,
+    check_weak_si,
+)
 
 pytestmark = pytest.mark.chaos
 
@@ -146,6 +151,68 @@ def test_promotion_storm_converges_and_passes_checkers(seed):
 def test_promotion_storm_is_deterministic_per_seed():
     a = run_chaos(ChaosConfig(seed=4, primary_kill=True))
     b = run_chaos(ChaosConfig(seed=4, primary_kill=True))
+    assert a.describe() == b.describe()
+    assert a.plan == b.plan
+
+
+# ---------------------------------------------------------------------------
+# Parallel-refresh storms: dependency-tracked out-of-order apply
+# ---------------------------------------------------------------------------
+
+#: Nonzero apply cost is what makes out-of-order apply actually happen:
+#: with free applies every commit finishes instantly and in order.
+PARALLEL = dict(parallel_refresh=4, refresh_apply_cost=0.02)
+
+
+def _legacy_checks(result):
+    """Re-audit the run's history with the legacy checkers: parallel
+    apply must satisfy both implementations, not just the incremental
+    one used inside ``run_chaos``."""
+    return [check_completeness(result.recorder, method="legacy"),
+            check_weak_si(result.recorder, method="legacy"),
+            check_strong_session_si(result.recorder, method="legacy")]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_parallel_refresh_storm_converges_and_passes_checkers(seed):
+    """Out-of-order apply under the full fault storm: convergence plus
+    completeness/weak-SI/strong-session-SI, with both checker
+    implementations, for every seed."""
+    result = run_chaos(ChaosConfig(seed=seed, **PARALLEL))
+    assert result.converged, result.describe()
+    for check in result.checks + _legacy_checks(result):
+        assert check.ok, result.describe()
+    assert result.ok
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_parallel_refresh_promotion_storm(seed):
+    """Parallel refresh must survive a permanent primary kill: fencing
+    a secondary mid-apply (workers in flight, parked commits above the
+    watermark) must not wedge promotion or leak phantom versions."""
+    result = run_chaos(ChaosConfig(seed=seed, primary_kill=True,
+                                   **PARALLEL))
+    assert result.primary_kills == 1
+    assert result.promotions == 1
+    assert result.converged, result.describe()
+    for check in result.checks + _legacy_checks(result):
+        assert check.ok, result.describe()
+    assert result.ok
+
+
+def test_parallel_refresh_storms_actually_reorder():
+    """The storms above only prove something if apply really runs out
+    of order somewhere in the sweep — guard against a silently serial
+    configuration."""
+    total = sum(
+        run_chaos(ChaosConfig(seed=seed, **PARALLEL)).out_of_order_commits
+        for seed in range(4))
+    assert total > 0
+
+
+def test_parallel_refresh_storm_is_deterministic_per_seed():
+    a = run_chaos(ChaosConfig(seed=6, **PARALLEL))
+    b = run_chaos(ChaosConfig(seed=6, **PARALLEL))
     assert a.describe() == b.describe()
     assert a.plan == b.plan
 
