@@ -23,6 +23,7 @@ delays, failures and interleavings are fully controllable from tests.
 """
 
 from repro.core.autovacuum import AutovacuumDaemon
+from repro.core.failover import AutoFailover, FailoverConfig
 from repro.core.guarantees import Guarantee
 from repro.core.monitoring import (StalenessProbe, SystemStatus,
                                    aggregate_sessions, system_status)
@@ -36,7 +37,9 @@ from repro.core.site import PrimarySite, SecondarySite
 from repro.core.system import ClientSession, ReplicatedSystem
 
 __all__ = [
+    "AutoFailover",
     "AutovacuumDaemon",
+    "FailoverConfig",
     "Guarantee",
     "StalenessProbe",
     "SystemStatus",

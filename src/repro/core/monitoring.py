@@ -86,6 +86,14 @@ class SystemStatus:
     promotions: int = 0
     fenced_stale_records: int = 0
     lost_update_windows: int = 0
+    # -- failover / partition counters (zero with failover=None and no
+    # partitions injected) -------------------------------------------------
+    suspicions: int = 0
+    false_suspicions: int = 0
+    lease_expiries: int = 0
+    auto_promotions: int = 0
+    partitions_active: int = 0
+    zombie_records_fenced: int = 0
 
     def report(self) -> str:
         """A human-readable multi-line status report."""
@@ -151,6 +159,17 @@ class SystemStatus:
                 f"{self.cluster_epoch})  "
                 f"fenced-records={self.fenced_stale_records}  "
                 f"lost-windows={self.lost_update_windows}")
+        # Failover line, only once the detector (or a partition) fired,
+        # so failover-disabled reports stay byte-identical.
+        if (self.suspicions or self.lease_expiries or self.auto_promotions
+                or self.partitions_active or self.zombie_records_fenced):
+            lines.append(
+                f"  failover: suspicions={self.suspicions} "
+                f"(false={self.false_suspicions})  "
+                f"lease-expiries={self.lease_expiries}  "
+                f"auto-promotions={self.auto_promotions}  "
+                f"partitions-active={self.partitions_active}  "
+                f"zombies-fenced={self.zombie_records_fenced}")
         for site in (self.primary,) + self.secondaries:
             if not site.vacuum_runs:
                 continue
@@ -173,6 +192,7 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
             return 0, 0
         return daemon.runs, daemon.versions_reclaimed
 
+    failover = getattr(system, "auto_failover", None)
     primary_vacuum = vacuum_stats(system.primary.engine)
     primary = SiteStatus(
         name=system.primary.name,
@@ -258,7 +278,18 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
                         fenced_stale_records=getattr(
                             system, "fenced_stale_records", 0),
                         lost_update_windows=getattr(
-                            system, "lost_update_windows", 0))
+                            system, "lost_update_windows", 0),
+                        suspicions=getattr(failover, "suspicions", 0),
+                        false_suspicions=getattr(
+                            failover, "false_suspicions", 0),
+                        lease_expiries=getattr(failover,
+                                               "lease_expiries", 0),
+                        auto_promotions=getattr(failover,
+                                                "auto_promotions", 0),
+                        partitions_active=getattr(
+                            system, "partitions_active", 0),
+                        zombie_records_fenced=getattr(
+                            system, "zombie_records_fenced", 0))
 
 
 @dataclass

@@ -178,6 +178,11 @@ def promote(system: "ReplicatedSystem",
     for link in links.values():
         if link is not None:
             link.resync()
+            # Anything still arriving with a pre-resync epoch is zombie
+            # traffic from the dead regime (e.g. records a partitioned
+            # old primary sent before this fence, delivered only after
+            # the partition heals): count it and drop it.
+            link.arm_zombie_fence()
 
     # -- rebuild the promoted engine as a primary ---------------------------
     log = LogicalLog(name=f"{candidate.name}-log")
@@ -215,7 +220,17 @@ def promote(system: "ReplicatedSystem",
     for site in system.secondaries:
         if site is candidate:
             continue
-        new_propagator.attach(site, link=links.get(site.name))
+        link = links.get(site.name)
+        if link is not None and link.blackholed:
+            # A partition severs the *old* primary's route to this
+            # replica; the new primary's feed takes a fresh one.  Heal
+            # the adopted link — old-epoch traffic the partition held
+            # flushes now and is fenced (counted) on arrival.  The
+            # promoted site's own link is deliberately left partitioned:
+            # it models the old primary's side of the cut, and its held
+            # zombie traffic stays dark until that partition heals.
+            link.heal()
+        new_propagator.attach(site, link=link)
         if site.live and site.seq_db < base:
             replayed[site.name] = old_propagator.replay_to(
                 site, after_commit_ts=site.seq_db, up_to_commit_ts=base)

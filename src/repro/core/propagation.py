@@ -128,10 +128,22 @@ class ReliableLink:
         # Receiver state.
         self._expected = 0
         self._early: dict[int, PropagationRecord] = {}
+        # Control plane (autonomous failover): heartbeats ride the data
+        # channel, lease grants ride the ack channel, both as unsequenced
+        # datagrams.  The handlers are installed by
+        # :class:`~repro.core.failover.AutoFailover`.
+        self.control_handler = None        # receiver side: heartbeats
+        self.control_back_handler = None   # sender side: lease grants
+        # Zombie fencing: set (to the post-resync epoch) by a promotion,
+        # after which every stale-epoch record arrival is counted as a
+        # fenced zombie delivery — late traffic from the dead regime.
+        self._zombie_fence_epoch: Optional[int] = None
         # Counters.
         self.retransmissions = 0
         self.duplicates_filtered = 0
         self.stale_epoch_drops = 0
+        self.stale_control_drops = 0
+        self.zombie_records_fenced = 0
         self.acks_received = 0
 
     # -- sender ------------------------------------------------------------
@@ -151,13 +163,27 @@ class ReliableLink:
                    self.max_timeout)
         self.kernel.call_at(self.kernel.now + wait, self._on_timer)
 
+    def _site_live(self) -> bool:
+        """The receiver can accept traffic: up *and* still a replica.
+
+        Uses the site's unified ``live`` predicate when it has one, so a
+        *retired* site (promoted to primary) stops retransmissions just
+        like a crashed one; bare test doubles without ``live`` fall back
+        to the crash flag.
+        """
+        live = getattr(self.site, "live", None)
+        if live is None:
+            return not getattr(self.site, "crashed", False)
+        return live
+
     def _on_timer(self) -> None:
         self._timer_armed = False
         if not self._unacked:
             return
-        if getattr(self.site, "crashed", False):
-            # Failure detection: stop retransmitting into a dead site; the
-            # recovery path resyncs the link and clears the buffer.
+        if not self._site_live():
+            # Failure detection: stop retransmitting into a dead (or
+            # retired) site; the recovery path resyncs the link and
+            # clears the buffer.
             return
         for seq in sorted(self._unacked):
             record, delay = self._unacked[seq]
@@ -166,7 +192,31 @@ class ReliableLink:
         self._consecutive_timeouts += 1
         self._arm_timer()
 
-    def _on_ack(self, payload: tuple[int, int]) -> None:
+    # -- control plane (heartbeats / lease grants) --------------------------
+    def send_control(self, message: Any, delay: float) -> None:
+        """Ship a control datagram to the receiver over the data channel.
+
+        Control traffic (primary heartbeats) shares the data channel's
+        faults and partitions but bypasses the sequence/ack protocol: a
+        lost heartbeat is *supposed* to be lost — retransmitting it would
+        blind the failure detector.
+        """
+        self.data_channel.send(("ctrl", self._epoch, message), delay,
+                               control=True)
+
+    def send_control_back(self, message: Any, delay: float) -> None:
+        """Ship a control datagram back to the sender (lease grants)."""
+        self.ack_channel.send(("ctrl", self._epoch, message), delay,
+                              control=True)
+
+    def _on_ack(self, payload: tuple) -> None:
+        if payload[0] == "ctrl":
+            _tag, epoch, message = payload
+            if epoch != self._epoch:
+                self.stale_control_drops += 1
+            elif self.control_back_handler is not None:
+                self.control_back_handler(message)
+            return
         epoch, acked = payload
         if epoch != self._epoch:
             self.stale_epoch_drops += 1
@@ -180,10 +230,27 @@ class ReliableLink:
             self._consecutive_timeouts = 0
 
     # -- receiver ----------------------------------------------------------
-    def _on_data(self, payload: tuple[int, int, PropagationRecord]) -> None:
+    def _on_data(self, payload: tuple) -> None:
+        if payload[0] == "ctrl":
+            _tag, epoch, message = payload
+            if epoch != self._epoch:
+                self.stale_control_drops += 1
+            elif not self._site_live():
+                self.stale_control_drops += 1
+            elif self.control_handler is not None:
+                self.control_handler(message)
+            return
         epoch, seq, record = payload
         if epoch != self._epoch:
             self.stale_epoch_drops += 1
+            if self._zombie_fence_epoch is not None \
+                    and epoch < self._zombie_fence_epoch:
+                # Late delivery from a regime the promotion fenced: the
+                # healed zombie primary's traffic finally arrived.  Count
+                # it (frames count as their contained records) and drop.
+                self.zombie_records_fenced += (
+                    record.count if isinstance(record, PropagatedBatch)
+                    else 1)
             return
         if getattr(self.site, "crashed", False):
             # The receiving site is down: the record is lost with it (no
@@ -217,12 +284,46 @@ class ReliableLink:
         self._expected = 0
         self._early.clear()
 
+    def arm_zombie_fence(self) -> None:
+        """Mark the current (post-promotion) epoch as the fence line.
+
+        Called by :func:`~repro.core.promotion.promote` right after
+        :meth:`resync`: any record still arriving with an older epoch —
+        e.g. traffic a partitioned zombie primary sent before the epoch
+        switch, finally delivered after the partition heals — is counted
+        in :attr:`zombie_records_fenced` instead of silently folded into
+        the generic stale-epoch drop count.
+        """
+        self._zombie_fence_epoch = self._epoch
+
+    # -- partitions ---------------------------------------------------------
+    def blackhole(self) -> None:
+        """Partition this link: both directions stop delivering."""
+        self.data_channel.blackhole()
+        self.ack_channel.blackhole()
+
+    def heal(self) -> None:
+        """Heal the partition; held data payloads are released."""
+        self.data_channel.heal()
+        self.ack_channel.heal()
+
+    @property
+    def blackholed(self) -> bool:
+        """True while this link is partitioned."""
+        return self.data_channel.blackholed
+
     @property
     def settled(self) -> bool:
-        """True when nothing is buffered or in flight on this link."""
+        """True when nothing is buffered or in flight on this link.
+
+        A blackholed link with held payloads is *not* settled — the held
+        traffic still has to drain once the partition heals.
+        """
         return (not self._unacked and not self._early
                 and self.data_channel.in_flight == 0
-                and self.ack_channel.in_flight == 0)
+                and self.ack_channel.in_flight == 0
+                and self.data_channel.held == 0
+                and self.ack_channel.held == 0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<ReliableLink to {self.site.name!r} epoch={self._epoch} "
@@ -335,6 +436,11 @@ class Propagator:
         return True
 
     # -- flow control (failure injection / staleness experiments) ---------
+    @property
+    def paused(self) -> bool:
+        """True while record emission is paused (see :meth:`pause`)."""
+        return self._paused
+
     def pause(self) -> None:
         """Stop emitting records (they keep buffering in log order)."""
         self._paused = True

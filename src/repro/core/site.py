@@ -35,6 +35,16 @@ class PrimarySite:
         #: lost), so :meth:`restart` refuses — the only way forward is
         #: promoting a secondary.
         self.permanently_failed = False
+        #: Set by :meth:`demote`: this primary stepped down because its
+        #: lease lapsed (autonomous failover's split-brain fence).
+        self.lease_demoted = False
+        #: Virtual time of the self-demotion (None until it happens):
+        #: by construction exactly the lease deadline, never later.
+        self.demoted_at: Optional[float] = None
+        #: Transaction ids aborted *by* the self-demotion; the session
+        #: layer maps these to :class:`~repro.errors.LeaseExpiredError`
+        #: so the client sees a typed refusal, never a silent ack.
+        self.demote_aborted: set[int] = set()
 
     @classmethod
     def adopt(cls, kernel: Kernel, site: "SecondarySite",
@@ -55,6 +65,9 @@ class PrimarySite:
         primary.crash_count = 0
         primary.restart_count = 0
         primary.permanently_failed = False
+        primary.lease_demoted = False
+        primary.demoted_at = None
+        primary.demote_aborted = set()
         return primary
 
     def begin_update(self, metadata: Optional[dict] = None) -> Transaction:
@@ -100,6 +113,28 @@ class PrimarySite:
         :meth:`restart` refuses afterwards.
         """
         self.crash()
+        self.permanently_failed = True
+
+    def demote(self) -> None:
+        """Self-demote: the primary's lease lapsed (autonomous failover).
+
+        Functionally a permanent failure — the cluster is about to elect
+        a successor, and a primary that kept serving after its lease
+        expired could acknowledge commits the new epoch will orphan.
+        The difference from :meth:`kill` is attribution: in-flight
+        update transactions are aborted with a lease reason and their
+        ids recorded in :attr:`demote_aborted`, so the session layer
+        surfaces :class:`~repro.errors.LeaseExpiredError` instead of a
+        silent no-op.
+        """
+        if not self.engine.crashed:
+            self.crash_count += 1
+        self.lease_demoted = True
+        self.demoted_at = self.kernel.now
+        for txn in self.engine.active_transactions:
+            self.demote_aborted.add(txn.txn_id)
+            txn.abort("lease expired; primary self-demoted")
+        self.engine.crash()
         self.permanently_failed = True
 
     def restart(self) -> int:

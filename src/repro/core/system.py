@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.core.autovacuum import AutovacuumDaemon
+from repro.core.failover import AutoFailover, FailoverConfig
 from repro.core.guarantees import Guarantee
 from repro.core.promotion import PromotionConfig, PromotionReport, promote
 from repro.core.propagation import Propagator, ReliableLink
@@ -38,12 +39,14 @@ from repro.errors import (
     ConfigurationError,
     FirstCommitterWinsError,
     FreshnessTimeoutError,
+    LeaseExpiredError,
     LostUpdatesError,
     NoLiveSecondariesError,
     NoPrimaryError,
     ReplicationError,
     SessionClosedError,
     SiteUnavailableError,
+    TransactionStateError,
 )
 from repro.faults.channel import ChannelFaults
 from repro.kernel import Kernel
@@ -132,8 +135,9 @@ class ClientSession:
         system = self.system
         attempts = 0
         while True:
+            primary = system.primary
             try:
-                txn = system.primary.begin_update(metadata={
+                txn = primary.begin_update(metadata={
                     "logical_id": system._txn_ids.next(),
                     "session": self.label,
                 })
@@ -154,6 +158,15 @@ class ClientSession:
                 if attempts > max_retries:
                     raise
                 continue
+            except TransactionStateError as exc:
+                if txn.txn_id in primary.demote_aborted:
+                    # The primary's lease lapsed while this transaction
+                    # was open (the body drove the kernel, e.g. via a
+                    # nested read): the self-demotion aborted it, and the
+                    # commit must surface that — never acknowledge.
+                    raise LeaseExpiredError(txn.txn_id,
+                                            primary.name) from exc
+                raise
             break
         system.tracker.on_primary_commit(self.label, commit_ts)
         self.updates_committed += 1
@@ -413,7 +426,12 @@ class _InteractiveUpdate:
     def __init__(self, session: ClientSession):
         self.session = session
         system = session.system
-        self.txn = system.primary.begin_update(metadata={
+        #: The primary this transaction runs on, pinned at begin time: a
+        #: promotion may swap ``system.primary`` while the block is open,
+        #: but a lease demotion must be attributed to the site that
+        #: aborted us.
+        self.site = system.primary
+        self.txn = self.site.begin_update(metadata={
             "logical_id": system._txn_ids.next(),
             "session": session.label,
         })
@@ -423,6 +441,13 @@ class _InteractiveUpdate:
 
     def __exit__(self, exc_type, exc, _tb) -> bool:
         from repro.storage.engine import TxnStatus
+        if self.txn.status is TxnStatus.ABORTED \
+                and self.txn.txn_id in self.site.demote_aborted:
+            # The primary self-demoted (lease expiry) while this block
+            # was open.  The commit was never acknowledged; say so with
+            # the typed error instead of silently swallowing the abort.
+            raise LeaseExpiredError(self.txn.txn_id,
+                                    self.site.name) from exc
         if self.txn.status is not TxnStatus.ACTIVE:
             # The body committed/aborted explicitly; respect it but still
             # account for a commit below.
@@ -518,6 +543,20 @@ class ReplicatedSystem:
         behaviour: updates fail with
         :class:`~repro.errors.SiteUnavailableError` while the primary is
         down, exactly as before.
+    failover:
+        Optional :class:`~repro.core.failover.FailoverConfig` enabling
+        **autonomous** failover: the primary piggybacks heartbeats and
+        leases on the propagation links, secondaries run suspicion
+        daemons, and an :class:`~repro.core.failover.AutoFailover`
+        coordinator promotes the freshest live secondary once a quorum
+        of suspicions coincides with a provable lease expiry — no
+        scripted ``promote_secondary`` needed.  Implies ``promotion``
+        (a default :class:`PromotionConfig` is installed when none is
+        given) and routes propagation through
+        :class:`~repro.core.propagation.ReliableLink` instances so the
+        control plane has channels to ride on.  ``None`` (the default)
+        builds none of it: no daemons, no control traffic, no extra
+        random draws — bit-identical to the pre-failover system.
     """
 
     def __init__(self, num_secondaries: int = 1, *,
@@ -535,7 +574,8 @@ class ReplicatedSystem:
                  ack_faults: Optional[ChannelFaults] = None,
                  fault_seed: int = 0,
                  retransmit_timeout: Optional[float] = None,
-                 promotion: Optional[PromotionConfig] = None):
+                 promotion: Optional[PromotionConfig] = None,
+                 failover: Optional[FailoverConfig] = None):
         if num_secondaries < 1:
             raise ConfigurationError("need at least one secondary site")
         self.kernel = kernel or Kernel()
@@ -563,7 +603,16 @@ class ReplicatedSystem:
         self.propagator = Propagator(self.kernel, self.primary.log,
                                      delay=propagation_delay,
                                      batch_interval=batch_interval)
-        use_links = channel_faults is not None or ack_faults is not None
+        # Autonomous failover needs link channels for its control plane
+        # (heartbeats/leases) and for partitions to have something to
+        # cut, even when the channels themselves are fault-free.
+        use_links = (channel_faults is not None or ack_faults is not None
+                     or failover is not None)
+        #: Every link ever created, in secondary order — promotions
+        #: orphan the promoted site's link, but its channels can still
+        #: hold partition-captured traffic whose eventual (fenced)
+        #: delivery the zombie accounting must observe.
+        self._all_links: list[ReliableLink] = []
         if use_links:
             data_faults = channel_faults or ChannelFaults()
             returns_faults = ack_faults if ack_faults is not None \
@@ -579,6 +628,7 @@ class ReplicatedSystem:
                     ack_rng=streams[f"channel.{secondary.name}.ack"],
                     ack_delay=propagation_delay, timeout=timeout)
                 self.propagator.attach(secondary, link=link)
+                self._all_links.append(link)
         else:
             for secondary in self.secondaries:
                 self.propagator.attach(secondary)
@@ -587,6 +637,10 @@ class ReplicatedSystem:
         self._txn_ids = IdAllocator("txn")
         self._next_secondary = 0
         self.promotion = promotion
+        if failover is not None and promotion is None:
+            # Autonomous failover presupposes the promotion machinery
+            # (and the client-side bounded retry that rides on it).
+            self.promotion = PromotionConfig()
         #: Bumped by each promotion; 0 for the original topology.
         self.cluster_epoch = 0
         self.promotions = 0
@@ -598,6 +652,11 @@ class ReplicatedSystem:
         #: Every session ever opened (promotion reconciles their seq(c)
         #: state); closed sessions are pruned at each promotion.
         self._sessions: list[ClientSession] = []
+        self.failover = failover
+        self.auto_failover: Optional[AutoFailover] = None
+        if failover is not None:
+            self.auto_failover = AutoFailover(self, failover)
+            self.auto_failover.start()
 
     # -- sessions -------------------------------------------------------------
     def session(self, guarantee: Guarantee = Guarantee.STRONG_SESSION_SI,
@@ -730,6 +789,52 @@ class ReplicatedSystem:
         the only way forward is :meth:`promote_secondary`.
         """
         self.primary.kill()
+
+    def partition(self, index: Optional[int] = None) -> None:
+        """Partition the network: blackhole one secondary's link — or,
+        with ``index=None``, *every* link, cutting the primary off from
+        the whole replica tier (the classic zombie-primary setup).
+
+        While partitioned, data traffic (records, retransmissions, acks)
+        is held and released on :meth:`heal`; control traffic
+        (heartbeats, lease grants) is dropped outright, which is what
+        lets the failure detector see the partition.  Requires
+        link-based propagation (``channel_faults``/``ack_faults``/
+        ``failover``).
+        """
+        for link in self._partition_links(index):
+            link.blackhole()
+
+    def heal(self, index: Optional[int] = None) -> None:
+        """Heal a partition (one link, or all of them with ``None``).
+
+        Held data payloads re-enter the channels in original send order;
+        stale-epoch survivors from a fenced regime are counted in
+        :attr:`zombie_records_fenced` on arrival and dropped.
+        """
+        for link in self._partition_links(index):
+            link.heal()
+
+    def _partition_links(self, index: Optional[int]) -> list[ReliableLink]:
+        if not self._all_links:
+            raise ConfigurationError(
+                "partitions need link-based propagation; construct the "
+                "system with channel_faults=, ack_faults= or failover=")
+        if index is None:
+            return self._all_links
+        self._secondary_at(index)
+        return [self._all_links[index]]
+
+    @property
+    def partitions_active(self) -> int:
+        """Number of links currently blackholed by a partition."""
+        return sum(1 for link in self._all_links if link.blackholed)
+
+    @property
+    def zombie_records_fenced(self) -> int:
+        """Stale-epoch records from a fenced (pre-promotion) regime that
+        arrived after their partition healed and were dropped."""
+        return sum(link.zombie_records_fenced for link in self._all_links)
 
     def promote_secondary(self,
                           index: Optional[int] = None) -> PromotionReport:

@@ -124,6 +124,29 @@ class LostUpdatesError(ReplicationError):
         )
 
 
+class LeaseExpiredError(ReplicationError):
+    """The primary's lease lapsed and it self-demoted mid-transaction.
+
+    Under autonomous failover (:class:`~repro.core.failover.FailoverConfig`)
+    the primary may only acknowledge commits while it holds an unexpired
+    lease granted by the secondaries' heartbeat acks.  When the lease
+    lapses — typically because a network partition cut the primary off —
+    the primary steps down *before* the cluster can elect a successor:
+    every in-flight update transaction is aborted and surfaces this error
+    instead of an acknowledgement, so a commit can never be confirmed by
+    a primary the new epoch is about to orphan.
+    """
+
+    def __init__(self, txn_id: int, site: str):
+        self.txn_id = txn_id
+        self.site = site
+        super().__init__(
+            f"transaction {txn_id} aborted: primary {site!r} lost its "
+            f"lease and self-demoted before the commit could be "
+            f"acknowledged"
+        )
+
+
 class SessionClosedError(ReplicationError):
     """An operation was issued on a closed client session."""
 

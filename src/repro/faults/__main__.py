@@ -2,10 +2,13 @@
 
 Runs one seeded chaos schedule per seed (lossy channels, secondary
 crash/recovery, primary crash with WAL restart — or a permanent kill
-plus promotion with ``--primary-kill`` — propagator stall, all
-under a concurrent client workload), prints one summary block per run,
-and exits non-zero if any run fails its convergence or SI checks —
-reproduce a failure exactly with ``--seed <n>``.
+plus promotion with ``--primary-kill`` — propagator stall, seeded
+network-partition windows with ``--partitions N``, all under a
+concurrent client workload), prints one summary block per run, and
+exits non-zero if any run fails its convergence or SI checks —
+reproduce a failure exactly with ``--seed <n>``.  With
+``--auto-failover`` the promotion is unscripted: the heartbeat/lease
+control plane must detect the kill and elect a successor on its own.
 """
 
 from __future__ import annotations
@@ -55,6 +58,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="make the primary failure permanent: kill "
                              "it and promote the freshest secondary "
                              "under a new cluster epoch")
+    parser.add_argument("--partitions", type=int, default=0, metavar="N",
+                        help="seeded network-partition windows per run, "
+                             "each blackholing one secondary's link "
+                             "(default: %(default)s)")
+    parser.add_argument("--auto-failover", action="store_true",
+                        help="run the heartbeat/lease/suspicion control "
+                             "plane: a killed primary is detected and a "
+                             "secondary promoted autonomously instead of "
+                             "by a scripted plan event")
     parser.add_argument("--parallel-refresh", type=int, default=None,
                         metavar="N",
                         help="dependency-tracked parallel refresh with N "
@@ -88,6 +100,8 @@ def main(argv: list[str] | None = None) -> int:
                              faults=faults,
                              primary_crash=not args.no_primary_crash,
                              primary_kill=args.primary_kill,
+                             partitions=args.partitions,
+                             auto_failover=args.auto_failover,
                              parallel_refresh=args.parallel_refresh,
                              refresh_apply_cost=apply_cost)
         result = run_chaos(config)

@@ -25,6 +25,19 @@ Fault semantics
 With the all-zero :data:`NO_FAULTS` configuration the channel
 degenerates to a pure ``call_at`` at the nominal delay and never consults
 its random stream.
+
+Network partitions (blackhole mode)
+-----------------------------------
+:meth:`FaultyChannel.blackhole` models a network partition: while
+blackholed the channel accepts sends but delivers nothing, entirely
+deterministically (no random draws are consumed for blackholed
+payloads).  Data payloads are *held* — a TCP-like sender keeps
+retransmitting into the void, and the segments finally get through once
+the route returns — and are re-submitted through the ordinary fault
+pipeline when :meth:`FaultyChannel.heal` ends the partition.  Control
+payloads (heartbeats and lease grants, sent with ``control=True``) are
+datagram-like and simply dropped: a stale heartbeat is worthless, and a
+partition *must* silence the failure detector for suspicion to work.
 """
 
 from __future__ import annotations
@@ -109,13 +122,48 @@ class FaultyChannel:
         self.dropped = 0
         self.duplicated = 0
         self.reordered = 0
+        #: Partition state: while True, data payloads are held (released
+        #: on heal) and control payloads are dropped.  Deterministic — a
+        #: blackholed send consumes no random draws.
+        self.blackholed = False
+        self._held: list[tuple[Any, float]] = []
+        #: Control-plane traffic (heartbeats/lease grants); kept out of
+        #: ``in_flight`` so a periodic heartbeat stream never makes the
+        #: channel look busy to quiesce/idle accounting.
+        self.control_sent = 0
+        self.control_delivered = 0
+        self.control_dropped = 0
+        #: Payloads swallowed (held or dropped) by an active blackhole.
+        self.blackholed_payloads = 0
 
-    def send(self, payload: Any, delay: float) -> None:
-        """Transmit ``payload``; it arrives after ``delay`` plus faults."""
-        self.sent += 1
+    def send(self, payload: Any, delay: float, *,
+             control: bool = False) -> None:
+        """Transmit ``payload``; it arrives after ``delay`` plus faults.
+
+        ``control=True`` marks datagram-like control traffic (heartbeats,
+        lease grants): it is not counted against ``in_flight`` and a
+        blackhole drops it outright instead of holding it.
+        """
+        if control:
+            self.control_sent += 1
+            if self.blackholed:
+                self.blackholed_payloads += 1
+                self.control_dropped += 1
+                return
+        else:
+            self.sent += 1
+            if self.blackholed:
+                # Held deterministically (no fault draws): the payload
+                # re-enters the ordinary fault pipeline on heal().
+                self.blackholed_payloads += 1
+                self._held.append((payload, delay))
+                return
         f = self.faults
         if f.drop and self.rng.bernoulli(f.drop):
-            self.dropped += 1
+            if control:
+                self.control_dropped += 1
+            else:
+                self.dropped += 1
             return
         copies = 1
         if f.duplicate and self.rng.bernoulli(f.duplicate):
@@ -128,13 +176,44 @@ class FaultyChannel:
             if f.reorder and self.rng.bernoulli(f.reorder):
                 self.reordered += 1
                 extra += f.reorder_delay
-            self.in_flight += 1
-            self.kernel.call_at(self.kernel.now + delay + extra,
-                                self._arrive, payload)
+            if control:
+                self.kernel.call_at(self.kernel.now + delay + extra,
+                                    self._arrive_control, payload)
+            else:
+                self.in_flight += 1
+                self.kernel.call_at(self.kernel.now + delay + extra,
+                                    self._arrive, payload)
+
+    # -- partitions ---------------------------------------------------------
+    def blackhole(self) -> None:
+        """Enter partition mode: hold data payloads, drop control ones."""
+        self.blackholed = True
+
+    def heal(self) -> None:
+        """End the partition and release every held data payload.
+
+        Held payloads re-enter :meth:`send` in original send order, so
+        they are subject to the ordinary fault draws (a long-partitioned
+        segment can still be lost or jittered on its final hop — the
+        sender's retransmission machinery covers that as usual).
+        """
+        self.blackholed = False
+        held, self._held = self._held, []
+        for payload, delay in held:
+            self.send(payload, delay)
+
+    @property
+    def held(self) -> int:
+        """Number of data payloads captured by the active blackhole."""
+        return len(self._held)
 
     def _arrive(self, payload: Any) -> None:
         self.in_flight -= 1
         self.delivered += 1
+        self.deliver(payload)
+
+    def _arrive_control(self, payload: Any) -> None:
+        self.control_delivered += 1
         self.deliver(payload)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -6,9 +6,11 @@ channels (drop/duplicate/jitter/reorder, all drawn from seeded streams),
 runs a seeded multi-session client workload while a seeded
 :class:`~repro.faults.plan.FaultPlan` crashes and recovers secondaries,
 crashes and WAL-restarts the primary (or, with ``primary_kill``, kills
-it for good and promotes a secondary under a new cluster epoch), and
-stalls the propagator — then verifies that nothing the paper proves was
-lost:
+it for good and promotes a secondary under a new cluster epoch — an
+election the :mod:`~repro.core.failover` control plane runs on its own
+when ``auto_failover`` is set), stalls the propagator, and (with
+``partitions``) blackholes links for seeded windows — then verifies
+that nothing the paper proves was lost:
 
 * the system **converges**: after recovery and ``quiesce()`` every
   secondary state equals the primary state;
@@ -27,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.core.failover import FailoverConfig
 from repro.core.guarantees import Guarantee
 from repro.core.promotion import PromotionConfig
 from repro.core.system import ReplicatedSystem
@@ -77,6 +80,17 @@ class ChaosConfig:
     promotion_wait: float = 30.0
     failover_wait: float = 60.0
     update_fraction: float = 0.4
+    #: Seeded partition windows: each blackholes one secondary's link
+    #: (data held, control dropped) and heals it later in the run.
+    partitions: int = 0
+    #: Autonomous failover: run the heartbeat/lease/suspicion control
+    #: plane and let the :class:`~repro.core.failover.AutoFailover`
+    #: coordinator detect a killed primary and promote on its own — the
+    #: plan's scripted ``promote_secondary`` trigger is suppressed.
+    auto_failover: bool = False
+    heartbeat_interval: float = 2.0
+    suspicion_timeout: float = 8.0
+    lease_duration: float = 12.0
     #: Throughput knobs (all default-off so classic chaos runs are
     #: bit-identical): propagation batching cycle, reusable applicator
     #: pool size, and per-site autovacuum cadence.
@@ -133,6 +147,21 @@ class ChaosResult:
     lost_update_windows: int = 0
     lost_sessions: int = 0
     no_primary_errors: int = 0
+    #: Autonomous-failover / partition activity (all zero unless
+    #: ``auto_failover``/``partitions`` are set).
+    suspicions: int = 0
+    false_suspicions: int = 0
+    lease_expiries: int = 0
+    auto_promotions: int = 0
+    partitions: int = 0            # partition events applied
+    heals: int = 0
+    zombie_records_fenced: int = 0
+    #: Injector bookkeeping: how many plan events actually fired vs.
+    #: were skipped as inapplicable (e.g. promote with no live
+    #: candidate, heal of a never-cut link).
+    events_applied: int = 0
+    events_skipped: int = 0
+    skipped_actions: tuple = ()
     #: Parallel-refresh activity, summed over all secondaries (zero
     #: unless ``parallel_refresh`` is set).
     out_of_order_commits: int = 0
@@ -178,6 +207,20 @@ class ChaosResult:
                 f"{self.lost_update_windows} lost windows, "
                 f"{self.lost_sessions} lost sessions, "
                 f"{self.no_primary_errors} no-primary errors")
+        if (self.partitions or self.suspicions or self.lease_expiries
+                or self.auto_promotions or self.zombie_records_fenced):
+            lines.append(
+                f"  failover: {self.suspicions} suspicions "
+                f"({self.false_suspicions} false), "
+                f"{self.lease_expiries} lease expiries, "
+                f"{self.auto_promotions} auto-promotions, "
+                f"{self.partitions} partitions (+{self.heals} heals), "
+                f"{self.zombie_records_fenced} zombie records fenced")
+        if self.events_skipped:
+            lines.append(
+                f"  plan: {self.events_applied} events applied, "
+                f"{self.events_skipped} skipped "
+                f"({', '.join(sorted(set(self.skipped_actions)))})")
         if self.out_of_order_commits:
             lines.append(
                 f"  parallel refresh: {self.out_of_order_commits} "
@@ -195,7 +238,12 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
     """Execute one seeded chaos schedule and audit the result."""
     streams = RandomStreams(config.seed)
     promotion = (PromotionConfig(promotion_wait=config.promotion_wait)
-                 if config.primary_kill else None)
+                 if config.primary_kill or config.auto_failover else None)
+    failover = (FailoverConfig(
+        heartbeat_interval=config.heartbeat_interval,
+        suspicion_timeout=config.suspicion_timeout,
+        lease_duration=config.lease_duration)
+        if config.auto_failover else None)
     system = ReplicatedSystem(
         num_secondaries=config.num_secondaries,
         propagation_delay=config.propagation_delay,
@@ -207,14 +255,17 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
         history_detail=config.history_detail,
         channel_faults=config.faults,
         fault_seed=config.seed,
-        promotion=promotion)
+        promotion=promotion,
+        failover=failover)
     plan = FaultPlan.random(
         streams["plan"], horizon=config.horizon,
         num_secondaries=config.num_secondaries,
         secondary_outages=config.secondary_outages,
         primary_crash=config.primary_crash,
         propagator_stall=config.propagator_stall,
-        permanent_primary_kill=config.primary_kill)
+        permanent_primary_kill=config.primary_kill,
+        partitions=config.partitions,
+        scripted_promotion=not config.auto_failover)
     injector = FaultInjector(system, plan)
     injector.start()
 
@@ -269,8 +320,18 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
     if plan.horizon > system.kernel.now:
         system.run(until=plan.horizon)
     system.run(until=max(system.kernel.now, config.horizon))
-    if system.propagator._paused:          # pragma: no cover - plan ends resumed
+    if system.partitions_active:           # pragma: no cover - plan ends healed
+        system.heal()
+    if system.propagator.paused:           # pragma: no cover - plan ends resumed
         system.propagator.resume()
+    if config.auto_failover and system.primary.crashed:
+        # Give the detector one full suspicion+lease cycle to declare
+        # the death and promote on its own before falling back to the
+        # scripted path (a kill at the very end of the horizon may not
+        # have aged past the lease bound yet).
+        grace = (config.lease_duration + config.suspicion_timeout
+                 + 4 * config.heartbeat_interval)
+        system.run(until=system.kernel.now + grace)
     if system.primary.crashed:             # pragma: no cover - plan ends restarted
         if system.primary.permanently_failed:
             system.promote_secondary()
@@ -325,6 +386,21 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
     result.lost_update_windows = system.lost_update_windows
     result.lost_sessions = sum(len(r.lost_sessions)
                                for r in system.promotion_reports)
+    detector = system.auto_failover
+    if detector is not None:
+        result.suspicions = detector.suspicions
+        result.false_suspicions = detector.false_suspicions
+        result.lease_expiries = detector.lease_expiries
+        result.auto_promotions = detector.auto_promotions
+    result.partitions = sum(1 for event in injector.applied
+                            if event.action == "partition")
+    result.heals = sum(1 for event in injector.applied
+                       if event.action == "heal")
+    result.zombie_records_fenced = system.zombie_records_fenced
+    result.events_applied = len(injector.applied)
+    result.events_skipped = len(injector.skipped)
+    result.skipped_actions = tuple(event.action
+                                   for event in injector.skipped)
     result.vacuum_runs = sum(d.runs for d in system.autovacuums)
     result.versions_reclaimed = sum(d.versions_reclaimed
                                     for d in system.autovacuums)

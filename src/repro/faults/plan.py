@@ -37,6 +37,8 @@ ACTIONS = (
     "promote_secondary",
     "pause_propagator",
     "resume_propagator",
+    "partition",
+    "heal",
 )
 
 
@@ -46,8 +48,11 @@ class FaultEvent:
 
     at: float
     action: str
-    #: Secondary index; None for primary/propagator events and for
-    #: ``promote_secondary`` (which then picks the freshest live site).
+    #: Secondary index; None for primary/propagator events, for
+    #: ``promote_secondary`` (which then picks the freshest live site)
+    #: and for ``partition``/``heal`` (which then cut or restore *every*
+    #: link — a full primary partition rather than a single severed
+    #: replica).
     target: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -96,7 +101,9 @@ class FaultPlan:
                secondary_outages: int = 2,
                primary_crash: bool = True,
                propagator_stall: bool = True,
-               permanent_primary_kill: bool = False) -> "FaultPlan":
+               permanent_primary_kill: bool = False,
+               partitions: int = 0,
+               scripted_promotion: bool = True) -> "FaultPlan":
         """Draw a seeded schedule of fault windows within
         ``(0.05*horizon, 0.9*horizon)``.
 
@@ -109,6 +116,23 @@ class FaultPlan:
         trigger — the one deliberately unpaired failure in a random plan,
         resolved by promotion rather than recovery.  Either way a caller
         running the plan to completion ends with a live update path.
+
+        With ``scripted_promotion=False`` the permanent kill stands
+        *alone*: the promotion-trigger time is still drawn (so toggling
+        the flag never shifts any other seeded choice) but no
+        ``promote_secondary`` event is emitted — the plan then expects
+        an :class:`~repro.core.failover.AutoFailover` coordinator to
+        detect the death and promote on its own.
+
+        ``partitions`` adds that many seeded ``partition``/``heal``
+        windows, each severing one secondary's link (sequential windows,
+        drawn after every other choice so existing seeds replay
+        identically with ``partitions=0``).  A partitioned secondary
+        stays *live* — its refresh traffic is held and delivered on heal
+        — so the keep-one-secondary-live invariant is untouched; full
+        primary partitions (``target=None``) are deliberately left to
+        hand-written plans, where the test controls when the zombie
+        heals.
         """
         if horizon <= 0:
             raise ConfigurationError("plan horizon must be > 0")
@@ -136,10 +160,14 @@ class FaultPlan:
                 # Same draws as the crash/restart pair, so turning the
                 # kill on (or off) never shifts any other seeded choice:
                 # the primary dies for good at ``down`` and the promotion
-                # of the freshest live secondary triggers at ``up``.
+                # of the freshest live secondary triggers at ``up`` —
+                # unless autonomous failover owns the election, in which
+                # case ``up`` is drawn (same-draws discipline) but no
+                # scripted trigger is emitted.
                 events.append(FaultEvent(at=down, action="kill_primary"))
-                events.append(FaultEvent(at=up,
-                                         action="promote_secondary"))
+                if scripted_promotion:
+                    events.append(FaultEvent(at=up,
+                                             action="promote_secondary"))
             else:
                 events.append(FaultEvent(at=down, action="crash_primary"))
                 events.append(FaultEvent(at=up, action="restart_primary"))
@@ -149,6 +177,19 @@ class FaultPlan:
             events.append(FaultEvent(at=stall, action="pause_propagator"))
             events.append(FaultEvent(at=unstall,
                                      action="resume_propagator"))
+        if partitions:
+            # Drawn last so pre-partition seeds replay unchanged.
+            # Sequential windows, same scheme as secondary outages.
+            cut_times = sorted(rng.uniform(lo, hi)
+                               for _ in range(2 * partitions))
+            for i in range(partitions):
+                target = rng.randint(0, num_secondaries - 1)
+                events.append(FaultEvent(at=cut_times[2 * i],
+                                         action="partition",
+                                         target=target))
+                events.append(FaultEvent(at=cut_times[2 * i + 1],
+                                         action="heal",
+                                         target=target))
         return cls.of(events)
 
 
@@ -213,11 +254,31 @@ class FaultInjector:
             if applicable:
                 system.promote_secondary(target)
         elif action == "pause_propagator":
-            applicable = not system.propagator._paused
+            applicable = not system.propagator.paused
             if applicable:
                 system.propagator.pause()
-        else:   # resume_propagator
-            applicable = system.propagator._paused
+        elif action == "resume_propagator":
+            applicable = system.propagator.paused
             if applicable:
                 system.propagator.resume()
+        elif action == "partition":
+            links = self._partition_targets(target)
+            applicable = any(not link.blackholed for link in links)
+            if applicable:
+                system.partition(target)
+        else:   # heal
+            links = self._partition_targets(target)
+            applicable = any(link.blackholed for link in links)
+            if applicable:
+                system.heal(target)
         (self.applied if applicable else self.skipped).append(event)
+
+    def _partition_targets(self, target: Optional[int]) -> list:
+        """The links a partition/heal event would act on ([] if the
+        system has no link-based propagation — the event is skipped)."""
+        links = getattr(self.system, "_all_links", [])
+        if not links:
+            return []
+        if target is None:
+            return list(links)
+        return [links[target]]

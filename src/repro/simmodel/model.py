@@ -102,6 +102,7 @@ class ModelCounters:
     propagation_cycles: int = 0
     sessions_started: int = 0
     vacuum_passes: int = 0
+    heartbeats_sent: int = 0
     max_pending: dict[int, int] = field(default_factory=dict)
 
 
@@ -177,6 +178,11 @@ class LazyReplicationModel:
                 self.kernel.spawn(self._autovacuum(secondary),
                                   name=f"autovacuum-{secondary.index}",
                                   daemon=True)
+        if self.params.heartbeat_interval is not None:
+            for secondary in self.secondaries:
+                self.kernel.spawn(self._heartbeat(secondary),
+                                  name=f"heartbeat-{secondary.index}",
+                                  daemon=True)
         self.kernel.run(until=self.params.duration)
         return self.metrics
 
@@ -193,6 +199,22 @@ class LazyReplicationModel:
             if params.autovacuum_cost:
                 yield secondary.server.request(params.autovacuum_cost)
             self.counters.vacuum_passes += 1
+
+    def _heartbeat(self, secondary: _SecondaryModel):
+        """Failure-detector overhead at one secondary server.
+
+        The performance model has no failures to detect; the daemon
+        charges the steady-state cost of the autonomous-failover control
+        plane (processing the primary's heartbeat and granting a lease
+        each cycle), contending with refresh and read work like any
+        other request.
+        """
+        params = self.params
+        while True:
+            yield self.kernel.sleep(params.heartbeat_interval)
+            if params.heartbeat_cost:
+                yield secondary.server.request(params.heartbeat_cost)
+            self.counters.heartbeats_sent += 1
 
     def _lag_sampler(self, interval: float = 5.0):
         """Sample replication lag across secondaries after warm-up."""

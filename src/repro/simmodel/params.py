@@ -88,6 +88,14 @@ class SimulationParameters:
     #: ``None`` disables the daemon (Table 1 behaviour, bit-identical).
     autovacuum_interval: float | None = None
     autovacuum_cost: float = 0.01
+    #: Failure-detector heartbeat overhead (models the autonomous
+    #: failover control plane of :mod:`repro.core.failover`): every
+    #: ``heartbeat_interval`` seconds each secondary server spends
+    #: ``heartbeat_cost`` seconds of service demand acknowledging the
+    #: primary's heartbeat and granting a lease.  ``None`` disables the
+    #: daemons (Table 1 behaviour, bit-identical).
+    heartbeat_interval: float | None = None
+    heartbeat_cost: float = 0.001
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -124,6 +132,11 @@ class SimulationParameters:
             raise ConfigurationError("autovacuum_interval must be > 0")
         if self.autovacuum_cost < 0:
             raise ConfigurationError("autovacuum_cost must be >= 0")
+        if self.heartbeat_interval is not None \
+                and self.heartbeat_interval <= 0:
+            raise ConfigurationError("heartbeat_interval must be > 0")
+        if self.heartbeat_cost < 0:
+            raise ConfigurationError("heartbeat_cost must be >= 0")
 
     @property
     def num_clients(self) -> int:

@@ -121,3 +121,69 @@ def test_in_flight_accounting_settles_at_zero():
     kernel.run()
     assert channel.in_flight == 0
     assert channel.delivered == len(arrived)
+
+
+# ---------------------------------------------------------------------------
+# Partitions: blackhole mode
+# ---------------------------------------------------------------------------
+
+def test_blackhole_holds_data_in_order_until_heal():
+    kernel, channel, arrived = make_channel()
+    channel.send("a", 1.0)
+    kernel.run()
+    channel.blackhole()
+    channel.send("b", 1.0)
+    channel.send("c", 1.0)
+    kernel.run(until=10.0)
+    assert arrived == ["a"]
+    assert channel.held == 2
+    assert channel.blackholed_payloads == 2
+    channel.heal()
+    assert channel.held == 0
+    kernel.run()
+    assert arrived == ["a", "b", "c"]    # original send order preserved
+
+
+def test_blackhole_drops_control_outright():
+    """Control datagrams (heartbeats) must NOT be held and replayed: a
+    partition-delayed heartbeat would blind the failure detector."""
+    kernel, channel, arrived = make_channel()
+    channel.send("hb", 1.0, control=True)
+    kernel.run()
+    assert arrived == ["hb"]
+    channel.blackhole()
+    channel.send("hb2", 1.0, control=True)
+    channel.heal()
+    kernel.run()
+    assert arrived == ["hb"]             # hb2 is gone for good
+    assert channel.control_dropped == 1
+    assert channel.held == 0
+
+
+def test_blackhole_defers_fault_draws_to_heal():
+    """No RNG draws while blackholed: the fault lottery happens on the
+    final hop, after heal, so a partition window never shifts the seeded
+    fault sequence of traffic sent outside it."""
+    faults = ChannelFaults(drop=1.0)
+    kernel, channel, arrived = make_channel(faults)
+    channel.blackhole()
+    for i in range(3):
+        channel.send(i, 1.0)
+    assert channel.dropped == 0          # no draws yet, just held
+    assert channel.held == 3
+    channel.heal()
+    assert channel.dropped == 3          # the lottery ran at heal time
+    kernel.run()
+    assert arrived == []
+
+
+def test_control_bypasses_in_flight_accounting():
+    """Control traffic is fire-and-forget: it never holds the pipeline
+    open (quiesce must not wait on an endless heartbeat stream)."""
+    kernel, channel, arrived = make_channel()
+    channel.send("hb", 5.0, control=True)
+    assert channel.in_flight == 0
+    assert channel.control_sent == 1
+    kernel.run()
+    assert channel.control_delivered == 1
+    assert arrived == ["hb"]

@@ -229,3 +229,78 @@ def test_promotion_disabled_same_seed_is_bit_identical():
     assert a.no_primary_errors == 0
     assert "promotion:" not in a.describe()
     assert a.plan.count("kill_primary") == 0
+    # The failover/partition machinery is equally dormant by default:
+    # no detector, no control traffic, no partition draws, no fencing.
+    assert a.plan.count("partition") == a.plan.count("heal") == 0
+    assert a.suspicions == a.false_suspicions == 0
+    assert a.lease_expiries == a.auto_promotions == 0
+    assert a.partitions == a.heals == a.zombie_records_fenced == 0
+    assert "failover:" not in a.describe()
+
+
+# ---------------------------------------------------------------------------
+# Autonomous-failover storms: partitions + permanent kill, no scripted
+# promotion trigger — the heartbeat/lease/suspicion control plane must
+# detect the death and elect on its own.
+# ---------------------------------------------------------------------------
+
+AUTO = dict(primary_kill=True, auto_failover=True, partitions=2)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_auto_failover_partition_storm(seed):
+    """Every storm kills the primary for good and cuts links with seeded
+    partition windows, with *no* promote_secondary event in the plan:
+    promotion must come from the AutoFailover coordinator.  Convergence
+    and all three checkers (both implementations) must hold, every
+    zombie record must be fenced, and any acknowledged-commit loss must
+    be surfaced as a poisoned session — never silent."""
+    result = run_chaos(ChaosConfig(seed=seed, **AUTO))
+    assert result.plan.count("kill_primary") == 1
+    assert result.plan.count("promote_secondary") == 0
+    assert result.plan.count("partition") == 2
+    assert result.plan.count("heal") == 2
+    assert result.primary_kills == 1
+    assert result.promotions == 1
+    assert result.auto_promotions == 1
+    assert result.suspicions >= 1
+    # At most the one kill can truncate acknowledged commits, and the
+    # loss is accounted, never silently absorbed.
+    assert result.lost_update_windows in (0, 1)
+    assert result.converged, result.describe()
+    for check in result.checks + _legacy_checks(result):
+        assert check.ok, result.describe()
+    assert result.ok
+
+
+def test_auto_failover_storm_is_deterministic_per_seed():
+    a = run_chaos(ChaosConfig(seed=7, **AUTO))
+    b = run_chaos(ChaosConfig(seed=7, **AUTO))
+    assert a.describe() == b.describe()
+    assert a.plan == b.plan
+
+
+def test_partitions_alone_are_absorbed():
+    """Partition windows without any primary failure: the held traffic
+    is delivered on heal and the run is indistinguishable from a slow
+    network — no suspicion quorum, no election, full convergence."""
+    result = run_chaos(ChaosConfig(seed=9, primary_crash=False,
+                                   partitions=2))
+    assert result.partitions >= 1
+    assert result.promotions == 0
+    assert result.converged, result.describe()
+    for check in result.checks:
+        assert check.ok, result.describe()
+
+
+def test_auto_failover_plan_has_no_scripted_trigger():
+    """The same-draws discipline end to end: the auto-failover plan is
+    the scripted kill plan minus its promote_secondary event, with no
+    other seeded choice shifted."""
+    scripted = run_chaos(ChaosConfig(seed=11, primary_kill=True)).plan
+    auto = run_chaos(ChaosConfig(seed=11, **AUTO)).plan
+    scripted_events = [(e.at, e.action, e.target) for e in scripted
+                       if e.action != "promote_secondary"]
+    auto_events = [(e.at, e.action, e.target) for e in auto
+                   if e.action not in ("partition", "heal")]
+    assert scripted_events == auto_events

@@ -1,0 +1,275 @@
+"""Autonomous failover: heartbeats, leases, suspicion, split-brain safety.
+
+These tests drive the :mod:`repro.core.failover` control plane directly
+(no chaos harness): a healthy cluster never elects, a killed primary is
+detected and replaced autonomously, and a live-but-partitioned primary
+self-demotes before the coordinator can promote over it — its late
+deliveries fenced, its unacknowledged commits surfaced as typed errors.
+"""
+
+import pytest
+
+from repro.core.failover import AutoFailover, FailoverConfig
+from repro.core.guarantees import Guarantee
+from repro.core.system import ReplicatedSystem
+from repro.errors import (
+    ConfigurationError,
+    KeyNotFound,
+    LeaseExpiredError,
+    LostUpdatesError,
+)
+
+#: Small detector so tests stay fast: heartbeats every 2s, suspicion
+#: after 8s of silence, leases valid 12s.  Quorum defaults to majority.
+CONFIG = FailoverConfig(heartbeat_interval=2.0, suspicion_timeout=8.0,
+                        lease_duration=12.0)
+
+
+def make_system(num_secondaries=3, **kwargs):
+    return ReplicatedSystem(num_secondaries=num_secondaries,
+                            propagation_delay=0.5, batch_interval=0.0,
+                            failover=CONFIG, **kwargs)
+
+
+def read_keys(keys):
+    def body(txn):
+        out = {}
+        for key in keys:
+            try:
+                out[key] = txn.read(key)
+            except KeyNotFound:
+                out[key] = None
+        return out
+    return body
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("kwargs", [
+    dict(heartbeat_interval=0.0),
+    dict(heartbeat_interval=-1.0),
+    dict(heartbeat_interval=2.0, suspicion_timeout=3.0),   # < 2 intervals
+    dict(suspicion_timeout=8.0, lease_duration=7.0),       # < suspicion
+    dict(quorum=0),
+])
+def test_config_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        FailoverConfig(**kwargs)
+
+
+def test_quorum_defaults_to_majority():
+    assert make_system(3).auto_failover.quorum == 2
+    assert make_system(5).auto_failover.quorum == 3
+    system = ReplicatedSystem(
+        num_secondaries=3,
+        failover=FailoverConfig(heartbeat_interval=2.0,
+                                suspicion_timeout=8.0,
+                                lease_duration=12.0, quorum=3))
+    assert system.auto_failover.quorum == 3
+
+
+def test_failover_implies_promotion_config():
+    assert make_system().promotion is not None
+
+
+# ---------------------------------------------------------------------------
+# Dormancy: failover=None builds nothing
+# ---------------------------------------------------------------------------
+
+def test_dormant_by_default():
+    plain = ReplicatedSystem(num_secondaries=2)
+    assert plain.auto_failover is None
+    assert plain.failover is None
+    # No links either, so partitions are a configuration error, not a
+    # silent no-op.
+    with pytest.raises(ConfigurationError):
+        plain.partition()
+    assert plain.partitions_active == 0
+    assert plain.zombie_records_fenced == 0
+
+
+# ---------------------------------------------------------------------------
+# Healthy cluster: leases renew, nobody suspects, nobody elects
+# ---------------------------------------------------------------------------
+
+def test_healthy_cluster_never_suspects_or_elects():
+    system = make_system()
+    session = system.session(Guarantee.STRONG_SESSION_SI)
+    for i in range(5):
+        session.write(f"k{i}", i)
+        system.run(until=10.0 * (i + 1))
+    detector = system.auto_failover
+    assert detector.heartbeats_sent > 0
+    assert detector.grants_received > 0
+    assert detector.suspicions == 0
+    assert detector.false_suspicions == 0
+    assert detector.lease_expiries == 0
+    assert detector.auto_promotions == 0
+    assert system.promotions == 0
+    # The heartbeat stream must not keep the pipeline from settling.
+    system.quiesce()
+    for i in range(len(system.secondaries)):
+        assert system.secondary_state(i) == system.primary_state()
+
+
+# ---------------------------------------------------------------------------
+# Kill detection: quorum of suspicions + lapsed lease -> promotion
+# ---------------------------------------------------------------------------
+
+def test_killed_primary_is_detected_and_replaced():
+    system = make_system()
+    session = system.session(Guarantee.STRONG_SESSION_SI)
+    session.write("a", 1)
+    system.quiesce()
+    system.kill_primary()
+    killed_at = system.kernel.now
+    system.run(until=killed_at + 30.0)
+    detector = system.auto_failover
+    assert detector.suspicions >= detector.quorum
+    assert detector.auto_promotions == 1
+    assert system.promotions == 1
+    assert system.cluster_epoch == 1
+    assert not system.primary.crashed
+    # The declaration waited for both conditions: the report landed
+    # after the suspicion timeout AND after the last lease aged out.
+    report = detector.reports[0]
+    assert len(report.suspecting) >= detector.quorum
+    assert report.at > report.lease_bound
+    assert report.at >= killed_at + CONFIG.suspicion_timeout
+    assert report.promoted == system.primary.name
+    # The new epoch serves updates and converges.
+    session2 = system.session(Guarantee.STRONG_SESSION_SI)
+    session2.write("b", 2)
+    system.quiesce()
+    for i, secondary in enumerate(system.secondaries):
+        if not secondary.retired:
+            assert system.secondary_state(i) == system.primary_state()
+
+
+def test_no_scripted_promotion_needed_after_kill():
+    """The election is autonomous: nothing outside the detector calls
+    promote(), yet the cluster ends with a live primary."""
+    system = make_system()
+    system.kill_primary()
+    system.run(until=40.0)
+    assert system.auto_failover.auto_promotions == 1
+    assert not system.primary.crashed
+
+
+# ---------------------------------------------------------------------------
+# Split-brain safety: the partitioned zombie primary
+# ---------------------------------------------------------------------------
+
+def test_partitioned_primary_self_demotes_and_is_fenced():
+    """The full zombie walk: a live primary is cut from every secondary
+    mid-commit.  Its lease lapses -> it self-demotes (the open update
+    aborts with LeaseExpiredError, never acknowledged); the coordinator
+    then promotes; when the partition finally heals, the zombie's held
+    traffic arrives with a stale epoch and is counted and dropped — no
+    session ever sees the orphaned writes."""
+    system = make_system()
+    session = system.session(Guarantee.STRONG_SESSION_SI)
+    session.write("a", 1)
+    system.run(until=10.0)
+
+    system.partition()                 # every link: a full primary cut
+    assert system.partitions_active == len(system.secondaries)
+
+    # Acknowledged during the partition: only the doomed primary has it.
+    session.write("b", 2)
+
+    with pytest.raises(LeaseExpiredError):
+        with session.update_transaction() as txn:
+            txn.write("c", 3)
+            system.run(until=26.0)     # lease lapses while txn is open
+
+    detector = system.auto_failover
+    assert detector.lease_expiries == 1
+    assert detector.auto_promotions == 1
+    assert system.promotions == 1
+    # Promotion re-routed the surviving replicas (their links healed as
+    # the new primary's fresh routes); only the promoted site's own
+    # link — the old primary's side of the cut — is still dark.
+    assert system.partitions_active == 1
+    fenced_at_promotion = system.zombie_records_fenced
+    assert fenced_at_promotion > 0     # flushed old-epoch traffic fenced
+
+    system.heal()                      # the zombie's link finally heals
+    system.run(until=40.0)
+    assert system.zombie_records_fenced > fenced_at_promotion
+    assert system.partitions_active == 0
+
+    # The acknowledged-then-truncated window is surfaced, never hidden.
+    with pytest.raises(LostUpdatesError):
+        session.read("a")
+
+    # Fresh sessions see the surviving prefix only: "a" but never the
+    # orphaned "b" (acknowledged to a poisoned session) or "c" (aborted).
+    fresh = system.session(Guarantee.STRONG_SI)
+    fresh.write("d", 4)
+    system.quiesce()
+    assert fresh.execute_read_only(read_keys(["a", "b", "c", "d"])) \
+        == {"a": 1, "b": None, "c": None, "d": 4}
+    for secondary in system.secondaries:
+        if secondary.live:
+            state = secondary.engine.state_at()
+            assert "b" not in state and "c" not in state
+
+
+def test_lease_expiry_is_exact_not_polled():
+    """Self-demotion happens at the lease deadline itself: the demotion
+    instant equals the last grant time plus the lease duration, not some
+    later polling tick."""
+    system = make_system()
+    system.run(until=10.0)
+    detector = system.auto_failover
+    old_primary = system.primary
+    deadline = detector.lease_expiry    # freshest grant + lease_duration
+    system.partition()
+    system.run(until=40.0)
+    assert detector.lease_expiries >= 1
+    assert old_primary.lease_demoted
+    # demote() fired exactly when the freshest grant aged out.
+    assert old_primary.demoted_at == pytest.approx(deadline)
+
+
+# ---------------------------------------------------------------------------
+# False suspicion: a short single-link partition heals before quorum
+# ---------------------------------------------------------------------------
+
+def test_short_partition_causes_false_suspicion_not_promotion():
+    system = make_system()
+    system.run(until=5.0)
+    system.partition(0)                # one secondary loses heartbeats
+    assert system.partitions_active == 1
+    system.run(until=5.0 + CONFIG.suspicion_timeout + 3.0)
+    detector = system.auto_failover
+    assert detector.suspicions == 1    # below the quorum of 2
+    assert detector.auto_promotions == 0
+    system.heal(0)
+    system.run(until=system.kernel.now + 3 * CONFIG.heartbeat_interval)
+    # The primary spoke again: the suspicion was retracted as false.
+    assert detector.false_suspicions == 1
+    assert detector.lease_expiries == 0
+    assert system.promotions == 0
+    # The held refresh traffic was delivered on heal: still convergent.
+    system.quiesce()
+    assert system.secondary_state(0) == system.primary_state()
+
+
+def test_crashed_secondary_is_no_detector():
+    """Down replicas neither suspect nor count toward quorum, and do not
+    fire a stale suspicion the instant they recover."""
+    system = make_system()
+    system.run(until=5.0)
+    system.crash_secondary(0)
+    system.run(until=30.0)             # outage longer than the timeout
+    system.recover_secondary(0)
+    system.run(until=system.kernel.now + 3 * CONFIG.heartbeat_interval)
+    detector = system.auto_failover
+    assert detector.suspicions == 0
+    assert detector.auto_promotions == 0
+    system.quiesce()
+    assert system.secondary_state(0) == system.primary_state()

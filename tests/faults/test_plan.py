@@ -15,6 +15,11 @@ def test_event_validation():
         FaultEvent(at=-1.0, action="crash_primary")
     with pytest.raises(ConfigurationError):
         FaultEvent(at=1.0, action="crash_secondary")   # needs target
+    # Partition events are valid with a single-link target or without
+    # one (a full primary partition).
+    FaultEvent(at=1.0, action="partition")
+    FaultEvent(at=1.0, action="partition", target=1)
+    FaultEvent(at=2.0, action="heal")
 
 
 def test_plan_sorts_events_and_reports_horizon():
@@ -173,6 +178,23 @@ def test_injector_skips_promotion_when_disabled_or_primary_live():
     system.restart_primary()
 
 
+def test_kill_plan_without_scripted_promotion_same_draws():
+    """scripted_promotion=False must only remove the promote event: the
+    promotion-trigger time is still drawn, so no other choice shifts."""
+    for seed in range(10):
+        scripted = FaultPlan.random(RandomStreams(seed)["plan"],
+                                    horizon=100.0, num_secondaries=3,
+                                    permanent_primary_kill=True)
+        auto = FaultPlan.random(RandomStreams(seed)["plan"],
+                                horizon=100.0, num_secondaries=3,
+                                permanent_primary_kill=True,
+                                scripted_promotion=False)
+        assert auto.count("promote_secondary") == 0
+        assert [(e.at, e.action, e.target) for e in scripted
+                if e.action != "promote_secondary"] \
+            == [(e.at, e.action, e.target) for e in auto]
+
+
 def test_injector_skips_restart_after_permanent_kill():
     from repro.core.promotion import PromotionConfig
 
@@ -189,3 +211,75 @@ def test_injector_skips_restart_after_permanent_kill():
     assert [e.action for e in injector.applied] \
         == ["kill_primary", "promote_secondary"]
     assert [e.action for e in injector.skipped] == ["restart_primary"]
+
+
+# ---------------------------------------------------------------------------
+# Partition windows
+# ---------------------------------------------------------------------------
+
+def test_random_plan_partition_windows():
+    rng = RandomStreams(5)["plan"]
+    plan = FaultPlan.random(rng, horizon=100.0, num_secondaries=3,
+                            partitions=2)
+    assert plan.count("partition") == 2
+    assert plan.count("heal") == 2
+    cuts = [e for e in plan if e.action in ("partition", "heal")]
+    # Sequential windows: cut/heal/cut/heal, never two cuts open at once,
+    # every cut targets a single secondary's link (never the full tier).
+    assert [e.action for e in cuts] == ["partition", "heal"] * 2
+    for cut, heal in zip(cuts[::2], cuts[1::2]):
+        assert cut.at < heal.at
+        assert cut.target == heal.target
+        assert cut.target is not None and 0 <= cut.target < 3
+
+
+def test_partition_draws_do_not_shift_existing_plans():
+    """partitions=N draws come last: every pre-partition event of the
+    plan is identical to the partitions=0 plan for the same seed."""
+    for seed in range(10):
+        base = FaultPlan.random(RandomStreams(seed)["plan"],
+                                horizon=100.0, num_secondaries=3)
+        cut = FaultPlan.random(RandomStreams(seed)["plan"],
+                               horizon=100.0, num_secondaries=3,
+                               partitions=2)
+        assert [(e.at, e.action, e.target) for e in base] \
+            == [(e.at, e.action, e.target) for e in cut
+                if e.action not in ("partition", "heal")]
+
+
+def test_injector_applies_partition_and_heal():
+    from repro.core.failover import FailoverConfig
+
+    system = ReplicatedSystem(
+        num_secondaries=2, propagation_delay=0.5,
+        failover=FailoverConfig(heartbeat_interval=2.0,
+                                suspicion_timeout=8.0,
+                                lease_duration=12.0))
+    plan = FaultPlan.of([
+        FaultEvent(at=1.0, action="partition", target=0),
+        FaultEvent(at=2.0, action="heal", target=0),
+        FaultEvent(at=3.0, action="heal", target=0),      # already healed
+    ])
+    injector = FaultInjector(system, plan)
+    injector.start()
+    system.run(until=1.5)
+    assert system.partitions_active == 1
+    system.run(until=4.0)
+    assert system.partitions_active == 0
+    assert [e.action for e in injector.applied] == ["partition", "heal"]
+    assert [e.action for e in injector.skipped] == ["heal"]
+
+
+def test_injector_skips_partition_without_links():
+    """Classic systems have no link layer: partition events are skipped,
+    not errors, so one plan can run against any configuration."""
+    system = ReplicatedSystem(num_secondaries=2)
+    plan = FaultPlan.of([
+        FaultEvent(at=1.0, action="partition"),
+        FaultEvent(at=2.0, action="heal"),
+    ])
+    injector = FaultInjector(system, plan)
+    injector.start()
+    system.run(until=3.0)
+    assert injector.applied == []
+    assert len(injector.skipped) == 2

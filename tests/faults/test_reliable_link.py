@@ -148,3 +148,62 @@ def test_crashed_site_records_dropped_no_ack():
     assert site.received == []
     assert site.records_dropped == 1
     assert link.acks_received == 0
+
+
+def test_blackhole_holds_data_and_heal_delivers():
+    kernel, site, link = make_link()
+    link.send("a", 1.0)
+    kernel.run()
+    link.blackhole()
+    assert link.blackholed
+    link.send("b", 1.0)
+    link.send("c", 1.0)
+    kernel.run(until=10.0)
+    assert site.received == ["a"]          # held, not lost
+    link.heal()
+    assert not link.blackholed
+    kernel.run()
+    assert site.received == ["a", "b", "c"]
+    assert link.settled
+
+
+def test_resync_races_in_flight_retransmissions_across_heal():
+    """Satellite regression: a resync() (epoch bump, as promotion does)
+    while retransmissions are in flight and a partition holds traffic.
+    Every pre-resync frame — original sends, retransmitted copies, and
+    partition-held copies released by the heal — must be discarded by
+    epoch, and the new epoch must deliver cleanly in order."""
+    faults = ChannelFaults(drop=0.4)
+    kernel, site, link = make_link(faults, timeout=2.0)
+    for i in range(10):
+        link.send(("old", i), 1.0)
+    kernel.run(until=5.0)              # some delivered, some retransmitting
+    link.blackhole()                   # partition: retransmissions held
+    kernel.run(until=12.0)
+    assert link.data_channel.held > 0  # the timer kept re-sending into it
+    link.resync()                      # epoch fence while frames in flight
+    link.arm_zombie_fence()
+    delivered_before = list(site.received)
+    link.heal()                        # held old-epoch frames flush now
+    for i in range(10):
+        link.send(("new", i), 1.0)
+    kernel.run()
+    assert site.received == delivered_before + [("new", i)
+                                                for i in range(10)]
+    assert link.stale_epoch_drops > 0
+    assert link.zombie_records_fenced > 0
+    assert link.settled
+
+
+def test_retransmit_timer_stops_for_retired_site():
+    """Satellite: the dead-site check in the retransmit timer uses the
+    live predicate — a *retired* site (promoted to primary) must stop
+    the timer exactly like a crashed one, not be retransmitted into."""
+    faults = ChannelFaults(drop=1.0)
+    kernel, site, link = make_link(faults, timeout=1.0)
+    link.send("x", 0.0)
+    site.live = False                  # retired: not crashed, yet gone
+    assert not site.crashed
+    kernel.run(until=20.0)
+    assert link.retransmissions == 0
+    assert not link._timer_armed
