@@ -1,0 +1,72 @@
+"""Kernel dispatch-loop microbenchmarks (real wall-clock, time-budgeted).
+
+A smoke guard for the calendar-queue scheduler's three regimes — the
+same-instant ready deque, the bucketed near-timer path, and the
+cancelled-timer tombstone drain — plus a calendar-vs-heap dispatch
+comparison.  Budgets are deliberately loose (CI containers vary wildly);
+the tests catch order-of-magnitude dispatch-loop regressions, not noise.
+"""
+
+from time import perf_counter
+
+from repro.evaluation.bench import bench_kernel
+from repro.kernel import Kernel
+
+#: Per-test wall-clock ceiling.  Typical runs finish in well under a
+#: tenth of this even on slow shared runners.
+BUDGET_SECONDS = 60.0
+
+#: Dispatch-rate floor, far below any healthy host (~1M+ events/sec).
+EVENTS_PER_SEC_FLOOR = 10_000
+
+
+def test_dispatch_rate_both_schedulers():
+    started = perf_counter()
+    results = {
+        scheduler: bench_kernel(num_processes=20, sleeps_per_process=500,
+                                repeats=2, scheduler=scheduler)
+        for scheduler in ("calendar", "heap")
+    }
+    assert perf_counter() - started < BUDGET_SECONDS
+    for scheduler, result in results.items():
+        assert result["events_per_sec"] > EVENTS_PER_SEC_FLOOR, scheduler
+    # Identical event streams: the microbench is deterministic.
+    assert results["calendar"]["events"] == results["heap"]["events"]
+
+
+def test_same_instant_storm_stays_in_ready_deque():
+    kernel = Kernel()
+    yields = 20_000
+
+    def poster():
+        for _ in range(yields):
+            yield kernel.checkpoint()
+
+    kernel.spawn(poster())
+    started = perf_counter()
+    kernel.run()
+    elapsed = perf_counter() - started
+    assert elapsed < BUDGET_SECONDS
+    counters = kernel.counters()
+    assert counters["events_dispatched"] > yields
+    assert counters["same_instant_ratio"] > 0.9
+    assert counters["events_dispatched"] / elapsed > EVENTS_PER_SEC_FLOOR
+
+
+def test_cancelled_timer_tombstones_drain_cheaply():
+    kernel = Kernel()
+    timers = [kernel.call_later(1000.0 + i * 0.001, lambda: None)
+              for i in range(20_000)]
+    for timer in timers:
+        assert timer.cancel()
+    assert kernel.pending_events == 0
+
+    def clock():
+        yield kernel.sleep(1.0)
+
+    kernel.spawn(clock())
+    started = perf_counter()
+    kernel.run()
+    assert perf_counter() - started < BUDGET_SECONDS
+    assert kernel.counters()["timer_cancellations"] == len(timers)
+    assert kernel.pending_events == 0

@@ -38,8 +38,23 @@ def baseline():
 
 
 def test_baseline_schema(baseline):
-    assert baseline["schema"] == 4
+    assert baseline["schema"] == 5
     assert baseline["kernel"]["events_per_sec"] > 0
+    # Schema 5: per-scheduler dispatch numbers and the scaleup-95-5 leg.
+    dispatch = baseline["kernel"]["dispatch"]
+    assert dispatch["calendar"]["events_per_sec"] > 0
+    assert dispatch["heap"]["events_per_sec"] > 0
+    scaleup = baseline["kernel"]["scaleup_95_5"]
+    for scheduler in ("calendar", "heap"):
+        assert scaleup[scheduler]["events_per_sec"] > 0
+    # Bit-identity invariant: both schedulers dispatched the exact same
+    # event stream on the recorded seed.
+    assert scaleup["calendar"]["events_dispatched"] \
+        == scaleup["heap"]["events_dispatched"]
+    # The PR 8 acceptance bar: >= 1.5x on the scaleup-95-5 leg vs the
+    # pre-calendar-queue kernel (paired interleaved A/B, min of 8,
+    # recorded at re-baseline time).
+    assert scaleup["paired_speedup_vs_prepr"] >= 1.5
     assert set(baseline["run_once_seconds"]) == {
         "strong-session-si", "weak-si", "strong-si"}
     # Schema 2: one timing per figure sweep, and version-chain stats.

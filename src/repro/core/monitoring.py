@@ -94,6 +94,13 @@ class SystemStatus:
     auto_promotions: int = 0
     partitions_active: int = 0
     zombie_records_fenced: int = 0
+    # -- kernel scheduler counters (properties of the dispatched event
+    # stream, so identical under the calendar and heap schedulers) --------
+    kernel_scheduler: str = ""
+    kernel_events_dispatched: int = 0
+    kernel_peak_queue_depth: int = 0
+    kernel_timer_cancellations: int = 0
+    kernel_same_instant_ratio: float = 0.0
 
     def report(self) -> str:
         """A human-readable multi-line status report."""
@@ -177,6 +184,15 @@ class SystemStatus:
                 f"  {site.name + ' vacuum:':<22}runs={site.vacuum_runs}  "
                 f"reclaimed={site.versions_reclaimed}  "
                 f"longest-chain={site.max_chain_length}")
+        # Kernel scheduler line: the counters are mode-identical, so the
+        # line diffs clean between calendar and heap runs of one seed.
+        if self.kernel_events_dispatched:
+            lines.append(
+                f"  kernel: scheduler={self.kernel_scheduler}  "
+                f"dispatched={self.kernel_events_dispatched}  "
+                f"peak-depth={self.kernel_peak_queue_depth}  "
+                f"timer-cancels={self.kernel_timer_cancellations}  "
+                f"same-instant={self.kernel_same_instant_ratio:.1%}")
         return "\n".join(lines)
 
 
@@ -193,6 +209,7 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
         return daemon.runs, daemon.versions_reclaimed
 
     failover = getattr(system, "auto_failover", None)
+    kernel_counters = system.kernel.counters()
     primary_vacuum = vacuum_stats(system.primary.engine)
     primary = SiteStatus(
         name=system.primary.name,
@@ -289,7 +306,16 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
                         partitions_active=getattr(
                             system, "partitions_active", 0),
                         zombie_records_fenced=getattr(
-                            system, "zombie_records_fenced", 0))
+                            system, "zombie_records_fenced", 0),
+                        kernel_scheduler=kernel_counters["scheduler"],
+                        kernel_events_dispatched=kernel_counters[
+                            "events_dispatched"],
+                        kernel_peak_queue_depth=kernel_counters[
+                            "peak_queue_depth"],
+                        kernel_timer_cancellations=kernel_counters[
+                            "timer_cancellations"],
+                        kernel_same_instant_ratio=kernel_counters[
+                            "same_instant_ratio"])
 
 
 @dataclass

@@ -77,6 +77,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="virtual seconds of apply work per update "
                              "operation (default: 0.02 when "
                              "--parallel-refresh is set, else 0)")
+    parser.add_argument("--scheduler", choices=("calendar", "heap"),
+                        default="calendar",
+                        help="kernel event scheduler (same-seed runs are "
+                             "bit-identical between the two; default: "
+                             "%(default)s)")
     parser.add_argument("--quiet", action="store_true",
                         help="only print failing runs and the final tally")
     args = parser.parse_args(argv)
@@ -103,7 +108,8 @@ def main(argv: list[str] | None = None) -> int:
                              partitions=args.partitions,
                              auto_failover=args.auto_failover,
                              parallel_refresh=args.parallel_refresh,
-                             refresh_apply_cost=apply_cost)
+                             refresh_apply_cost=apply_cost,
+                             scheduler=args.scheduler)
         result = run_chaos(config)
         if not result.ok:
             failures += 1

@@ -41,6 +41,7 @@ from repro.errors import (
 )
 from repro.faults.channel import ChannelFaults
 from repro.faults.plan import FaultInjector, FaultPlan
+from repro.kernel import Kernel
 from repro.sim.rng import RandomStreams
 from repro.txn.checkers import (
     CheckResult,
@@ -110,6 +111,10 @@ class ChaosConfig:
     #: skipped, leaving just the convergence check).
     checker_method: str = "incremental"
     history_detail: str = "ops"
+    #: Kernel event scheduler ("calendar" or "heap").  Same-seed chaos
+    #: runs are bit-identical between the two (the equivalence CI leg
+    #: diffs their summaries); the knob exists for that differential.
+    scheduler: str = "calendar"
 
 
 @dataclass
@@ -165,6 +170,12 @@ class ChaosResult:
     #: Parallel-refresh activity, summed over all secondaries (zero
     #: unless ``parallel_refresh`` is set).
     out_of_order_commits: int = 0
+    #: Kernel scheduler activity (identical between the calendar and
+    #: heap schedulers on the same seed — part of the equivalence diff).
+    events_dispatched: int = 0
+    peak_queue_depth: int = 0
+    timer_cancellations: int = 0
+    same_instant_ratio: float = 0.0
     #: Storage-maintenance outcome (zero with autovacuum off).
     vacuum_runs: int = 0
     versions_reclaimed: int = 0
@@ -231,6 +242,12 @@ class ChaosResult:
                 f"{self.versions_reclaimed} versions reclaimed, "
                 f"max store {self.max_version_count} "
                 f"({self.live_keys} live keys)")
+        if self.events_dispatched:
+            lines.append(
+                f"  kernel: {self.events_dispatched} events dispatched "
+                f"({self.same_instant_ratio:.1%} same-instant), "
+                f"peak queue depth {self.peak_queue_depth}, "
+                f"{self.timer_cancellations} timer cancellations")
         return "\n".join(lines)
 
 
@@ -245,6 +262,7 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
         lease_duration=config.lease_duration)
         if config.auto_failover else None)
     system = ReplicatedSystem(
+        kernel=Kernel(scheduler=config.scheduler),
         num_secondaries=config.num_secondaries,
         propagation_delay=config.propagation_delay,
         batch_interval=config.batch_interval,
@@ -408,6 +426,11 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
         site.engine.version_count
         for site in [system.primary, *system.secondaries])
     result.live_keys = len(primary_state)
+    kernel_counters = system.kernel.counters()
+    result.events_dispatched = kernel_counters["events_dispatched"]
+    result.peak_queue_depth = kernel_counters["peak_queue_depth"]
+    result.timer_cancellations = kernel_counters["timer_cancellations"]
+    result.same_instant_ratio = kernel_counters["same_instant_ratio"]
     return result
 
 

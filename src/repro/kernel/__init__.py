@@ -35,7 +35,7 @@ Example
 """
 
 from repro.kernel.loop import (Checkpoint, Kernel, Process, Sleep,
-                               Timeout, TimeoutExpired)
+                               Timeout, TimeoutExpired, Timer)
 from repro.kernel.sync import Condition, Event, Queue, Semaphore
 
 __all__ = [
@@ -45,6 +45,7 @@ __all__ = [
     "Checkpoint",
     "Timeout",
     "TimeoutExpired",
+    "Timer",
     "Condition",
     "Event",
     "Queue",

@@ -1,9 +1,29 @@
 """The event loop: virtual time, processes, and the awaitable protocol.
 
-The kernel keeps a single min-heap of timed events.  Untimed wakeups (a
-queue handing an item to a blocked getter, say) are scheduled at the current
-virtual time; a monotonically increasing sequence number breaks ties, so
-execution order is fully deterministic.
+The kernel dispatches timed events in strict ``(when, seq)`` order: ``when``
+is virtual time and ``seq`` is a monotonically increasing sequence number
+that breaks ties, so execution order is fully deterministic.  Two queueing
+structures implement that total order:
+
+``scheduler="calendar"`` (default)
+    A calendar queue.  Same-instant events — wakeups, resumes, coalesced
+    notifies, which dominate every workload in this repository — go to an
+    array-backed *ready* deque (O(1) append/pop, no comparisons).  Timed
+    events land in width-``1/64`` slotted buckets keyed by quantum number,
+    with a small heap of occupied bucket keys; the bucket being drained is
+    heapified once into a *current* heap.  Events further than 4096 quanta
+    ahead go to a sorted *overflow* heap and migrate into buckets as the
+    clock approaches.  When the ready deque drains, the kernel advances the
+    clock to the earliest timed event and moves **every** event at that
+    exact instant into the ready deque before dispatching — this is the
+    tie-break invariant that keeps same-instant events scheduled *during*
+    dispatch (which always carry larger ``seq``) behind earlier-``seq``
+    timed events at the same instant.
+
+``scheduler="heap"``
+    The original single binary min-heap, kept as the reference
+    implementation for differential testing.  Same seed, either scheduler:
+    bit-identical runs.
 
 Awaitable protocol
 ------------------
@@ -17,6 +37,7 @@ later, and return nothing.  Awaitables that support cancellation (so that
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from types import GeneratorType
 from typing import Any, Callable, Generator, Optional
 
@@ -29,6 +50,14 @@ ProcessBody = Generator[Any, Any, Any]
 # module-level lookups beat attribute traversal there.
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+_heapify = heapq.heapify
+
+# Calendar-queue geometry.  The width is a power of two so ``when * 64.0``
+# is exact float arithmetic; the span (4096 quanta = 64 time units) keeps
+# think times, propagation delays, heartbeats and leases in buckets while
+# far-future deadlines wait in the overflow heap.
+_BUCKET_INV_WIDTH = 64.0
+_OVERFLOW_SPAN = 4096
 
 
 class Process:
@@ -57,6 +86,7 @@ class Process:
         "daemon",
         "_joiners",
         "_blocked_on",
+        "_deadline_timer",
     )
 
     def __init__(self, kernel: "Kernel", gen: ProcessBody, name: str, pid: int,
@@ -72,6 +102,9 @@ class Process:
         self._joiners: list[Process] = []
         # The awaitable this process is currently blocked on (for cancel).
         self._blocked_on: Any = None
+        # Head of the chain of armed Timeout deadline timers (nested
+        # Timeouts stack); cancelled wholesale whenever the process steps.
+        self._deadline_timer: Optional[Timer] = None
 
     def join(self) -> "Join":
         """Awaitable that resumes the caller when this process finishes."""
@@ -80,6 +113,53 @@ class Process:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self.alive else "done"
         return f"<Process {self.pid} {self.name!r} {state}>"
+
+
+class Timer:
+    """Cancellable handle for a scheduled callback.
+
+    The scheduled entry stays in the queue after :meth:`cancel` (removing
+    from the middle of a heap is O(n)); it is popped as a tombstone that
+    runs nothing and is excluded from :attr:`Kernel.pending_events`.  This
+    is what lets ``kill``/fence paths and satisfied ``Timeout``\\ s retire
+    their deadline events in O(1) instead of spawning observer processes.
+    """
+
+    __slots__ = ("_kernel", "when", "_fn", "_args", "_cancelled", "_fired",
+                 "_chain")
+
+    def __init__(self, kernel: "Kernel", when: float,
+                 fn: Callable[..., None], args: tuple):
+        self._kernel = kernel
+        self.when = when
+        self._fn = fn
+        self._args = args
+        self._cancelled = False
+        self._fired = False
+        self._chain: Optional[Timer] = None
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is armed (not yet fired or cancelled)."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self) -> bool:
+        """Disarm the timer; True if it was still armed."""
+        if self._cancelled or self._fired:
+            return False
+        self._cancelled = True
+        kernel = self._kernel
+        kernel._timer_cancels += 1
+        kernel._cancelled_pending += 1
+        return True
+
+    def __call__(self) -> None:
+        if self._cancelled:
+            # Tombstone: the entry drained; fix the pending-count books.
+            self._kernel._cancelled_pending -= 1
+            return
+        self._fired = True
+        self._fn(*self._args)
 
 
 class Sleep:
@@ -93,7 +173,8 @@ class Sleep:
         self.delay = delay
 
     def _block(self, kernel: "Kernel", process: Process) -> None:
-        kernel._schedule(kernel.now + self.delay, kernel._resume, process, None)
+        kernel._schedule(kernel._now + self.delay, kernel._resume, process,
+                         None)
 
     def _cancel(self, process: Process) -> None:
         # The timed event still fires but finds the process dead; harmless.
@@ -110,7 +191,7 @@ class Checkpoint:
     __slots__ = ()
 
     def _block(self, kernel: "Kernel", process: Process) -> None:
-        kernel._schedule(kernel.now, kernel._resume, process, None)
+        kernel._post(process, None)
 
     def _cancel(self, process: Process) -> None:
         pass
@@ -126,10 +207,18 @@ class Timeout:
     Resumes with the inner awaitable's value if it fires in time;
     raises :class:`TimeoutExpired` in the waiting process otherwise.
 
+    Zero-spawn: the process blocks on the inner awaitable directly and a
+    cancellable deadline :class:`Timer` is armed next to it.  Whichever
+    side fires first wins — a resume cancels the timer (in
+    :meth:`Kernel._step`), the timer detaches the process from the inner
+    wait and throws.  Because the inner wait is scheduled before the
+    deadline, a wait that is *already satisfiable* when the deadline lands
+    wins the tie, including at ``limit=0``.
+
     >>> value = yield Timeout(queue.get(), limit=5.0)
     """
 
-    __slots__ = ("inner", "limit", "_fired", "_kernel", "_proxy")
+    __slots__ = ("inner", "limit")
 
     def __init__(self, inner: Any, limit: float):
         if limit < 0:
@@ -138,64 +227,23 @@ class Timeout:
             raise KernelError(f"Timeout wraps awaitables, got {inner!r}")
         self.inner = inner
         self.limit = limit
-        self._fired = False
-        self._kernel: Optional["Kernel"] = None
-        self._proxy: Optional[Process] = None
 
     def _block(self, kernel: "Kernel", process: Process) -> None:
-        # A proxy process runs the inner wait; whichever of {proxy done,
-        # deadline} happens first resumes the real process exactly once.
-        timeout = self
-
-        def waiter_body():
-            value = yield timeout.inner
-            return value
-
-        proxy = kernel.spawn(waiter_body(), name="timeout-proxy",
-                             daemon=True)
-        self._kernel = kernel
-        self._proxy = proxy
-
-        def on_done(value: Any, is_error: bool) -> None:
-            if timeout._fired:
-                return
-            timeout._fired = True
-            if is_error:
-                kernel._schedule(kernel.now, kernel._throw, process, value)
-            else:
-                kernel._schedule(kernel.now, kernel._resume, process, value)
-
-        def observer():
-            try:
-                value = yield proxy.join()
-            except BaseException as exc:  # noqa: BLE001 - forwarded
-                on_done(exc, True)
-            else:
-                on_done(value, False)
-
-        def deadline_check() -> None:
-            if timeout._fired:
-                return
-            if not proxy.alive:
-                # The wait completed at this very instant; the observer
-                # (already scheduled) will deliver the value.
-                return
-            kernel.kill(proxy)
-            on_done(TimeoutExpired(
-                f"wait did not complete within {timeout.limit}"), True)
-
-        def deadline_reached() -> None:
-            # One extra scheduling hop so a wait that was *already
-            # satisfiable* when the deadline lands wins the tie.
-            kernel._schedule(kernel.now, deadline_check)
-
-        kernel.spawn(observer(), name="timeout-observer", daemon=True)
-        kernel._schedule(kernel.now + self.limit, deadline_reached)
+        # Block on the inner awaitable first (smaller seq: readiness wins
+        # a same-instant tie with the deadline), then arm the deadline.
+        self.inner._block(kernel, process)
+        timer = Timer(kernel, kernel._now + self.limit,
+                      kernel._timeout_expired, (process, self))
+        timer._chain = process._deadline_timer
+        process._deadline_timer = timer
+        kernel._schedule(timer.when, timer)
 
     def _cancel(self, process: Process) -> None:
-        self._fired = True
-        if self._kernel is not None and self._proxy is not None:
-            self._kernel.kill(self._proxy)
+        # Detach the process from the inner wait; the armed deadline
+        # timer chain is cancelled by the _step the canceller triggers.
+        cancel = getattr(self.inner, "_cancel", None)
+        if cancel is not None:
+            cancel(process)
 
 
 class Join:
@@ -213,11 +261,10 @@ class Join:
     def _block(self, kernel: "Kernel", process: Process) -> None:
         if not self.target.alive:
             if self.target.exception is not None:
-                kernel._schedule(kernel.now, kernel._throw, process,
+                kernel._schedule(kernel._now, kernel._throw, process,
                                  self.target.exception)
             else:
-                kernel._schedule(kernel.now, kernel._resume, process,
-                                 self.target.result)
+                kernel._post(process, self.target.result)
             return
         self.target._joiners.append(process)
 
@@ -227,21 +274,55 @@ class Join:
 
 
 class Kernel:
-    """A deterministic virtual-time scheduler for cooperative processes."""
+    """A deterministic virtual-time scheduler for cooperative processes.
 
-    def __init__(self) -> None:
+    ``scheduler`` selects the queueing structure: ``"calendar"`` (default,
+    fast path) or ``"heap"`` (the original binary heap, kept for
+    differential testing).  Both dispatch in identical ``(when, seq)``
+    order, so same-seed runs are bit-identical across schedulers.
+    """
+
+    def __init__(self, scheduler: str = "calendar") -> None:
+        if scheduler not in ("calendar", "heap"):
+            raise KernelError(
+                f"unknown scheduler {scheduler!r}; use 'calendar' or 'heap'")
+        self.scheduler = scheduler
         self._now: float = 0.0
-        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._seq: int = 0
         self._next_pid: int = 0
         self._live_nondaemon: int = 0
         self._trace: Optional[Callable[[str], None]] = None
+        # Observability counters (identical across schedulers: they count
+        # properties of the event stream, not of the structure).
+        self._dispatched: int = 0
+        self._peak_depth: int = 0
+        self._same_instant: int = 0
+        self._timer_cancels: int = 0
+        self._cancelled_pending: int = 0
+        # Heap structure.
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+        # Calendar structure.
+        self._ready: deque = deque()
+        self._current: list[tuple[float, int, Callable[..., None], tuple]] = []
+        self._current_key: int = 0
+        self._buckets: dict[int, list] = {}
+        self._bucket_keys: list[int] = []
+        self._overflow: list[tuple[float, int, Callable[..., None], tuple]] = []
+        self._overflow_key_limit: int = _OVERFLOW_SPAN
         # Cache the bound resume/throw callbacks in the instance dict:
         # every scheduled event closes over one of them, and looking the
         # method up on the class would allocate a fresh bound method per
         # event (tens of thousands per simulated minute).
         self._resume = self._resume        # type: ignore[method-assign]
         self._throw = self._throw          # type: ignore[method-assign]
+        if scheduler == "calendar":
+            self._calendar = True
+            self._schedule = self._schedule_calendar  # type: ignore[method-assign]
+            self._post = self._post_calendar          # type: ignore[method-assign]
+        else:
+            self._calendar = False
+            self._schedule = self._schedule_heap      # type: ignore[method-assign]
+            self._post = self._post_heap              # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Public interface
@@ -259,7 +340,7 @@ class Kernel:
         :meth:`run` alive and are not reported as leaks.
 
         ``eager`` runs the first step synchronously instead of scheduling
-        it, saving one heap round-trip per spawn.  Virtual time is
+        it, saving one queue round-trip per spawn.  Virtual time is
         unaffected (the step runs at the same instant), but the child
         runs *before* any already-queued same-time events rather than
         after — use it only on hot paths that don't depend on that order.
@@ -280,7 +361,7 @@ class Kernel:
         if eager:
             self._step(process, None, False)
         else:
-            self._schedule(self._now, self._resume, process, None)
+            self._post(process, None)
         return process
 
     def sleep(self, delay: float) -> Sleep:
@@ -297,35 +378,45 @@ class Kernel:
             raise KernelError(f"call_at({when}) is in the past (now={self._now})")
         self._schedule(when, fn, *args)
 
+    def call_later(self, delay: float, fn: Callable[..., None],
+                   *args: Any) -> Timer:
+        """Schedule ``fn`` after ``delay`` and return a cancellable handle."""
+        if delay < 0:
+            raise KernelError(f"cannot schedule {delay!r} in the past")
+        timer = Timer(self, self._now + delay, fn, args)
+        self._schedule(timer.when, timer)
+        return timer
+
     def run(self, until: Optional[float] = None) -> None:
-        """Process events until the heap is empty or ``until`` is reached.
+        """Process events until the queues drain or ``until`` is reached.
 
         When ``until`` is given, the clock is advanced exactly to ``until``
         even if the last event fires earlier.
         """
-        heap = self._heap
-        pop = _heappop
-        if until is None:
-            while heap:
-                when, _seq, fn, args = pop(heap)
-                self._now = when
-                fn(*args)
+        if self._calendar:
+            self._run_calendar(until)
         else:
-            while heap:
-                if heap[0][0] > until:
-                    break
-                when, _seq, fn, args = pop(heap)
-                self._now = when
-                fn(*args)
-            if self._now < until:
-                self._now = until
+            self._run_heap(until)
 
     def step(self) -> bool:
-        """Process exactly one event; False if the heap was empty."""
-        if not self._heap:
-            return False
-        when, _seq, fn, args = _heappop(self._heap)
-        self._now = when
+        """Process exactly one event; False if nothing is pending."""
+        if self._calendar:
+            ready = self._ready
+            if not ready and not self._advance_calendar(None):
+                return False
+            fn, args = ready.popleft()
+        else:
+            heap = self._heap
+            if not heap:
+                return False
+            when = heap[0][0]
+            if when != self._now:
+                depth = self._seq - self._dispatched
+                if depth > self._peak_depth:
+                    self._peak_depth = depth
+                self._now = when
+            _w, _seq, fn, args = _heappop(heap)
+        self._dispatched += 1
         fn(*args)
         return True
 
@@ -335,18 +426,39 @@ class Kernel:
         Raises
         ------
         DeadlockError
-            If the event heap drains while ``process`` is still blocked.
+            If the event queues drain while ``process`` is still blocked.
         """
-        heap = self._heap
-        pop = _heappop
-        while process.alive:
-            if not heap:
-                raise DeadlockError(
-                    f"no runnable work left but {process!r} has not finished"
-                )
-            when, _seq, fn, args = pop(heap)
-            self._now = when
-            fn(*args)
+        if self._calendar:
+            ready = self._ready
+            popleft = ready.popleft
+            while process.alive:
+                while ready and process.alive:
+                    fn, args = popleft()
+                    self._dispatched += 1
+                    fn(*args)
+                if not process.alive:
+                    break
+                if not self._advance_calendar(None):
+                    raise DeadlockError(
+                        f"no runnable work left but {process!r} has not "
+                        "finished")
+        else:
+            heap = self._heap
+            pop = _heappop
+            while process.alive:
+                if not heap:
+                    raise DeadlockError(
+                        f"no runnable work left but {process!r} has not "
+                        "finished")
+                when = heap[0][0]
+                if when != self._now:
+                    depth = self._seq - self._dispatched
+                    if depth > self._peak_depth:
+                        self._peak_depth = depth
+                    self._now = when
+                _w, _seq, fn, args = pop(heap)
+                self._dispatched += 1
+                fn(*args)
         if process.exception is not None:
             raise process.exception
         return process.result
@@ -367,16 +479,246 @@ class Kernel:
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled-but-unfired events (for tests/diagnostics)."""
-        return len(self._heap)
+        """Number of scheduled-but-unfired live events (for tests/diagnostics).
+
+        Cancelled timers still occupy queue slots until drained but are
+        excluded here — a satisfied ``Timeout`` no longer counts.
+        """
+        return self._seq - self._dispatched - self._cancelled_pending
+
+    def counters(self) -> dict:
+        """Scheduler observability counters (schema: monitoring/bench).
+
+        All values are properties of the dispatched event stream, so they
+        are identical under either scheduler for the same seed.
+        """
+        scheduled = self._seq
+        return {
+            "scheduler": self.scheduler,
+            "events_scheduled": scheduled,
+            "events_dispatched": self._dispatched,
+            "peak_queue_depth": self._peak_depth,
+            "timer_cancellations": self._timer_cancels,
+            "same_instant_events": self._same_instant,
+            "same_instant_ratio": (round(self._same_instant / scheduled, 4)
+                                   if scheduled else 0.0),
+        }
 
     # ------------------------------------------------------------------
-    # Internals
+    # Internals — scheduling (one implementation per scheduler; __init__
+    # binds the active pair as ``self._schedule`` / ``self._post``)
     # ------------------------------------------------------------------
-    def _schedule(self, when: float, fn: Callable[..., None], *args: Any) -> None:
+    def _schedule_calendar(self, when: float, fn: Callable[..., None],
+                           *args: Any) -> None:
+        seq = self._seq + 1
+        self._seq = seq
+        if when == self._now:
+            self._same_instant += 1
+            self._ready.append((fn, args))
+            return
+        key = int(when * _BUCKET_INV_WIDTH)
+        if key <= self._current_key:
+            # ``<=`` (not ``==``): a horizon-bounded ``run(until=...)`` can
+            # select the next occupied bucket as ``_current`` and then break
+            # with its head beyond the horizon; events scheduled afterwards
+            # may land in an *earlier* quantum.  ``_current`` is a
+            # ``(when, seq)`` heap, so folding them in keeps exact dispatch
+            # order — routing them to ``_buckets`` would let the already
+            # selected quantum overtake them.
+            _heappush(self._current, (when, seq, fn, args))
+        elif key >= self._overflow_key_limit:
+            _heappush(self._overflow, (when, seq, fn, args))
+        else:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                self._buckets[key] = [(when, seq, fn, args)]
+                _heappush(self._bucket_keys, key)
+            else:
+                bucket.append((when, seq, fn, args))
+
+    def _post_calendar(self, process: Process, value: Any) -> None:
+        # Fast path for the dominant case: resume ``process`` at the
+        # current instant.  Equivalent to
+        # ``_schedule(now, _resume, process, value)``.
         self._seq += 1
-        _heappush(self._heap, (when, self._seq, fn, args))
+        self._same_instant += 1
+        self._ready.append((self._resume, (process, value)))
 
+    def _schedule_heap(self, when: float, fn: Callable[..., None],
+                       *args: Any) -> None:
+        seq = self._seq + 1
+        self._seq = seq
+        if when == self._now:
+            self._same_instant += 1
+        _heappush(self._heap, (when, seq, fn, args))
+
+    def _post_heap(self, process: Process, value: Any) -> None:
+        seq = self._seq + 1
+        self._seq = seq
+        self._same_instant += 1
+        _heappush(self._heap, (self._now, seq, self._resume, (process, value)))
+
+    # These two names always point at the active implementations; the
+    # assignments in __init__ shadow them per instance.
+    _schedule = _schedule_calendar
+    _post = _post_calendar
+
+    # ------------------------------------------------------------------
+    # Internals — calendar-queue clock advance
+    # ------------------------------------------------------------------
+    def _advance_calendar(self, limit: Optional[float]) -> bool:
+        """Move the clock to the next timed instant and stage its events.
+
+        Called only with an empty ready deque.  Pops the globally earliest
+        timed event, then *every* further event at that exact instant, into
+        the ready deque in ``(when, seq)`` order — the tie-break invariant:
+        any event scheduled at the new ``now`` during the upcoming dispatch
+        carries a larger ``seq`` than everything staged here, and events at
+        the same instant still in buckets would otherwise be overtaken.
+        Returns False (clock untouched) when nothing is pending or the next
+        instant lies beyond ``limit``.
+        """
+        cur = self._current
+        if not cur:
+            if not self._refill_current():
+                return False
+            cur = self._current
+        when = cur[0][0]
+        if limit is not None and when > limit:
+            return False
+        # Sample queue depth once per instant (identically placed in the
+        # heap loops), keeping the per-event dispatch path branch-free.
+        depth = self._seq - self._dispatched
+        if depth > self._peak_depth:
+            self._peak_depth = depth
+        self._now = when
+        append = self._ready.append
+        while cur and cur[0][0] == when:
+            entry = _heappop(cur)
+            append((entry[2], entry[3]))
+        return True
+
+    def _refill_current(self) -> bool:
+        """Select the next occupied bucket as the current quantum.
+
+        Overflow entries whose quantum is due migrate into buckets first,
+        so the chosen quantum always holds the globally earliest event.
+        """
+        keys = self._bucket_keys
+        buckets = self._buckets
+        overflow = self._overflow
+        while True:
+            if keys:
+                key = keys[0]
+                if overflow and int(overflow[0][0] * _BUCKET_INV_WIDTH) <= key:
+                    when, seq, fn, args = _heappop(overflow)
+                    self._insert_bucket(when, seq, fn, args)
+                    continue
+                _heappop(keys)
+                cur = buckets.pop(key)
+                _heapify(cur)
+                self._current = cur
+                self._current_key = key
+                self._overflow_key_limit = key + _OVERFLOW_SPAN
+                return True
+            if overflow:
+                # Buckets are empty: seed them from the overflow's head
+                # window, then loop back to pick the earliest quantum.
+                base_key = int(overflow[0][0] * _BUCKET_INV_WIDTH)
+                limit_key = base_key + _OVERFLOW_SPAN
+                self._overflow_key_limit = limit_key
+                while overflow and (int(overflow[0][0] * _BUCKET_INV_WIDTH)
+                                    < limit_key):
+                    when, seq, fn, args = _heappop(overflow)
+                    self._insert_bucket(when, seq, fn, args)
+                continue
+            return False
+
+    def _insert_bucket(self, when: float, seq: int, fn: Callable[..., None],
+                       args: tuple) -> None:
+        key = int(when * _BUCKET_INV_WIDTH)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [(when, seq, fn, args)]
+            _heappush(self._bucket_keys, key)
+        else:
+            bucket.append((when, seq, fn, args))
+
+    # ------------------------------------------------------------------
+    # Internals — run loops
+    # ------------------------------------------------------------------
+    def _run_calendar(self, until: Optional[float]) -> None:
+        # The hottest loop in the repository.  The dispatch counter is
+        # batched in a local and flushed at instant boundaries (and on
+        # exit, exceptions included), so the per-event cost is one deque
+        # pop, one local increment, and the call itself.
+        ready = self._ready
+        popleft = ready.popleft
+        append = ready.append
+        pop = _heappop
+        dispatched = 0
+        if until is not None and ready and self._now > until:
+            return
+        try:
+            while True:
+                while ready:
+                    fn, args = popleft()
+                    dispatched += 1
+                    fn(*args)
+                # Ready deque drained: advance the clock (inlined
+                # _advance_calendar — this runs once per instant).
+                cur = self._current
+                if not cur:
+                    if not self._refill_current():
+                        break
+                    cur = self._current
+                when = cur[0][0]
+                if until is not None and when > until:
+                    break
+                self._dispatched += dispatched
+                dispatched = 0
+                depth = self._seq - self._dispatched
+                if depth > self._peak_depth:
+                    self._peak_depth = depth
+                self._now = when
+                entry = pop(cur)
+                while cur and cur[0][0] == when:
+                    extra = pop(cur)
+                    append((extra[2], extra[3]))
+                dispatched += 1
+                entry[2](*entry[3])
+        finally:
+            self._dispatched += dispatched
+        if until is not None and self._now < until:
+            self._now = until
+
+    def _run_heap(self, until: Optional[float]) -> None:
+        heap = self._heap
+        pop = _heappop
+        dispatched = 0
+        try:
+            while heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    break
+                if when != self._now:
+                    self._dispatched += dispatched
+                    dispatched = 0
+                    depth = self._seq - self._dispatched
+                    if depth > self._peak_depth:
+                        self._peak_depth = depth
+                    self._now = when
+                _w, _seq, fn, args = pop(heap)
+                dispatched += 1
+                fn(*args)
+        finally:
+            self._dispatched += dispatched
+        if until is not None and self._now < until:
+            self._now = until
+
+    # ------------------------------------------------------------------
+    # Internals — process stepping
+    # ------------------------------------------------------------------
     def _resume(self, process: Process, value: Any) -> None:
         if process.alive:
             self._step(process, value, False)
@@ -385,7 +727,30 @@ class Kernel:
         if process.alive:
             self._step(process, exc, True)
 
+    def _timeout_expired(self, process: Process, timeout: Timeout) -> None:
+        # Fires only while the process is still parked on the wait that
+        # armed it: any earlier resume/kill stepped the process, and
+        # _step cancels the whole deadline chain.
+        if not process.alive:  # pragma: no cover - defensive
+            return
+        blocked_on = process._blocked_on
+        if blocked_on is not None:
+            cancel = getattr(blocked_on, "_cancel", None)
+            if cancel is not None:
+                cancel(process)
+            process._blocked_on = None
+        self._step(process, TimeoutExpired(
+            f"wait did not complete within {timeout.limit}"), throw=True)
+
     def _step(self, process: Process, value: Any, throw: bool) -> None:
+        deadline = process._deadline_timer
+        if deadline is not None:
+            # The process is moving: every armed deadline for its previous
+            # wait (nested Timeouts chain) is obsolete.
+            process._deadline_timer = None
+            while deadline is not None:
+                deadline.cancel()
+                deadline = deadline._chain
         process._blocked_on = None
         if self._trace is not None:  # pragma: no cover - tracing aid
             self._trace(f"[{self._now:.6f}] step {process.name}")
@@ -407,14 +772,16 @@ class Kernel:
         if awaited is None:
             # Bare ``yield`` acts as a checkpoint.
             awaited = Checkpoint()
-        if not hasattr(awaited, "_block"):
+        try:
+            block = awaited._block
+        except AttributeError:
             err = KernelError(
                 f"process {process.name!r} yielded non-awaitable {awaited!r}"
             )
             self._step(process, err, throw=True)
             return
         process._blocked_on = awaited
-        awaited._block(self, process)
+        block(self, process)
 
     def _finish(self, process: Process, result: Any,
                 exception: Optional[BaseException]) -> None:
@@ -428,7 +795,7 @@ class Kernel:
             if exception is not None:
                 self._schedule(self._now, self._throw, waiter, exception)
             else:
-                self._schedule(self._now, self._resume, waiter, result)
+                self._post(waiter, result)
         if exception is not None and not joiners:
             # Surface unobserved failures instead of dropping them silently.
             raise exception

@@ -32,7 +32,7 @@ class _QueueGet:
         if q._items:
             item = q._items.popleft()
             q._wake_putters(kernel)
-            kernel._schedule(kernel.now, kernel._resume, process, item)
+            kernel._post(process, item)
         else:
             q._getters.append(process)
 
@@ -54,7 +54,7 @@ class _QueuePut:
         q = self.queue
         if q.capacity is None or len(q._items) < q.capacity or q._getters:
             q._deliver(kernel, self.item)
-            kernel._schedule(kernel.now, kernel._resume, process, None)
+            kernel._post(process, None)
         else:
             q._putters.append((process, self.item))
 
@@ -128,7 +128,7 @@ class Queue:
     def _deliver(self, kernel: Kernel, item: Any) -> None:
         if self._getters:
             getter = self._getters.popleft()
-            kernel._schedule(kernel.now, kernel._resume, getter, item)
+            kernel._post(getter, item)
         else:
             self._items.append(item)
 
@@ -137,7 +137,7 @@ class Queue:
                 self.capacity is None or len(self._items) < self.capacity):
             putter, item = self._putters.popleft()
             self._deliver(kernel, item)
-            kernel._schedule(kernel.now, kernel._resume, putter, None)
+            kernel._post(putter, None)
 
 
 class _ConditionWait:
@@ -150,7 +150,7 @@ class _ConditionWait:
 
     def _block(self, kernel: Kernel, process: Process) -> None:
         if self.predicate():
-            kernel._schedule(kernel.now, kernel._resume, process, None)
+            kernel._post(process, None)
         else:
             self.condition._waiters.append((process, self.predicate))
 
@@ -184,7 +184,7 @@ class Condition:
         still_waiting: list[tuple[Process, Callable[[], bool]]] = []
         for process, predicate in self._waiters:
             if predicate():
-                kernel._schedule(kernel.now, kernel._resume, process, None)
+                kernel._post(process, None)
             else:
                 still_waiting.append((process, predicate))
         self._waiters = still_waiting
@@ -203,8 +203,7 @@ class _EventWait:
 
     def _block(self, kernel: Kernel, process: Process) -> None:
         if self.event._fired:
-            kernel._schedule(kernel.now, kernel._resume, process,
-                             self.event._value)
+            kernel._post(process, self.event._value)
         else:
             self.event._waiters.append(process)
 
@@ -237,8 +236,7 @@ class Event:
         self._value = value
         waiters, self._waiters = self._waiters, []
         for process in waiters:
-            self.kernel._schedule(
-                self.kernel.now, self.kernel._resume, process, value)
+            self.kernel._post(process, value)
 
     def wait(self) -> _EventWait:
         """Awaitable: resumes (with the fired value) once the event fires."""
@@ -255,7 +253,7 @@ class _SemaphoreAcquire:
         s = self.semaphore
         if s._count > 0:
             s._count -= 1
-            kernel._schedule(kernel.now, kernel._resume, process, None)
+            kernel._post(process, None)
         else:
             s._waiters.append(process)
 
@@ -289,7 +287,6 @@ class Semaphore:
         """Release one permit, waking the longest-blocked waiter first."""
         if self._waiters:
             waiter = self._waiters.popleft()
-            self.kernel._schedule(
-                self.kernel.now, self.kernel._resume, waiter, None)
+            self.kernel._post(waiter, None)
         else:
             self._count += 1

@@ -87,6 +87,38 @@ class ProcessorSharingServer:
             raise SimulationError(f"negative service demand {demand}")
         return _PSRequest(self, demand)
 
+    def request_call(self, demand: float, fn, *args) -> None:
+        """Admit a job that invokes ``fn(*args)`` on completion.
+
+        Zero-process service for hot middleware paths: no generator, no
+        Process, no resume event — the callback runs synchronously inside
+        the completion event (or immediately for zero demand), at the
+        exact instant a process-based ``request`` would have resumed.
+        The callback must not re-enter ``request_call`` on this server.
+        """
+        if demand < 0:
+            raise SimulationError(f"negative service demand {demand}")
+        kernel = self.kernel
+        now = kernel._now
+        jobs = self._jobs
+        n = len(jobs)
+        if n > 0:
+            elapsed = now - self._last_update
+            self._virtual += elapsed * self.capacity / n
+            self.busy_time += elapsed
+        self._last_update = now
+        if demand == 0:
+            fn(*args)
+            return
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        jobs[job_id] = (fn, args)
+        heap = self._heap
+        _heappush(heap, (self._virtual + demand, job_id))
+        self._total_demand_served += demand
+        if self._next_fire is None or heap[0][1] == job_id:
+            self._reschedule()
+
     @property
     def active_jobs(self) -> int:
         return len(self._jobs)
@@ -99,7 +131,7 @@ class ProcessorSharingServer:
     # -- internals --------------------------------------------------------
     def _advance(self) -> None:
         """Bring the virtual clock up to kernel.now."""
-        now = self.kernel.now
+        now = self.kernel._now
         n = len(self._jobs)
         if n > 0:
             elapsed = now - self._last_update
@@ -108,17 +140,31 @@ class ProcessorSharingServer:
         self._last_update = now
 
     def _admit(self, process: Process, demand: float) -> None:
-        self._advance()
+        # _advance() inlined: admission is one of the two hottest call
+        # sites in the whole simulation (one per operation).
         kernel = self.kernel
+        now = kernel._now
+        jobs = self._jobs
+        n = len(jobs)
+        if n > 0:
+            elapsed = now - self._last_update
+            self._virtual += elapsed * self.capacity / n
+            self.busy_time += elapsed
+        self._last_update = now
         if demand == 0:
-            kernel._schedule(kernel.now, kernel._resume, process, None)
+            kernel._post(process, None)
             return
         job_id = self._next_job_id
         self._next_job_id += 1
-        self._jobs[job_id] = process
-        _heappush(self._heap, (self._virtual + demand, job_id))
+        jobs[job_id] = process
+        heap = self._heap
+        _heappush(heap, (self._virtual + demand, job_id))
         self._total_demand_served += demand
-        self._reschedule()
+        # An arrival only moves the next completion *later* unless the new
+        # job is the new heap head: the armed event then fires early and
+        # re-arms itself, so no reschedule is needed here.
+        if self._next_fire is None or heap[0][1] == job_id:
+            self._reschedule()
 
     def _evict(self, process: Process) -> None:
         """Remove a killed process's job (lazy deletion from the heap)."""
@@ -142,8 +188,9 @@ class ProcessorSharingServer:
         """
         heap = self._heap
         evicted = self._evicted
-        while heap and heap[0][1] in evicted:
-            evicted.discard(_heappop(heap)[1])
+        if evicted:
+            while heap and heap[0][1] in evicted:
+                evicted.discard(_heappop(heap)[1])
         if not heap:
             self._completion_token += 1     # orphan any pending event
             self._next_fire = None
@@ -152,33 +199,65 @@ class ProcessorSharingServer:
         if eta < 0.0:
             eta = 0.0
         kernel = self.kernel
-        due = kernel.now + eta
-        if self._next_fire is not None and self._next_fire <= due:
+        due = kernel._now + eta
+        next_fire = self._next_fire
+        if next_fire is not None and next_fire <= due:
             return                          # pending event fires in time
-        self._completion_token += 1
+        token = self._completion_token + 1
+        self._completion_token = token
         self._next_fire = due
         # Direct _schedule: eta is clamped non-negative so call_at's
         # past-time guard can never fire here.
-        kernel._schedule(due, self._complete, self._completion_token)
+        kernel._schedule(due, self._complete, token)
 
     def _complete(self, token: int) -> None:
         if token != self._completion_token:
             return     # superseded by a later arrival/departure
         self._next_fire = None
-        self._advance()
+        # _advance() inlined: one completion event per job departure.
         kernel = self.kernel
+        now = kernel._now
+        jobs = self._jobs
+        n = len(jobs)
+        if n > 0:
+            elapsed = now - self._last_update
+            self._virtual += elapsed * self.capacity / n
+            self.busy_time += elapsed
+        self._last_update = now
         heap = self._heap
+        evicted = self._evicted
         horizon = self._virtual + 1e-12
         # Complete every job whose target has been reached (ties possible).
         while heap and heap[0][0] <= horizon:
             _target, job_id = _heappop(heap)
-            if job_id in self._evicted:
-                self._evicted.discard(job_id)
+            if job_id in evicted:
+                evicted.discard(job_id)
                 continue
-            process = self._jobs.pop(job_id)
+            target = jobs.pop(job_id)
             self.jobs_completed += 1
-            kernel._schedule(kernel.now, kernel._resume, process, None)
-        self._reschedule()
+            if target.__class__ is tuple:
+                fn, args = target
+                fn(*args)
+            else:
+                kernel._post(target, None)
+        # _reschedule() inlined (common case: no evictions pending).  The
+        # consumed event leaves _next_fire conceptually None, so a new
+        # event is always armed when jobs remain.
+        if evicted:
+            while heap and heap[0][1] in evicted:
+                evicted.discard(_heappop(heap)[1])
+        if not heap:
+            self._completion_token += 1
+            self._next_fire = None
+            return
+        eta = (heap[0][0] - self._virtual) * len(jobs) / self.capacity
+        if eta < 0.0:
+            eta = 0.0
+        due = now + eta
+        token = self._completion_token + 1
+        self._completion_token = token
+        self._next_fire = due
+        kernel._schedule(due, self._complete, token)
 
 
 class _SlottedRequest:
@@ -255,8 +334,7 @@ class RoundRobinServer(_QueuedServer):
             remaining -= quantum
             if remaining <= 1e-12:
                 self.jobs_completed += 1
-                self.kernel._schedule(self.kernel.now, self.kernel._resume,
-                                      process, None)
+                self.kernel._post(process, None)
             else:
                 job[1] = remaining
                 self._queue.append(job)
@@ -271,5 +349,4 @@ class FifoServer(_QueuedServer):
             yield self.kernel.sleep(demand)
             self.busy_time += demand
             self.jobs_completed += 1
-            self.kernel._schedule(self.kernel.now, self.kernel._resume,
-                                  process, None)
+            self.kernel._post(process, None)

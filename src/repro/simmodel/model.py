@@ -37,7 +37,7 @@ from typing import Union
 
 from repro.core.sessions import SequenceTracker
 from repro.errors import ConfigurationError
-from repro.kernel import Condition, Kernel, Queue
+from repro.kernel import Condition, Kernel, Queue, Sleep
 from repro.sim.rng import RandomStream, RandomStreams
 from repro.sim.resources import (
     FifoServer,
@@ -82,6 +82,19 @@ class _SecondaryModel:
         self.pending: deque[int] = deque()
         self.pending_cond = Condition(kernel, name=f"sec{index}-pending")
         self.started: set[int] = set()
+        #: Commit numbers whose update service finished but which are not
+        #: yet at the pending head (zero-process apply path).
+        self.serviced: set[int] = set()
+        # -- direct-feed refresh state (classic mode + PS servers) ------
+        #: True when propagation batches are applied by direct call
+        #: instead of through update_queue + a refresher process.
+        self.direct_feed = False
+        #: (batch, index) of a start record waiting for pending to drain.
+        self.feed_parked: tuple | None = None
+        #: Batches queued behind a parked start record.
+        self.feed_backlog: deque = deque()
+        #: Running peak of len(pending) (mirrors counters.max_pending).
+        self.feed_peak = 0
         self.refreshes_applied = 0
         # -- pool / parallel-refresh state (dormant in classic mode) ----
         self.work: Queue | None = None
@@ -111,7 +124,7 @@ class LazyReplicationModel:
 
     def __init__(self, params: SimulationParameters, seed: int | None = None):
         self.params = params
-        self.kernel = Kernel()
+        self.kernel = Kernel(scheduler=params.scheduler)
         self.streams = RandomStreams(seed if seed is not None
                                      else params.seed)
         self.metrics = MetricsCollector(params.warmup,
@@ -169,10 +182,20 @@ class LazyReplicationModel:
         self.kernel.spawn(self._propagator(), name="propagator", daemon=True)
         self.kernel.spawn(self._lag_sampler(), name="lag-sampler",
                           daemon=True)
+        params = self.params
+        classic = (params.parallel_refresh is None
+                   and params.applicator_pool is None
+                   and not params.serial_refresh)
         for secondary in self.secondaries:
-            self.kernel.spawn(self._refresher(secondary),
-                              name=f"refresher-{secondary.index}",
-                              daemon=True)
+            if classic and hasattr(secondary.server, "request_call"):
+                # Classic refresh on PS servers needs no refresher
+                # process: batches are applied by direct call from the
+                # propagator (zero-process refresh path).
+                secondary.direct_feed = True
+            else:
+                self.kernel.spawn(self._refresher(secondary),
+                                  name=f"refresher-{secondary.index}",
+                                  daemon=True)
         if self.params.autovacuum_interval is not None:
             for secondary in self.secondaries:
                 self.kernel.spawn(self._autovacuum(secondary),
@@ -220,7 +243,7 @@ class LazyReplicationModel:
         """Sample replication lag across secondaries after warm-up."""
         while True:
             yield self.kernel.sleep(interval)
-            if self.kernel.now < self.params.warmup:
+            if self.kernel._now < self.params.warmup:
                 continue
             for secondary in self.secondaries:
                 self.lag_stats.add(self._commit_counter - secondary.seq_db)
@@ -229,18 +252,64 @@ class LazyReplicationModel:
     def _client(self, client_id: int, rng: RandomStream,
                 secondary: _SecondaryModel):
         params = self.params
+        kernel = self.kernel
+        counters = self.counters
+        # Draw-identical RNG fast path: exponential(m) == expovariate(1/m)
+        # and bernoulli(p) == random() < p, minus two wrapper frames per
+        # think-time cycle (this loop runs once per transaction).
+        expovariate = rng._rng.expovariate
+        rng_random = rng._rng.random
+        randint = rng._rng.randint
+        inv_session = 1.0 / params.session_time
+        inv_think = 1.0 / params.think_time
+        update_prob = params.update_tran_prob
+        # Read-transaction fast path (reads are ~95% of the paper's main
+        # mixes): the body of _read_transaction inlined so each read costs
+        # no delegated generator, with every per-read lookup hoisted.
+        algorithm = params.algorithm
+        freshness_bound = params.freshness_bound
+        per_op = params.per_op_requests
+        size_min = params.tran_size_min
+        size_max = params.tran_size_max
+        op_service_time = params.op_service_time
+        required_sequence = self.tracker.required_sequence
+        record_completion = self.metrics.record_completion
+        sec_request = secondary.server.request
+        # One reusable Sleep per client: the client is only ever blocked
+        # on one think-time sleep at a time, so mutating the delay in
+        # place saves an allocation per transaction.
+        think_sleep = Sleep(0.0)
         while True:
             self._session_counter += 1
-            self.counters.sessions_started += 1
+            counters.sessions_started += 1
             label = f"c{client_id}/s{self._session_counter}"
-            session_end = (self.kernel.now
-                           + rng.exponential(params.session_time))
-            while self.kernel.now < session_end:
-                yield self.kernel.sleep(rng.exponential(params.think_time))
-                if rng.bernoulli(params.update_tran_prob):
+            session_end = kernel._now + expovariate(inv_session)
+            while kernel._now < session_end:
+                think_sleep.delay = expovariate(inv_think)
+                yield think_sleep
+                if rng_random() < update_prob:
                     yield from self._update_transaction(rng, label)
+                    continue
+                submitted = kernel._now
+                required = required_sequence(algorithm, label)
+                if freshness_bound is not None:
+                    # Extension: bounded staleness — the read must see a
+                    # state at most freshness_bound commits behind.
+                    bound = self._commit_counter - freshness_bound
+                    if bound > required:
+                        required = bound
+                if required > secondary.seq_db:
+                    req = required
+                    yield secondary.seq_cond.wait_for(
+                        lambda: secondary.seq_db >= req)
+                    self.metrics.record_block(
+                        "read", kernel._now - submitted, kernel._now)
+                n_ops = randint(size_min, size_max)
+                if per_op:
+                    yield from self._service(secondary.server, rng, n_ops)
                 else:
-                    yield from self._read_transaction(rng, label, secondary)
+                    yield sec_request(n_ops * op_service_time)
+                record_completion("read", submitted, kernel._now)
             # Session labels are never reused, so drop the retired label's
             # tracker entry — keeps tracker memory bounded by *live*
             # sessions on long (e.g. `large`-scale) runs.
@@ -259,7 +328,7 @@ class LazyReplicationModel:
     # -- update transactions (primary) -----------------------------------------------
     def _update_transaction(self, rng: RandomStream, label: str):
         params = self.params
-        submitted = self.kernel.now
+        submitted = self.kernel._now
         n_ops = rng.randint(params.tran_size_min, params.tran_size_max)
         update_ops = sum(1 for _ in range(n_ops)
                          if rng.bernoulli(params.update_op_prob))
@@ -268,11 +337,17 @@ class LazyReplicationModel:
             self._txn_counter += 1
             # start_p(T) enters the log as soon as T starts.
             self._propagate(_StartRecord(txn_key))
-            yield from self._service(self.primary_server, rng, n_ops)
+            # Common path of _service() inlined: one awaitable instead of
+            # a delegated generator per transaction.
+            if params.per_op_requests:
+                yield from self._service(self.primary_server, rng, n_ops)
+            else:
+                yield self.primary_server.request(
+                    n_ops * params.op_service_time)
             if rng.bernoulli(params.abort_prob):
                 # First-committer-wins loser: abort and restart to keep
                 # the offered load at the primary (Section 5).
-                self.metrics.record_abort(self.kernel.now)
+                self.metrics.record_abort(self.kernel._now)
                 self.counters.update_restarts += 1
                 self._propagate(_AbortRecord(txn_key))
                 continue
@@ -290,27 +365,7 @@ class LazyReplicationModel:
         self._propagate(_CommitRecord(txn_key, commit_ts, update_ops,
                                       dep_ts))
         self.tracker.on_primary_commit(label, commit_ts)
-        self.metrics.record_completion("update", submitted, self.kernel.now)
-
-    # -- read-only transactions (secondary) ---------------------------------------------
-    def _read_transaction(self, rng: RandomStream, label: str,
-                          secondary: _SecondaryModel):
-        params = self.params
-        submitted = self.kernel.now
-        required = self.tracker.required_sequence(params.algorithm, label)
-        if params.freshness_bound is not None:
-            # Extension: bounded staleness — the read must see a state at
-            # most ``freshness_bound`` commits behind the primary.
-            required = max(required,
-                           self._commit_counter - params.freshness_bound)
-        if required > secondary.seq_db:
-            yield secondary.seq_cond.wait_for(
-                lambda: secondary.seq_db >= required)
-            self.metrics.record_block("read", self.kernel.now - submitted,
-                                      self.kernel.now)
-        n_ops = rng.randint(params.tran_size_min, params.tran_size_max)
-        yield from self._service(secondary.server, rng, n_ops)
-        self.metrics.record_completion("read", submitted, self.kernel.now)
+        self.metrics.record_completion("update", submitted, self.kernel._now)
 
     # -- propagation (Algorithm 3.1, batched on a 10 s cycle) ----------------------------
     def _propagate(self, record) -> None:
@@ -328,17 +383,87 @@ class LazyReplicationModel:
             # One queue item per cycle per secondary (the PropagatedBatch
             # frame of the functional system): a cycle's worth of records
             # costs one wakeup instead of one per record.  The refresher
-            # iterates the shared list without mutating it.
+            # iterates the shared list without mutating it.  Direct-feed
+            # secondaries skip even that wakeup: the batch is applied by
+            # synchronous call at the same instant.
             for secondary in self.secondaries:
-                secondary.update_queue.put(batch)
+                if secondary.direct_feed:
+                    self._feed_batch(secondary, batch)
+                else:
+                    secondary.update_queue.put(batch)
 
     # -- refresh (Algorithms 3.2/3.3) ------------------------------------------------------
+    def _feed_batch(self, secondary: _SecondaryModel, batch: list) -> None:
+        """Direct-feed refresh entry point (classic mode, PS servers).
+
+        Processes the batch inline unless a start record is parked
+        waiting for the pending queue to drain (Relationship 2), in
+        which case the batch queues behind it — exactly the order the
+        refresher process would impose.
+        """
+        if secondary.feed_parked is not None or secondary.feed_backlog:
+            secondary.feed_backlog.append(batch)
+            return
+        self._drain_records(secondary, batch, 0)
+
+    def _drain_records(self, secondary: _SecondaryModel,
+                       batch: list, idx: int) -> None:
+        """Apply records until done or a start record must wait.
+
+        The state machine twin of the classic refresher loop: start
+        records wait for an empty pending queue (here: park the cursor;
+        :meth:`_apply_commit` resumes it), aborts retire their start
+        entry, commits join pending and go straight to the secondary
+        server as zero-process completion callbacks.
+        """
+        pending = secondary.pending
+        started = secondary.started
+        op_service_time = self.params.op_service_time
+        request_call = secondary.server.request_call
+        apply_commit = self._apply_commit
+        max_pending = self.counters.max_pending
+        peak = secondary.feed_peak
+        backlog = secondary.feed_backlog
+        while True:
+            n = len(batch)
+            while idx < n:
+                record = batch[idx]
+                cls = record.__class__
+                if cls is _CommitRecord:
+                    started.discard(record.txn_key)
+                    ts = record.commit_ts
+                    pending.append(ts)
+                    if len(pending) > peak:
+                        peak = len(pending)
+                        secondary.feed_peak = peak
+                        max_pending[secondary.index] = peak
+                    demand = record.update_ops * op_service_time
+                    if demand:
+                        request_call(demand, apply_commit, secondary, ts)
+                    else:
+                        apply_commit(secondary, ts)
+                elif cls is _StartRecord:
+                    if pending:
+                        # Relationship 2: park until pending drains; the
+                        # started.add happens on resume.
+                        secondary.feed_parked = (batch, idx)
+                        return
+                    started.add(record.txn_key)
+                else:
+                    started.discard(record.txn_key)
+                idx += 1
+            if not backlog:
+                return
+            batch = backlog.popleft()
+            idx = 0
+
     def _refresher(self, secondary: _SecondaryModel):
         # Hot path: locals and a constant spawn name (profiling shows the
         # per-commit f-string and attribute walks add up at scale).
         params = self.params
         parallel = params.parallel_refresh
         pool = params.applicator_pool
+        serial = params.serial_refresh
         spawn = self.kernel.spawn
         pending = secondary.pending
         started = secondary.started
@@ -352,10 +477,16 @@ class LazyReplicationModel:
             for i in range(parallel if parallel is not None else pool):
                 spawn(runner(secondary), name=f"{applicator_name}:{i}",
                       daemon=True)
+        sec_index = secondary.index
+        peak = max_pending.get(sec_index, 0)
         while True:
             batch = yield secondary.update_queue.get()
             for record in batch:
-                if isinstance(record, _StartRecord):
+                # Exact-type dispatch: the record types are final and
+                # isinstance() was measurable at one call per record per
+                # secondary.
+                cls = record.__class__
+                if cls is _StartRecord:
                     # Relationship 2 is enforced by FIFO commit ordering;
                     # under parallel refresh the conflict scheduler
                     # provides it instead, so start records never block.
@@ -363,14 +494,13 @@ class LazyReplicationModel:
                         yield secondary.pending_cond.wait_for(
                             lambda: not pending)
                     started.add(record.txn_key)
-                elif isinstance(record, _AbortRecord):
+                elif cls is _AbortRecord:
                     started.discard(record.txn_key)
                 elif parallel is not None:
                     started.discard(record.txn_key)
                     secondary.inflight += 1
-                    if secondary.inflight > max_pending.get(
-                            secondary.index, 0):
-                        max_pending[secondary.index] = secondary.inflight
+                    if secondary.inflight > peak:
+                        peak = max_pending[sec_index] = secondary.inflight
                     dep = record.dep_ts
                     if dep > secondary.watermark \
                             and dep not in secondary.applied:
@@ -380,18 +510,61 @@ class LazyReplicationModel:
                 else:
                     started.discard(record.txn_key)
                     pending.append(record.commit_ts)
-                    if len(pending) > max_pending.get(secondary.index, 0):
-                        max_pending[secondary.index] = len(pending)
+                    if len(pending) > peak:
+                        peak = max_pending[sec_index] = len(pending)
                     if pool is not None:
                         secondary.work.put(record)
                         continue
                     applicator = spawn(
                         self._applicator(secondary, record),
                         name=applicator_name, daemon=True, eager=True)
-                    if params.serial_refresh:
+                    if serial:
                         # Ablation: naive log-sequence replay — apply
                         # each transaction to completion before the next.
                         yield applicator.join()
+
+    def _apply_commit(self, secondary: _SecondaryModel,
+                      commit_ts: int) -> None:
+        """Completion callback of the zero-process apply path.
+
+        Commits strictly in pending (= primary commit) order, exactly
+        like the per-record applicator process: a record whose service
+        finishes out of order parks in ``serviced`` until the head
+        catches up, then the whole contiguous run commits in one go.
+        """
+        pending = secondary.pending
+        if pending[0] != commit_ts:
+            secondary.serviced.add(commit_ts)
+            return
+        serviced = secondary.serviced
+        seq = secondary.seq_db
+        applied = 0
+        ts = commit_ts
+        while True:
+            pending.popleft()
+            applied += 1
+            if ts > seq:
+                seq = ts
+            if not pending:
+                break
+            ts = pending[0]
+            if ts not in serviced:
+                break
+            serviced.remove(ts)
+        secondary.seq_db = seq
+        secondary.refreshes_applied += applied
+        if not pending:
+            parked = secondary.feed_parked
+            if parked is not None:
+                # A start record was waiting for this drain: admit it and
+                # continue its batch (direct-feed twin of the refresher
+                # waking from pending_cond).
+                secondary.feed_parked = None
+                batch, idx = parked
+                secondary.started.add(batch[idx].txn_key)
+                self._drain_records(secondary, batch, idx + 1)
+            secondary.pending_cond.notify_all()
+        secondary.seq_cond.notify_all()
 
     def _applicator(self, secondary: _SecondaryModel,
                     record: _CommitRecord):

@@ -96,6 +96,11 @@ class SimulationParameters:
     #: daemons (Table 1 behaviour, bit-identical).
     heartbeat_interval: float | None = None
     heartbeat_cost: float = 0.001
+    #: Kernel event scheduler: "calendar" (calendar-queue/timing-wheel,
+    #: default) or "heap" (single binary heap).  Same-seed runs are
+    #: bit-identical between the two; the knob exists for differential
+    #: testing and benchmarking.
+    scheduler: str = "calendar"
     seed: int = 42
 
     def __post_init__(self) -> None:
@@ -137,6 +142,10 @@ class SimulationParameters:
             raise ConfigurationError("heartbeat_interval must be > 0")
         if self.heartbeat_cost < 0:
             raise ConfigurationError("heartbeat_cost must be >= 0")
+        if self.scheduler not in ("calendar", "heap"):
+            raise ConfigurationError(
+                f"unknown scheduler {self.scheduler!r} "
+                "(expected 'calendar' or 'heap')")
 
     @property
     def num_clients(self) -> int:

@@ -18,9 +18,15 @@ from repro.workload.tpcw import (
     WorkloadMix,
 )
 from repro.workload.generator import (
+    SCALE_PRESETS,
     BookstoreWorkload,
+    ScalePreset,
+    ScaleReport,
     WorkloadReport,
+    ZipfianKeys,
+    arrival_times,
     run_bookstore_workload,
+    run_scale_workload,
 )
 
 __all__ = [
@@ -31,4 +37,10 @@ __all__ = [
     "BookstoreWorkload",
     "WorkloadReport",
     "run_bookstore_workload",
+    "ScalePreset",
+    "ScaleReport",
+    "SCALE_PRESETS",
+    "ZipfianKeys",
+    "arrival_times",
+    "run_scale_workload",
 ]

@@ -89,6 +89,36 @@ def test_different_seeds_differ():
     assert a.plan != b.plan
 
 
+@pytest.mark.parametrize("seed", range(3))
+def test_chaos_identical_across_schedulers(seed):
+    """Heap-vs-calendar bit-identity under the heaviest fault schedule.
+
+    Partitions plus autonomous failover exercise every timer user in
+    the stack (heartbeats, leases, retransmit backoffs, partition
+    windows); the summary — including the kernel counter line, which
+    counts properties of the event stream — must match byte-for-byte.
+    The full 20-seed sweep diff runs in the CI chaos job via
+    ``python -m repro.faults --scheduler {calendar,heap}``.
+    """
+    config = dict(seed=seed, partitions=2, primary_kill=True,
+                  auto_failover=True)
+    calendar = run_chaos(ChaosConfig(scheduler="calendar", **config))
+    heap = run_chaos(ChaosConfig(scheduler="heap", **config))
+    assert calendar.describe() == heap.describe()
+    assert calendar.plan == heap.plan
+    assert calendar.events_dispatched == heap.events_dispatched > 0
+    assert calendar.peak_queue_depth == heap.peak_queue_depth > 0
+
+
+def test_chaos_summary_reports_kernel_counters():
+    result = run_chaos(ChaosConfig(seed=0))
+    assert result.events_dispatched > 0
+    summary = result.describe()
+    assert "kernel:" in summary
+    assert "events dispatched" in summary
+    assert "peak queue depth" in summary
+
+
 def test_fault_injection_disabled_means_no_links():
     """The bit-identical contract: without channel faults the propagator
     routes records exactly as before (no links, no extra RNG draws)."""

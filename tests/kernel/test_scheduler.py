@@ -1,0 +1,232 @@
+"""Calendar-queue vs binary-heap scheduler: equivalence and observability.
+
+The calendar-queue scheduler must dispatch the exact ``(when, seq)``
+total order of the original heap — every same-seed run bit-identical —
+so the differential tests here drive both kernels with identical seeded
+event programs (sleeps, same-instant ties, timer cancellations,
+timeouts, kill-during-timeout) and assert identical traces and
+counters.  The ``Timeout`` proxy-leak regression rides along: a
+satisfied timeout must retire its deadline event eagerly instead of
+leaving it pending until it fires.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import KernelError, ProcessKilled
+from repro.kernel import Kernel, Queue, Timeout, TimeoutExpired
+
+
+def test_scheduler_name_validated():
+    with pytest.raises(KernelError):
+        Kernel(scheduler="fibonacci")
+    assert Kernel().scheduler == "calendar"
+    assert Kernel(scheduler="heap").scheduler == "heap"
+
+
+# ---------------------------------------------------------------------------
+# Randomized differential driver
+# ---------------------------------------------------------------------------
+
+def _run_program(scheduler: str, seed: int):
+    """One seeded random event program; returns (trace, counters).
+
+    Every stochastic choice is drawn from a ``random.Random(seed)``
+    *before* the kernel runs, so both schedulers execute the identical
+    program and any trace divergence is a scheduler-ordering bug.
+    """
+    rng = random.Random(seed)
+    kernel = Kernel(scheduler=scheduler)
+    trace: list[tuple] = []
+    queue = Queue(kernel)
+
+    def mark(tag: str, what: str) -> None:
+        trace.append((round(kernel.now, 9), tag, what))
+
+    # Sleepers: mixed zero (same-instant ties), short (bucketed) and
+    # long (overflow-bound under a narrow bucket span) delays.
+    sleep_specs = [
+        [rng.choice([0.0, 0.0, 0.01, 0.25, 1.0, 7.5, rng.random() * 90.0])
+         for _ in range(rng.randint(1, 5))]
+        for _ in range(25)
+    ]
+
+    def sleeper(tag, delays):
+        for delay in delays:
+            yield kernel.sleep(delay)
+            mark(tag, "tick")
+
+    for i, delays in enumerate(sleep_specs):
+        kernel.spawn(sleeper(f"s{i}", delays))
+
+    # Timers, roughly half cancelled mid-run.
+    def fired(tag):
+        mark(tag, "timer")
+
+    timers = [kernel.call_later(rng.random() * 3.0, fired, f"t{i}")
+              for i in range(20)]
+    doomed = [timer for timer in timers if rng.random() < 0.5]
+    cancel_at = rng.random() * 1.5
+
+    def canceller():
+        yield kernel.sleep(cancel_at)
+        for timer in doomed:
+            timer.cancel()      # False (no-op) if it already fired
+        mark("canceller", "done")
+
+    kernel.spawn(canceller())
+
+    # Timeout waiters: the feeder satisfies some, the rest expire.
+    timeout_limits = [rng.random() * 4.0 for _ in range(12)]
+    feeder_puts = rng.randint(0, len(timeout_limits))
+    feeder_gap = 0.1 + rng.random() * 0.4
+
+    def waiter(tag, limit):
+        try:
+            value = yield Timeout(queue.get(), limit)
+            mark(tag, f"got-{value}")
+        except TimeoutExpired:
+            mark(tag, "expired")
+
+    for i, limit in enumerate(timeout_limits):
+        kernel.spawn(waiter(f"w{i}", limit))
+
+    def feeder():
+        for i in range(feeder_puts):
+            yield kernel.sleep(feeder_gap)
+            queue.put(i)
+        mark("feeder", "done")
+
+    kernel.spawn(feeder())
+
+    # Kill-during-timeout: victims blocked under a deadline are killed
+    # before it lands; the kill must cancel the armed deadline timer.
+    kill_at = 0.5 + rng.random()
+
+    def victim(tag):
+        try:
+            yield Timeout(queue.get(), 50.0)
+            mark(tag, "got")
+        except ProcessKilled:
+            mark(tag, "killed")
+            raise
+
+    victims = [kernel.spawn(victim(f"v{i}")) for i in range(3)]
+
+    def killer():
+        yield kernel.sleep(kill_at)
+        for process in victims:
+            kernel.kill(process)
+        mark("killer", "done")
+
+    kernel.spawn(killer())
+
+    kernel.run()
+    assert kernel.pending_events == 0
+    return trace, kernel.counters()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 17])
+def test_differential_dispatch_order(seed):
+    calendar_trace, calendar_counters = _run_program("calendar", seed)
+    heap_trace, heap_counters = _run_program("heap", seed)
+    assert calendar_trace == heap_trace
+    assert len(calendar_trace) > 40      # the program actually ran
+    # Counters are properties of the event stream, so they must agree
+    # on everything but the scheduler name.
+    calendar_counters.pop("scheduler")
+    heap_counters.pop("scheduler")
+    assert calendar_counters == heap_counters
+
+
+# ---------------------------------------------------------------------------
+# Timeout proxy-leak regression
+# ---------------------------------------------------------------------------
+
+def test_satisfied_timeouts_leave_no_pending_events():
+    """N satisfied timeouts: no deadline events linger, no processes spawn.
+
+    The old ``Timeout`` spawned a proxy + observer process per use and
+    left the deadline callback in the heap until it fired; the rebuilt
+    zero-spawn ``Timeout`` cancels its deadline timer the moment the
+    inner wait resumes.
+    """
+    kernel = Kernel()
+    queue = Queue(kernel)
+    n = 50
+
+    def feeder():
+        for i in range(n):
+            yield kernel.sleep(0.1)
+            queue.put(i)
+
+    def consumer():
+        for i in range(n):
+            value = yield Timeout(queue.get(), limit=1000.0)
+            assert value == i
+
+    kernel.spawn(feeder())
+    kernel.spawn(consumer())
+    kernel.run(until=20.0)               # all gets satisfied by t=5
+    # Far-future deadline events (t~1000) must all be retired already.
+    assert kernel.pending_events == 0
+    assert kernel._next_pid == 2         # zero-spawn: feeder + consumer only
+    assert kernel.counters()["timer_cancellations"] == n
+
+
+def test_kill_cancels_armed_deadline():
+    kernel = Kernel()
+    queue = Queue(kernel)
+
+    def victim():
+        yield Timeout(queue.get(), 500.0)
+
+    process = kernel.spawn(victim())
+    kernel.run(until=1.0)
+    assert kernel.pending_events == 1    # the armed deadline
+    kernel.kill(process)
+    assert kernel.pending_events == 0
+    assert kernel.counters()["timer_cancellations"] == 1
+    kernel.run()                         # the tombstone drains as a no-op
+
+
+# ---------------------------------------------------------------------------
+# Observability counters
+# ---------------------------------------------------------------------------
+
+def test_counters_shape_and_growth():
+    kernel = Kernel()
+
+    def worker():
+        yield kernel.sleep(1.0)
+        yield kernel.checkpoint()        # same-instant event
+
+    kernel.spawn(worker())
+    timer = kernel.call_later(5.0, lambda: None)
+    timer.cancel()
+    kernel.run()
+    counters = kernel.counters()
+    assert counters["scheduler"] == "calendar"
+    assert counters["events_scheduled"] >= counters["events_dispatched"] > 0
+    assert counters["peak_queue_depth"] >= 1
+    assert counters["timer_cancellations"] == 1
+    assert counters["same_instant_events"] >= 1
+    assert 0.0 <= counters["same_instant_ratio"] <= 1.0
+
+
+def test_earlier_event_scheduled_after_horizon_break_dispatches_first():
+    # Regression: a horizon-bounded run() selects the next occupied
+    # bucket as the current quantum before noticing its head lies past
+    # the horizon.  An event scheduled afterwards into an *earlier*
+    # quantum must still dispatch first — it folds into the current
+    # (when, seq) heap rather than landing in an overtaken bucket.
+    order = []
+    kernel = Kernel(scheduler="calendar")
+    kernel.call_at(10.0, order.append, "late")
+    kernel.run(until=1.0)                 # primes _current with the t=10 bucket
+    assert kernel.now == 1.0
+    kernel.call_at(5.0, order.append, "early")
+    kernel.run()
+    assert order == ["early", "late"]
+    assert kernel.now == 10.0
