@@ -1,6 +1,7 @@
 """Microbenchmarks of the functional replicated system and the kernel."""
 
 from repro.core.guarantees import Guarantee
+from repro.core.sharding import ShardingConfig
 from repro.core.system import ReplicatedSystem
 from repro.kernel import Kernel
 from repro.sim.resources import ProcessorSharingServer
@@ -30,6 +31,26 @@ def test_functional_weak_read_cycle(benchmark):
 
     def cycle():
         assert session.read("x") == 1
+
+    benchmark(cycle)
+
+
+def test_functional_sharded_update_read_cycle(benchmark):
+    """The strong-session cycle under partial replication: write-sets
+    are split into per-shard streams (reusing the fingerprints cached on
+    each UpdateRecord at log time — no second hash) and the read is
+    shard-routed to a subscribing replica."""
+    system = ReplicatedSystem(
+        num_secondaries=2, propagation_delay=0.1, record_history=False,
+        sharding=ShardingConfig(shards=8, placement=((0, 1, 2, 3),
+                                                     (4, 5, 6, 7))))
+    session = system.session(Guarantee.STRONG_SESSION_SI)
+    counter = iter(range(10**9))
+
+    def cycle():
+        value = next(counter)
+        session.write("x", value)
+        assert session.read("x") == value
 
     benchmark(cycle)
 

@@ -38,7 +38,7 @@ def baseline():
 
 
 def test_baseline_schema(baseline):
-    assert baseline["schema"] == 5
+    assert baseline["schema"] == 6
     assert baseline["kernel"]["events_per_sec"] > 0
     # Schema 5: per-scheduler dispatch numbers and the scaleup-95-5 leg.
     dispatch = baseline["kernel"]["dispatch"]
@@ -95,6 +95,18 @@ def test_baseline_schema(baseline):
             par = mix_stats["parallel"][workers]
             assert par["mean_lag"] < fifo["mean_lag"]
             assert par["apply_throughput"] > fifo["apply_throughput"]
+    # Schema 6: keyspace sharding / partial replication.  Virtual-time
+    # legs again, so the PR 9 acceptance bars are asserted exactly:
+    # at subscription fraction 1/2 on the 95/5 mix each secondary
+    # applies half the update volume (>= 2x per-secondary apply
+    # throughput) and receives at most half the commit deliveries.
+    partial = baseline["partial_replication"]
+    assert partial["subscription_fraction"] == 0.5
+    assert partial["mix"] == "95/5"
+    assert partial["per_secondary_volume_speedup"] >= 1.99
+    assert partial["link_volume_fraction"] <= 0.501
+    assert partial["drain_speedup"] >= 1.9
+    assert partial["sharded"]["per_secondary_commit_fraction"] <= 0.501
     # Schema 3: figure2_small carries the real host parallelism; on a
     # single-CPU host the speedup is null, never a nonsense ratio.
     figure2 = baseline["figure2_small"]
@@ -131,6 +143,21 @@ def test_incremental_checkers_within_tolerance(baseline):
             f"{base['commits'] // factor} commits; budget {budget:.3f}s "
             f"(baseline {base['incremental'][criterion]:.3f}s at "
             f"{base['commits']} commits, tolerance {TOLERANCE}x)")
+
+
+def test_partial_replication_bars(baseline):
+    """Re-measure the partial-replication leg (virtual time: exact).
+
+    The leg runs entirely in virtual time, so a fresh measurement must
+    reproduce the committed baseline byte-for-byte — any drift means the
+    sharded propagation or refresh path changed behaviour."""
+    from repro.evaluation.bench import bench_partial_replication
+
+    current = bench_partial_replication()
+    assert current["per_secondary_volume_speedup"] >= 1.99
+    assert current["link_volume_fraction"] <= 0.501
+    assert current["drain_speedup"] >= 1.9
+    assert current == baseline["partial_replication"]
 
 
 def test_kernel_events_per_sec_within_tolerance(baseline):

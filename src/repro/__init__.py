@@ -29,10 +29,12 @@ Quickstart
 """
 
 from repro.core.guarantees import Guarantee
+from repro.core.sharding import ShardingConfig, shard_of
 from repro.core.system import ClientSession, ReplicatedSystem
 from repro.errors import (
     FirstCommitterWinsError,
     ReproError,
+    ShardUnavailableError,
     TransactionAborted,
 )
 from repro.storage.engine import SIDatabase, Transaction
@@ -56,6 +58,9 @@ __all__ = [
     "ReproError",
     "TransactionAborted",
     "FirstCommitterWinsError",
+    "ShardingConfig",
+    "shard_of",
+    "ShardUnavailableError",
     "check_weak_si",
     "check_strong_si",
     "check_strong_session_si",

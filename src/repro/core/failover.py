@@ -313,7 +313,15 @@ class AutoFailover:
             self._check_epoch()
             system = self.system
             live = [s for s in system.secondaries if s.live]
-            if not live:
+            # Partial replication: every live replica still counts for
+            # quorum, but only a full-coverage one can serve as the new
+            # primary (a partial subscriber never received the other
+            # shards' updates) — hold the election until one is up.
+            candidates = live
+            if system.sharding is not None:
+                full = frozenset(range(system.sharding.shards))
+                candidates = [s for s in live if s.holds_shards(full)]
+            if not live or not candidates:
                 continue
             suspecting = [s.name for s in live
                           if self._suspecting.get(s.name)]
@@ -337,7 +345,7 @@ class AutoFailover:
                 at=kernel.now,
                 suspecting=tuple(suspecting),
                 lease_bound=lease_bound,
-                promoted=max(live, key=lambda s: s.seq_db).name)
+                promoted=max(candidates, key=lambda s: s.seq_db).name)
             promote(system)
             self.auto_promotions += 1
             self.reports.append(report)

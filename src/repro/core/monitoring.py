@@ -51,6 +51,8 @@ class SiteStatus:
     out_of_order_commits: int = 0   # commits applied ahead of the watermark
     peak_runnable_depth: int = 0    # deepest runnable queue observed
     watermark_lag: int = 0          # newest enqueued commit - watermark
+    # -- partial-replication counters (None with sharding off) ------------
+    shards_subscribed: Optional[int] = None
 
     @property
     def fault_activity(self) -> bool:
@@ -94,6 +96,10 @@ class SystemStatus:
     auto_promotions: int = 0
     partitions_active: int = 0
     zombie_records_fenced: int = 0
+    # -- partial-replication counters (zero/empty with sharding off) ------
+    num_shards: int = 0
+    records_shipped_by_shard: tuple[tuple[int, int], ...] = ()
+    shard_routing_misses: int = 0
     # -- kernel scheduler counters (properties of the dispatched event
     # stream, so identical under the calendar and heap schedulers) --------
     kernel_scheduler: str = ""
@@ -184,6 +190,19 @@ class SystemStatus:
                 f"  {site.name + ' vacuum:':<22}runs={site.vacuum_runs}  "
                 f"reclaimed={site.versions_reclaimed}  "
                 f"longest-chain={site.max_chain_length}")
+        # Sharding line, only when partial replication is configured, so
+        # unsharded reports stay byte-identical.
+        if self.num_shards:
+            shipped = " ".join(f"{shard}:{count}" for shard, count
+                               in self.records_shipped_by_shard)
+            subscribed = " ".join(
+                f"{site.name}:{site.shards_subscribed}"
+                for site in self.secondaries
+                if site.shards_subscribed is not None)
+            lines.append(
+                f"  sharding: shards={self.num_shards}  "
+                f"routing-misses={self.shard_routing_misses}  "
+                f"shipped=[{shipped}]  subscribed=[{subscribed}]")
         # Kernel scheduler line: the counters are mode-identical, so the
         # line diffs clean between calendar and heap runs of one seed.
         if self.kernel_events_dispatched:
@@ -281,7 +300,10 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
             out_of_order_commits=secondary.refresher.out_of_order_commits,
             peak_runnable_depth=secondary.refresher.max_runnable_depth,
             watermark_lag=secondary.refresher.watermark_lag,
+            shards_subscribed=(len(secondary.subscription)
+                               if secondary.sharded else None),
         ))
+    sharding = getattr(system, "sharding", None)
     return SystemStatus(now=system.kernel.now,
                         primary_commit_ts=primary_ts,
                         primary=primary,
@@ -307,6 +329,14 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
                             system, "partitions_active", 0),
                         zombie_records_fenced=getattr(
                             system, "zombie_records_fenced", 0),
+                        num_shards=(sharding.shards
+                                    if sharding is not None else 0),
+                        records_shipped_by_shard=tuple(sorted(
+                            system.propagator
+                            .records_shipped_by_shard.items())),
+                        shard_routing_misses=sum(
+                            session.shard_routing_misses
+                            for session in system._sessions),
                         kernel_scheduler=kernel_counters["scheduler"],
                         kernel_events_dispatched=kernel_counters[
                             "events_dispatched"],
@@ -332,6 +362,7 @@ class SessionStats:
     failovers: int = 0
     no_primary_errors: int = 0
     lost_sessions: int = 0
+    shard_routing_misses: int = 0
 
     @property
     def blocked_fraction(self) -> float:
@@ -356,6 +387,8 @@ def aggregate_sessions(sessions: list["ClientSession"]) -> SessionStats:
         stats.freshness_timeouts += session.freshness_timeouts
         stats.failovers += session.failovers
         stats.no_primary_errors += getattr(session, "no_primary_errors", 0)
+        stats.shard_routing_misses += getattr(
+            session, "shard_routing_misses", 0)
         if getattr(session, "_lost_window", None) is not None:
             stats.lost_sessions += 1
     return stats

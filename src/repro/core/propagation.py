@@ -46,8 +46,8 @@ from repro.core.records import (
     PropagatedCommit,
     PropagatedStart,
     PropagationRecord,
-    key_fingerprint,
 )
+from repro.core.sharding import ShardingConfig
 from repro.kernel import Kernel
 from repro.storage.wal import (
     AbortRecord,
@@ -353,12 +353,30 @@ class Propagator:
         that produced the base state (the per-key last-writer map of a
         fresh propagator starts empty and knows nothing about the
         previous epoch's writers).
+    sharding:
+        Partial-replication configuration.  When set, the propagator
+        emits **only commit records** (no starts, no aborts — a
+        subscriber cannot tell a filtered-out commit from an aborted
+        transaction anyway), stamps each with per-shard sequence numbers
+        and per-shard dependency bounds, and *projects* every commit
+        onto each endpoint's ``subscription``: commits touching no
+        subscribed shard are not shipped at all, partially-overlapping
+        commits ship only the subscribed slice of their write-set.
+        ``None`` (default) keeps the classic full-replication wire
+        format, bit-identical.
+    shard_seq_base:
+        Starting per-shard sequence counters; a promotion passes the old
+        propagator's counters so per-shard numbering stays monotonic
+        across the epoch (subscribers track these as monotonic maxima,
+        never asserting contiguity).
     """
 
     def __init__(self, kernel: Kernel, log: LogicalLog, *,
                  delay: float = 0.0,
                  batch_interval: Optional[float] = None,
                  dep_floor: int = 0,
+                 sharding: Optional[ShardingConfig] = None,
+                 shard_seq_base: Optional[dict[int, int]] = None,
                  name: str = "propagator"):
         if delay < 0:
             raise ReplicationError("propagation delay must be >= 0")
@@ -369,10 +387,12 @@ class Propagator:
         self.delay = delay
         self.batch_interval = batch_interval
         self.dep_floor = dep_floor
+        self.sharding = sharding
         self.name = name
         self._endpoints: list[PropagationEndpoint] = []
         self._links: dict[str, ReliableLink] = {}
         self._update_lists: dict[int, list] = {}
+        self._update_fps: dict[int, list[int]] = {}
         self._start_ts: dict[int, int] = {}
         self._logical_ids: dict[int, str] = {}
         self._outbox: list[PropagationRecord] = []
@@ -395,6 +415,22 @@ class Propagator:
         #: Per-key last-writer map (key fingerprint -> commit_ts) feeding
         #: the dependency summary shipped with every commit record.
         self._last_writer: dict[int, int] = {}
+        #: Per-shard sequence counters (shard -> count of commits that
+        #: touched it) and the newest commit timestamp touching each
+        #: shard; both empty (and untouched) with sharding off.
+        self._shard_seq: dict[int, int] = dict(shard_seq_base or {})
+        self._shard_last_commit_ts: dict[int, int] = {}
+        #: Frozen copy of ``_shard_last_commit_ts`` at this propagator's
+        #: epoch start (empty for the first epoch).  The archive only
+        #: holds this epoch's commits, so a later promotion needs this
+        #: floor to rebuild the newest-commit-per-shard map *exactly* —
+        #: every value must be the timestamp of a surviving commit that
+        #: touched the shard, or frontier waits can deadlock.
+        self._shard_last_floor: dict[int, int] = {}
+        #: Commit-record shipments per shard, summed over endpoints: a
+        #: commit touching two subscribed shards of one endpoint counts
+        #: once for each shard.
+        self.records_shipped_by_shard: dict[int, int] = {}
         log.subscribe(self._on_log_record)
 
     # -- membership -------------------------------------------------------
@@ -455,26 +491,33 @@ class Propagator:
         if isinstance(record, StartRecord):
             self._start_ts[record.txn_id] = record.start_ts
             self._update_lists[record.txn_id] = []
-            self._emit(PropagatedStart(
-                txn_id=record.txn_id, start_ts=record.start_ts))
+            self._update_fps[record.txn_id] = []
+            if self.sharding is None:
+                self._emit(PropagatedStart(
+                    txn_id=record.txn_id, start_ts=record.start_ts))
         elif isinstance(record, UpdateRecord):
             updates = self._update_lists.get(record.txn_id)
             if updates is None:
                 raise ReplicationError(
                     f"update record for unknown transaction {record.txn_id}")
             updates.append((record.key, record.value, record.deleted))
+            self._update_fps[record.txn_id].append(record.key_fp)
         elif isinstance(record, CommitRecord):
             updates = tuple(self._update_lists.pop(record.txn_id, ()))
+            fps = tuple(self._update_fps.pop(record.txn_id, ()))
             self._start_ts.pop(record.txn_id, None)
-            # Dependency summary (incremental, O(write set)): fingerprint
-            # every written key, take the newest prior writer among them
-            # as dep_ts, then record this commit as the new last writer.
+            # Dependency summary (incremental, O(write set)): the newest
+            # prior writer among the written keys becomes dep_ts, then
+            # this commit is recorded as the new last writer.  The
+            # fingerprints were cached on the WAL records at log time, so
+            # no crc32 runs here.
+            sharding = self.sharding
             last_writer = self._last_writer
             write_fps: list[int] = []
             seen_fps: set[int] = set()
             dep_ts = self.dep_floor
-            for key, _value, _deleted in updates:
-                fp = key_fingerprint(key)
+            shard_prev: dict[int, int] = {}
+            for fp in fps:
                 if fp in seen_fps:
                     continue
                 seen_fps.add(fp)
@@ -482,16 +525,39 @@ class Propagator:
                 prev = last_writer.get(fp)
                 if prev is not None and prev > dep_ts:
                     dep_ts = prev
+                if sharding is not None:
+                    shard = fp % sharding.shards
+                    bound = shard_prev.get(shard, self.dep_floor)
+                    if prev is not None and prev > bound:
+                        bound = prev
+                    shard_prev[shard] = bound
                 last_writer[fp] = record.commit_ts
-            commit = PropagatedCommit(
-                txn_id=record.txn_id, commit_ts=record.commit_ts,
-                updates=updates, write_fps=tuple(write_fps), dep_ts=dep_ts)
+            if sharding is None:
+                commit = PropagatedCommit(
+                    txn_id=record.txn_id, commit_ts=record.commit_ts,
+                    updates=updates, write_fps=tuple(write_fps),
+                    dep_ts=dep_ts)
+            else:
+                shard_seqs = []
+                for shard in sorted(shard_prev):
+                    self._shard_seq[shard] = \
+                        self._shard_seq.get(shard, 0) + 1
+                    self._shard_last_commit_ts[shard] = record.commit_ts
+                    shard_seqs.append((shard, self._shard_seq[shard]))
+                commit = PropagatedCommit(
+                    txn_id=record.txn_id, commit_ts=record.commit_ts,
+                    updates=updates, write_fps=tuple(write_fps),
+                    dep_ts=dep_ts, update_fps=fps,
+                    shard_seqs=tuple(shard_seqs),
+                    shard_deps=tuple(sorted(shard_prev.items())))
             self.archive.append(commit)
             self._emit(commit)
         elif isinstance(record, AbortRecord):
             self._update_lists.pop(record.txn_id, None)
+            self._update_fps.pop(record.txn_id, None)
             self._start_ts.pop(record.txn_id, None)
-            self._emit(PropagatedAbort(txn_id=record.txn_id))
+            if self.sharding is None:
+                self._emit(PropagatedAbort(txn_id=record.txn_id))
 
     # -- emission ----------------------------------------------------------
     def _emit(self, record: PropagationRecord) -> None:
@@ -516,6 +582,9 @@ class Propagator:
         if not outbox:
             return
         links = self._links
+        if self.sharding is not None:
+            self._flush_sharded(outbox)
+            return
         if self.batch_interval is not None:
             # Batch shipping: the whole flush travels as one frame per
             # endpoint — one sequence number, one ack, one delivery event
@@ -538,6 +607,97 @@ class Propagator:
                 else:
                     endpoint.deliver_later(record, self.delay)
                 self.records_sent += 1
+
+    # -- sharded emission (partial replication) -----------------------------
+    def subscription_of(self, endpoint: PropagationEndpoint
+                        ) -> Optional[frozenset]:
+        """The endpoint's shard subscription (None = not shard-aware)."""
+        return getattr(endpoint, "subscription", None)
+
+    def project(self, commit: PropagatedCommit,
+                subscription: Optional[frozenset]
+                ) -> Optional[PropagatedCommit]:
+        """Project one sharded commit onto a subscription.
+
+        Returns ``None`` when the commit touches no subscribed shard
+        (nothing to ship), the original record when every touched shard
+        is subscribed (the common case — no copying on the hot path),
+        and a filtered record otherwise: only the subscribed slice of
+        the write-set travels, with ``dep_ts`` recomputed over the
+        subscribed shards so the record never waits on a commit the
+        subscriber will not receive.
+        """
+        if subscription is None:
+            return commit
+        kept = [pair for pair in commit.shard_seqs
+                if pair[0] in subscription]
+        if not kept:
+            return None
+        if len(kept) == len(commit.shard_seqs):
+            return commit
+        shards = self.sharding.shards
+        updates = []
+        update_fps = []
+        for update, fp in zip(commit.updates, commit.update_fps):
+            if fp % shards in subscription:
+                updates.append(update)
+                update_fps.append(fp)
+        write_fps = tuple(fp for fp in commit.write_fps
+                          if fp % shards in subscription)
+        dep_ts = self.dep_floor
+        for shard, dep in commit.shard_deps:
+            if shard in subscription and dep > dep_ts:
+                dep_ts = dep
+        return PropagatedCommit(
+            txn_id=commit.txn_id, commit_ts=commit.commit_ts,
+            updates=tuple(updates), logical_id=commit.logical_id,
+            write_fps=write_fps, dep_ts=dep_ts,
+            update_fps=tuple(update_fps), shard_seqs=tuple(kept),
+            shard_deps=tuple(pair for pair in commit.shard_deps
+                             if pair[0] in subscription))
+
+    def _count_shipment(self, projected: PropagatedCommit) -> None:
+        shipped = self.records_shipped_by_shard
+        for shard, _seq in projected.shard_seqs:
+            shipped[shard] = shipped.get(shard, 0) + 1
+
+    def _flush_sharded(self, outbox: list[PropagationRecord]) -> None:
+        """Per-endpoint projected emission (sharded mode only).
+
+        The outbox holds only commit records here (sharded mode emits no
+        starts or aborts).  Unlike the classic batch path, each endpoint
+        gets its *own* frame — the projections differ — and endpoints
+        whose projection is empty receive nothing at all.
+        """
+        links = self._links
+        batching = self.batch_interval is not None
+        for endpoint in self._endpoints:
+            subscription = self.subscription_of(endpoint)
+            projected: list[PropagationRecord] = []
+            for record in outbox:
+                slice_ = self.project(record, subscription)
+                if slice_ is None:
+                    continue
+                self._count_shipment(slice_)
+                projected.append(slice_)
+            if not projected:
+                continue
+            link = links.get(endpoint.name) if links else None
+            if batching:
+                frame = PropagatedBatch(records=tuple(projected))
+                if link is not None:
+                    link.send(frame, self.delay)
+                else:
+                    endpoint.deliver_later(frame, self.delay)
+                self.batches_sent += 1
+                self.records_sent += len(projected)
+            else:
+                for record in projected:
+                    if link is not None:
+                        link.send(record, self.delay)
+                    else:
+                        endpoint.deliver_later(record, self.delay)
+                    self.records_sent += 1
 
     # -- recovery support (Section 3.4) -------------------------------------
     def retire(self) -> None:
@@ -574,14 +734,30 @@ class Propagator:
         replays a fenced replica only up to the new primary's base state —
         commits beyond the truncation point died with the old primary and
         must never resurface.
+
+        In sharded mode the archive holds the *full* commits; each is
+        projected onto the endpoint's subscription exactly like live
+        traffic (commits touching no subscribed shard are skipped and do
+        not count), and no start records are synthesized — sharded
+        streams are commit-only.
         """
         replayed = 0
+        sharded = self.sharding is not None
+        subscription = self.subscription_of(endpoint) if sharded else None
         for commit in self.archive:
             if commit.commit_ts <= after_commit_ts:
                 continue
             if up_to_commit_ts is not None \
                     and commit.commit_ts > up_to_commit_ts:
                 break
+            if sharded:
+                slice_ = self.project(commit, subscription)
+                if slice_ is None:
+                    continue
+                self._count_shipment(slice_)
+                endpoint.deliver_later(slice_, 0.0)
+                replayed += 1
+                continue
             endpoint.deliver_later(
                 PropagatedStart(txn_id=commit.txn_id,
                                 start_ts=commit.commit_ts - 1), 0.0)

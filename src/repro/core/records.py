@@ -60,6 +60,26 @@ class PropagatedCommit:
 
     Both default to their empty values so FIFO-mode records (and records
     from before this wire-format revision) are unchanged.
+
+    The sharded wire extension (partial replication; all empty when
+    sharding is off, leaving classic records unchanged):
+
+    ``update_fps``
+        One fingerprint per entry of ``updates`` (first-write-wins
+        deduplication makes ``write_fps`` shorter, so projection by
+        shard needs the undeduplicated list).
+    ``shard_seqs``
+        ``(shard, seq)`` pairs: this commit is the ``seq``-th commit
+        touching ``shard``, for every shard it touches.  Subscribers
+        track these per-shard sequence numbers as their per-shard
+        refresh watermarks.
+    ``shard_deps``
+        ``(shard, dep_ts)`` pairs: per-shard dependency bound, the
+        commit timestamp of the latest prior committed transaction that
+        wrote any of the same keys *in that shard*.  A projection onto a
+        subscription recomputes ``dep_ts`` as the max over subscribed
+        shards, so a filtered commit never waits on a commit the
+        subscriber will not receive.
     """
 
     txn_id: int
@@ -68,6 +88,9 @@ class PropagatedCommit:
     logical_id: str = ""
     write_fps: tuple[int, ...] = ()
     dep_ts: int = 0
+    update_fps: tuple[int, ...] = ()
+    shard_seqs: tuple[tuple[int, int], ...] = ()
+    shard_deps: tuple[tuple[int, int], ...] = ()
 
     @property
     def update_count(self) -> int:

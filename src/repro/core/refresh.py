@@ -65,6 +65,27 @@ Observationally the secondary is unchanged: reads begin at snapshot
 session blocking waits on the watermark, and promotion fencing sees
 ``latest_commit_ts == seq(DBsec)`` — relationships 1-3 hold for every
 *visible* state even though the physical apply order is relaxed.
+
+Sharded (partial-replication) streams
+-------------------------------------
+Under :class:`~repro.core.sharding.ShardingConfig` the propagator ships
+commit records only — no starts, no aborts — and projects each commit
+onto the subscriber's shard set, so the arriving stream has commit
+timestamp *gaps* (filtered-out commits) while staying in primary commit
+order.  Two consequences, both gated on ``site.sharded``:
+
+* every refresh transaction begins at its commit record and commits via
+  ``commit_refresh_at`` at the explicit primary timestamp (with the
+  snapshot counter published separately), exactly as parallel mode
+  already does — a locally-assigned commit number would drift off the
+  primary's numbering at the first gap.  Since such a transaction only
+  buffers blind writes, its begin snapshot carries no ordering
+  obligation and admission needs no relationship-2 wait at all;
+* visibility advances along *admission order* rather than timestamp
+  contiguity: FIFO modes still retire the pending-queue head, and
+  parallel mode walks an admission-order queue instead of probing
+  ``watermark + 1``.  At each visibility step the site's per-shard
+  frontiers advance from the record's ``shard_seqs`` metadata.
 """
 
 from __future__ import annotations
@@ -146,6 +167,13 @@ class Refresher:
         self._applied: set[int] = set()
         #: Contiguous applied prefix; the only state reads ever see.
         self._watermark = 0
+        #: Admission-order commit queue (sharded parallel mode only):
+        #: projected streams leave commit_ts gaps, so the visible prefix
+        #: advances along arrival order instead of ts contiguity.
+        self._admitted: deque[int] = deque()
+        #: commit_ts -> ``shard_seqs`` wire metadata, consumed when the
+        #: commit becomes visible (sharded parallel mode only).
+        self._shard_meta: dict[int, tuple] = {}
         #: Incarnation counter: bumped on stop() so notify callbacks
         #: scheduled by a crashed incarnation are no-ops after restart.
         self._epoch = 0
@@ -222,6 +250,8 @@ class Refresher:
         self._parked.clear()
         self._inflight.clear()
         self._applied.clear()
+        self._admitted.clear()
+        self._shard_meta.clear()
         self._busy_workers = 0
         self._notify_scheduled = False
         self._epoch += 1
@@ -342,14 +372,25 @@ class Refresher:
             if self.parallel is not None:
                 if record.txn_id not in self._refresh_txns:
                     self._begin_refresh(record.txn_id, None)
+                if self.site.sharded:
+                    self._admitted.append(record.commit_ts)
+                    self._shard_meta[record.commit_ts] = record.shard_seqs
                 self._schedule(record)
                 return
             if record.txn_id not in self._refresh_txns:
-                # Late join after recovery: the start record was lost
-                # with the old epoch.  Serialise this transaction.
-                yield self.pending_cond.wait_for(
-                    lambda: not self.pending)
-                self._begin_refresh(record.txn_id, None)
+                if self.site.sharded:
+                    # Commit-only projected stream: the refresh
+                    # transaction begins here, buffers blind writes and
+                    # will commit at its explicit primary timestamp, so
+                    # its begin snapshot carries no ordering obligation
+                    # — no relationship-2 wait (see module docstring).
+                    self._begin_refresh(record.txn_id, None)
+                else:
+                    # Late join after recovery: the start record was lost
+                    # with the old epoch.  Serialise this transaction.
+                    yield self.pending_cond.wait_for(
+                        lambda: not self.pending)
+                    self._begin_refresh(record.txn_id, None)
             self.pending.append(record.commit_ts)
             if self._work is not None:
                 self._work.put(record)
@@ -447,7 +488,12 @@ class Refresher:
                     self.apply_cost * len(record.updates))
             txn.apply_update_records(record.updates)
             self.site.engine.commit_refresh_at(txn, record.commit_ts)
-            if record.commit_ts != self._watermark + 1:
+            if self.site.sharded:
+                # Gapped stream: "in order" means the admission head,
+                # not watermark+1 (filtered commits never arrive).
+                if self._admitted and record.commit_ts != self._admitted[0]:
+                    self.out_of_order_commits += 1
+            elif record.commit_ts != self._watermark + 1:
                 self.out_of_order_commits += 1
             lag = self._max_enqueued_ts - self._watermark
             if lag > self.max_watermark_lag:
@@ -469,6 +515,25 @@ class Refresher:
             if not blockers:
                 del self._blockers[dep_ts]
                 self._make_runnable(self._parked.pop(dep_ts))
+        if self.site.sharded:
+            # The projected stream has commit_ts gaps, so the visible
+            # prefix advances along admission order: pop every applied
+            # head, publishing its per-shard frontiers as it goes.
+            admitted = self._admitted
+            applied = self._applied
+            watermark = self._watermark
+            advanced = False
+            while admitted and admitted[0] in applied:
+                watermark = admitted.popleft()
+                applied.remove(watermark)
+                self.site.note_shards_applied(
+                    self._shard_meta.pop(watermark, ()), watermark)
+                advanced = True
+            if advanced:
+                self._watermark = watermark
+                self.site.engine.advance_commit_counter(watermark)
+                self.site.set_seq_db(watermark)
+            return
         watermark = self._watermark
         applied = self._applied
         advanced = False
@@ -484,6 +549,23 @@ class Refresher:
             self.site.engine.advance_commit_counter(watermark)
             self.site.set_seq_db(watermark)
 
+    def _commit_refresh(self, txn, record: PropagatedCommit) -> None:
+        """Commit one FIFO refresh transaction at the pending-queue head.
+
+        Classic streams use the local commit path (the engine's counter
+        tracks the primary's because no commit is ever skipped); sharded
+        streams carry gaps, so the commit installs at the explicit
+        primary timestamp, the counter is published to it, and the
+        per-shard frontiers advance.
+        """
+        if self.site.sharded:
+            self.site.engine.commit_refresh_at(txn, record.commit_ts)
+            self.site.engine.advance_commit_counter(record.commit_ts)
+            self.site.note_shards_applied(record.shard_seqs,
+                                          record.commit_ts)
+        else:
+            txn.commit()
+
     # -- Algorithm 3.3 (one applicator iteration) ----------------------------
     def _apply(self, record: PropagatedCommit):
         txn = self._refresh_txns.pop(record.txn_id)
@@ -492,7 +574,7 @@ class Refresher:
         txn.apply_update_records(record.updates)
         yield self.pending_cond.wait_for(
             lambda: self.pending and self.pending[0] == record.commit_ts)
-        txn.commit()
+        self._commit_refresh(txn, record)
         # Section 4: advance seq(DBsec) after commit, before dequeuing the
         # commit record, so blocked read-only transactions wake in order.
         self.site.set_seq_db(record.commit_ts)
@@ -538,7 +620,7 @@ class Refresher:
             if not (pending and pending[0] == record.commit_ts):
                 yield self.pending_cond.wait_for(
                     lambda: pending and pending[0] == record.commit_ts)
-            txn.commit()
+            self._commit_refresh(txn, record)
             self.site.set_seq_db(record.commit_ts)
             pending.popleft()
             self.refreshes_applied += 1

@@ -29,6 +29,12 @@ class SequenceTracker:
         #: Per-label acknowledged-but-truncated commit windows ``(kept,
         #: lost]`` recorded by :meth:`truncate` across primary promotions.
         self.lost_windows: dict[str, tuple[int, int]] = {}
+        #: Sharded seq(c) vectors: label -> shard -> commit_ts of the
+        #: session's newest update touching that shard (partial
+        #: replication only; empty — and cost-free — otherwise).
+        self._shard_seq: dict[str, dict[int, int]] = {}
+        #: shard -> newest commit_ts touching it (sharded ALG-STRONG-SI).
+        self._global_shard_seq: dict[int, int] = {}
 
     @property
     def global_seq(self) -> int:
@@ -40,12 +46,26 @@ class SequenceTracker:
         """Current seq(c) for session label ``c``."""
         return self._seq[label]
 
-    def on_primary_commit(self, label: Optional[str], commit_ts: int) -> None:
-        """Record that an update transaction from ``label`` committed."""
+    def on_primary_commit(self, label: Optional[str], commit_ts: int,
+                          shards: tuple = ()) -> None:
+        """Record that an update transaction from ``label`` committed.
+
+        Under partial replication ``shards`` names the shards the
+        transaction's write set touched; the per-shard seq(c) vectors let
+        a later read block only on the frontiers of the shards it reads,
+        instead of the scalar (which a partial replica may never reach).
+        """
         if commit_ts > self._global_seq:
             self._global_seq = commit_ts
         if label is not None and commit_ts > self._seq[label]:
             self._seq[label] = commit_ts
+        for shard in shards:
+            if commit_ts > self._global_shard_seq.get(shard, 0):
+                self._global_shard_seq[shard] = commit_ts
+            if label is not None:
+                vector = self._shard_seq.setdefault(label, {})
+                if commit_ts > vector.get(shard, 0):
+                    vector[shard] = commit_ts
 
     def required_sequence(self, guarantee: Guarantee, label: str) -> int:
         """The seq(DBsec) a read-only transaction from this session must
@@ -61,6 +81,29 @@ class SequenceTracker:
         if guarantee is Guarantee.STRONG_SI:
             return self._global_seq
         return self._seq[label]
+
+    def required_shard_sequence(self, guarantee: Guarantee, label: str,
+                                shards: frozenset) -> dict[int, int]:
+        """Per-shard frontier requirements for a sharded read.
+
+        The sharded analogue of :meth:`required_sequence`: for each shard
+        the read touches, the frontier it must wait for — 0 under weak
+        SI, the global per-shard sequence under strong SI, the session's
+        own per-shard vector otherwise.  Every requirement is the commit
+        timestamp of a commit that *touched the shard*, so a subscribing
+        replica's frontier provably reaches it.
+        """
+        if guarantee is Guarantee.WEAK_SI:
+            return {shard: 0 for shard in shards}
+        if guarantee is Guarantee.STRONG_SI:
+            return {shard: self._global_shard_seq.get(shard, 0)
+                    for shard in shards}
+        vector = self._shard_seq.get(label, {})
+        return {shard: vector.get(shard, 0) for shard in shards}
+
+    def global_shard_seq(self, shard: int) -> int:
+        """Newest commit timestamp touching ``shard`` (0 if none)."""
+        return self._global_shard_seq.get(shard, 0)
 
     def truncate(self, truncation_ts: int) -> dict[str, tuple[int, int]]:
         """Reconcile every seq(c) across a primary promotion.
@@ -84,6 +127,13 @@ class SequenceTracker:
                 self._seq[label] = truncation_ts
         if self._global_seq > truncation_ts:
             self._global_seq = truncation_ts
+        for vector in self._shard_seq.values():
+            for shard, seq in vector.items():
+                if seq > truncation_ts:
+                    vector[shard] = truncation_ts
+        for shard, seq in self._global_shard_seq.items():
+            if seq > truncation_ts:
+                self._global_shard_seq[shard] = truncation_ts
         return truncated
 
     def forget(self, label: str) -> None:
@@ -97,10 +147,13 @@ class SequenceTracker:
         like a label never seen.
         """
         self._seq.pop(label, None)
+        self._shard_seq.pop(label, None)
 
     def reset(self) -> None:
         self._seq.clear()
         self._global_seq = 0
+        self._shard_seq.clear()
+        self._global_shard_seq.clear()
 
     def labels(self) -> list[str]:
         return [label for label in self._seq if label != GLOBAL_SESSION_LABEL]

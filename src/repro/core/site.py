@@ -163,10 +163,27 @@ class SecondarySite:
                  serial_refresh: bool = False,
                  applicator_pool: Optional[int] = None,
                  parallel_refresh: Optional[int] = None,
-                 refresh_apply_cost: float = 0.0):
+                 refresh_apply_cost: float = 0.0,
+                 subscription: Optional[frozenset] = None,
+                 num_shards: Optional[int] = None):
         self.kernel = kernel
         self.name = name
         self.recorder = recorder
+        #: Partial replication: the shard set this replica subscribes to
+        #: (None = sharding off, classic full replication).
+        self.subscription = subscription
+        self.num_shards = num_shards
+        #: Per-shard freshness frontier: commit ts of the newest *visible*
+        #: commit touching each subscribed shard.  Advanced by the
+        #: refresher alongside seq(DBsec); shard-aware strong-session
+        #: blocking waits on these instead of the scalar.
+        self.shard_frontier: dict[int, int] = \
+            {} if subscription is None else {s: 0 for s in subscription}
+        #: Per-shard wire sequence numbers (monotonic max of the
+        #: ``shard_seqs`` metadata received; never contiguity-checked —
+        #: recovery and promotion legitimately skip ranges).
+        self.shard_seq_db: dict[int, int] = \
+            {} if subscription is None else {s: 0 for s in subscription}
         self.engine = SIDatabase(name=name, log=None, recorder=recorder,
                                  clock=lambda: kernel.now)
         self.update_queue = Queue(kernel, name=f"{name}-update-queue")
@@ -210,6 +227,17 @@ class SecondarySite:
         retired by a promotion.  Used by failover, staleness accounting,
         quiescence detection and fault-plan applicability alike."""
         return not self.engine.crashed and not self.retired
+
+    @property
+    def sharded(self) -> bool:
+        """True when this site runs under partial replication."""
+        return self.subscription is not None
+
+    def holds_shards(self, shards: frozenset) -> bool:
+        """True when this replica subscribes to every given shard."""
+        if self.subscription is None:
+            return True
+        return shards <= self.subscription
 
     # -- propagation endpoint ----------------------------------------------
     def deliver_later(self, record: PropagationRecord, delay: float) -> None:
@@ -261,6 +289,23 @@ class SecondarySite:
                 self._catch_up_target = None
             self.seq_cond.notify_all()
 
+    def note_shards_applied(self, shard_seqs: tuple,
+                            commit_ts: int) -> None:
+        """Advance the per-shard frontiers for one newly *visible* commit.
+
+        Called by the refresher when a sharded commit's versions become
+        externally visible (at commit for FIFO refresh, at watermark
+        advance for parallel refresh).  Both maps only grow; the blocked
+        readers are woken by the caller's ``set_seq_db``.
+        """
+        frontier = self.shard_frontier
+        seqs = self.shard_seq_db
+        for shard, seq in shard_seqs:
+            if commit_ts > frontier.get(shard, 0):
+                frontier[shard] = commit_ts
+            if seq > seqs.get(shard, 0):
+                seqs[shard] = seq
+
     def begin_read_only(self, metadata: Optional[dict] = None) -> Transaction:
         """Start a read-only transaction under local strong SI."""
         return self.engine.begin(update=False, metadata=metadata)
@@ -281,18 +326,37 @@ class SecondarySite:
         # instead of sleeping on a dead replica forever.
         self.seq_cond.notify_all()
 
-    def recover(self, source_state: dict, source_commit_ts: int) -> None:
+    def recover(self, source_state: dict, source_commit_ts: int,
+                shard_seqs: Optional[dict] = None,
+                shard_frontiers: Optional[dict] = None) -> None:
         """Reinstall a quiesced primary copy and restart refresh machinery.
 
         ``seq(DBsec)`` is reinitialised to the copy's commit timestamp —
         the sequence number Section 4 obtains via a dummy transaction at
-        the primary.
+        the primary.  Under partial replication the copy is transaction-
+        consistent at ``source_commit_ts``; ``shard_frontiers`` carries
+        the per-shard timestamps of the newest commit *touching each
+        subscribed shard* at copy time (NOT the scalar copy timestamp —
+        frontier values must always name commits that touched the shard,
+        or a session could observe an inflated frontier here and then
+        block forever demanding it of a replica that can never reach
+        it), and ``shard_seqs`` (the propagator's per-shard counters
+        snapshotted with the copy) reseeds the wire sequence numbers so
+        replay dedup stays monotonic.
         """
         self.engine.recover_from(source_state, source_commit_ts)
         if self.recorder is not None:
             self.recorder.record_recovery(self.name, self.kernel.now,
                                           source_state, source_commit_ts)
         self.seq_db = source_commit_ts
+        if self.subscription is not None:
+            for shard, frontier in (shard_frontiers or {}).items():
+                if frontier > self.shard_frontier.get(shard, 0):
+                    self.shard_frontier[shard] = frontier
+            for shard, seq in (shard_seqs or {}).items():
+                if shard in self.shard_seq_db \
+                        and seq > self.shard_seq_db[shard]:
+                    self.shard_seq_db[shard] = seq
         self.recover_count += 1
         self._recovered_at = self.kernel.now
         self.refresher.start()

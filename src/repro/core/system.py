@@ -34,6 +34,7 @@ from repro.core.guarantees import Guarantee
 from repro.core.promotion import PromotionConfig, PromotionReport, promote
 from repro.core.propagation import Propagator, ReliableLink
 from repro.core.sessions import SequenceTracker
+from repro.core.sharding import ShardingConfig, shard_of
 from repro.core.site import PrimarySite, SecondarySite
 from repro.errors import (
     ConfigurationError,
@@ -45,6 +46,7 @@ from repro.errors import (
     NoPrimaryError,
     ReplicationError,
     SessionClosedError,
+    ShardUnavailableError,
     SiteUnavailableError,
     TransactionStateError,
 )
@@ -95,6 +97,12 @@ class ClientSession:
         #: the state strong session SI orders later reads after.  PCSI
         #: deliberately ignores it (Section 7's distinction).
         self.last_observed_seq = 0
+        #: Sharded analogue of ``last_observed_seq``: shard -> freshest
+        #: frontier this session has read that shard at.
+        self._observed_shards: dict[int, int] = {}
+        #: Reads whose bound replica did not hold every touched shard
+        #: (forcing a shard-aware re-route; partial replication only).
+        self.shard_routing_misses = 0
         #: Set by a primary promotion when state this session depends on
         #: fell in the truncated window ``(kept, lost]``; every later
         #: operation raises :class:`~repro.errors.LostUpdatesError`.
@@ -168,7 +176,8 @@ class ClientSession:
                                             primary.name) from exc
                 raise
             break
-        system.tracker.on_primary_commit(self.label, commit_ts)
+        system.tracker.on_primary_commit(self.label, commit_ts,
+                                         system._shards_of_txn(txn))
         self.updates_committed += 1
         return result
 
@@ -222,6 +231,7 @@ class ClientSession:
 
     # -- read-only transactions ------------------------------------------------
     def execute_read_only(self, work: TransactionBody, *,
+                          keys: Optional[list] = None,
                           max_wait: Optional[float] = None,
                           on_timeout: str = "error") -> Any:
         """Run a read-only transaction at this session's secondary.
@@ -231,6 +241,12 @@ class ClientSession:
         ``seq(DBsec) >= `` the global sequence at submission; under
         ``WEAK_SI`` it runs immediately.  The kernel is driven forward
         (propagation, refresh) while waiting.
+
+        ``keys`` declares the key set the transaction will touch.  It is
+        only consulted under partial replication, where it routes the
+        read to a live replica subscribing to every touched shard and
+        narrows session blocking to those shards' frontiers; omitting it
+        conservatively demands a full-coverage replica.
 
         ``max_wait`` caps the freshness wait (virtual time).  On expiry,
         ``on_timeout='error'`` raises
@@ -244,6 +260,28 @@ class ClientSession:
             raise ConfigurationError(
                 f"on_timeout must be 'error' or 'stale', got {on_timeout!r}")
         system = self.system
+        if system.sharding is not None:
+            sharding = system.sharding
+            touched = (frozenset(range(sharding.shards)) if keys is None
+                       else sharding.shards_touched(keys))
+            required = system.tracker.required_shard_sequence(
+                self.guarantee, self.label, touched)
+            if self.guarantee.orders_reads_within_session:
+                for shard in touched:
+                    seen = self._observed_shards.get(shard, 0)
+                    if seen > required[shard]:
+                        required[shard] = seen
+            if self.freshness_bound is not None:
+                for shard in touched:
+                    floor = (system.tracker.global_shard_seq(shard)
+                             - self.freshness_bound)
+                    if floor > required[shard]:
+                        required[shard] = floor
+            process = system.kernel.spawn(
+                self._read_process_sharded(work, touched, required,
+                                           max_wait, on_timeout),
+                name=f"read@{self.label}")
+            return system.kernel.run_until_complete(process)
         required = system.tracker.required_sequence(self.guarantee,
                                                     self.label)
         if self.guarantee.orders_reads_within_session:
@@ -386,6 +424,112 @@ class ClientSession:
             yield kernel.sleep(min(backoff, deadline - kernel.now))
             backoff = min(backoff * 2, 8.0)
 
+    def _read_process_sharded(self, work: TransactionBody,
+                              touched: frozenset,
+                              required: dict[int, int],
+                              max_wait: Optional[float], on_timeout: str):
+        """Sharded read: route to a replica holding every touched shard
+        and block on those shards' frontiers instead of the scalar
+        ``seq(DBsec)`` (which a partial subscriber may never reach)."""
+        from repro.kernel import Timeout, TimeoutExpired
+        while True:
+            secondary = self.secondary
+            if not secondary.live or not secondary.holds_shards(touched):
+                if secondary.live:
+                    # Wrong placement, not a failure: the bound replica
+                    # simply does not subscribe to these shards.
+                    self.shard_routing_misses += 1
+                secondary = yield from self._failover_sharded(touched,
+                                                              required)
+
+            def satisfied(site=secondary):
+                frontier = site.shard_frontier
+                return all(frontier.get(shard, 0) >= seq
+                           for shard, seq in required.items())
+
+            if not satisfied():
+                self.blocked_reads += 1
+                started = self.system.kernel.now
+                wait = secondary.seq_cond.wait_for(
+                    lambda: satisfied() or not secondary.live
+                    or self._lost_window is not None)
+                if max_wait is None:
+                    yield wait
+                else:
+                    try:
+                        yield Timeout(wait, max_wait)
+                    except TimeoutExpired:
+                        self.freshness_timeouts += 1
+                        if on_timeout == "error":
+                            self.total_read_wait += (
+                                self.system.kernel.now - started)
+                            raise FreshnessTimeoutError(
+                                f"replica {secondary.name} not at the "
+                                f"required frontiers for shards "
+                                f"{sorted(touched)} within {max_wait}s")
+                        # 'stale': fall through and read what is there now.
+                self.total_read_wait += self.system.kernel.now - started
+                if self._lost_window is not None:
+                    raise LostUpdatesError(self.label, self._lost_window)
+                if not secondary.live:
+                    continue   # replica died/retired mid-wait: fail over
+            txn = secondary.begin_read_only(metadata={
+                "logical_id": self.system._txn_ids.next(),
+                "session": self.label,
+            })
+            self.last_observed_seq = max(self.last_observed_seq,
+                                         secondary.seq_db)
+            for shard in touched:
+                frontier = secondary.shard_frontier.get(shard, 0)
+                if frontier > self._observed_shards.get(shard, 0):
+                    self._observed_shards[shard] = frontier
+            result = work(txn)
+            txn.commit()
+            self.reads_executed += 1
+            return result
+
+    def _failover_sharded(self, touched: frozenset,
+                          required: dict[int, int], backoff: float = 0.25):
+        """Rebind to a live replica subscribing to every touched shard.
+
+        Prefers a holder whose frontiers already satisfy ``required``
+        (the read can run immediately); otherwise the holder with the
+        freshest minimum touched frontier.  While no live holder exists,
+        retries with exponential backoff for up to ``failover_wait``,
+        then raises :class:`~repro.errors.ShardUnavailableError` when
+        replicas are live but none covers the shards — or
+        :class:`~repro.errors.SiteUnavailableError` when the whole tier
+        is dark.
+        """
+        system = self.system
+        kernel = system.kernel
+        deadline = kernel.now + self.failover_wait
+        while True:
+            live = [s for s in system.secondaries if s.live]
+            holders = [s for s in live if s.holds_shards(touched)]
+            if holders:
+                def freshness(site: SecondarySite) -> int:
+                    return min((site.shard_frontier.get(shard, 0)
+                                for shard in touched),
+                               default=site.seq_db)
+                ready = [s for s in holders
+                         if all(s.shard_frontier.get(shard, 0) >= seq
+                                for shard, seq in required.items())]
+                pool = ready or holders
+                target = max(pool, key=freshness)
+                self.failovers += 1
+                self.secondary = target
+                return target
+            if kernel.now >= deadline:
+                if live:
+                    raise ShardUnavailableError(touched, self.label)
+                raise SiteUnavailableError(
+                    f"session {self.label}: every secondary is down and "
+                    f"none recovered within the failover wait budget "
+                    f"({self.failover_wait}s)")
+            yield kernel.sleep(min(backoff, deadline - kernel.now))
+            backoff = min(backoff * 2, 8.0)
+
     def move_to(self, secondary_index: int) -> None:
         """Rebind this session to another secondary (e.g. fail-over).
 
@@ -401,12 +545,14 @@ class ClientSession:
     # -- convenience wrappers -----------------------------------------------
     def read(self, key: Any, default: Any = None) -> Any:
         """One-shot read-only transaction returning a single key."""
-        return self.execute_read_only(lambda t: t.read(key, default=default))
+        return self.execute_read_only(
+            lambda t: t.read(key, default=default), keys=[key])
 
     def read_many(self, keys: list[Any], default: Any = None) -> dict:
         """One-shot read-only transaction returning several keys."""
         return self.execute_read_only(
-            lambda t: {k: t.read(k, default=default) for k in keys})
+            lambda t: {k: t.read(k, default=default) for k in keys},
+            keys=keys)
 
     def write(self, key: Any, value: Any) -> None:
         """One-shot update transaction writing a single key."""
@@ -458,8 +604,10 @@ class _InteractiveUpdate:
         else:
             self.txn.commit()
         if self.txn.status is TxnStatus.COMMITTED:
-            self.session.system.tracker.on_primary_commit(
-                self.session.label, self.txn.commit_ts)
+            system = self.session.system
+            system.tracker.on_primary_commit(
+                self.session.label, self.txn.commit_ts,
+                system._shards_of_txn(self.txn))
             self.session.updates_committed += 1
         return False
 
@@ -543,6 +691,19 @@ class ReplicatedSystem:
         behaviour: updates fail with
         :class:`~repro.errors.SiteUnavailableError` while the primary is
         down, exactly as before.
+    sharding:
+        Optional :class:`~repro.core.sharding.ShardingConfig` enabling
+        **keyspace sharding with partial replication**: keys map to
+        shards by fingerprint, each secondary subscribes to a shard
+        subset (``placement``; ``None`` subscribes everyone to every
+        shard), and the propagator ships each commit's write set
+        projected onto the endpoint's subscription over a per-shard
+        sequenced, commit-only stream.  Read-only transactions route to
+        a live replica holding every shard they touch (declared via the
+        ``keys=`` hint) and session guarantees block on per-shard
+        frontiers.  Updates still all execute at the single primary.
+        ``None`` (the default) is classic full replication, bit-identical
+        to earlier versions.
     failover:
         Optional :class:`~repro.core.failover.FailoverConfig` enabling
         **autonomous** failover: the primary piggybacks heartbeats and
@@ -575,6 +736,7 @@ class ReplicatedSystem:
                  fault_seed: int = 0,
                  retransmit_timeout: Optional[float] = None,
                  promotion: Optional[PromotionConfig] = None,
+                 sharding: Optional[ShardingConfig] = None,
                  failover: Optional[FailoverConfig] = None):
         if num_secondaries < 1:
             raise ConfigurationError("need at least one secondary site")
@@ -582,6 +744,12 @@ class ReplicatedSystem:
         self.recorder: Optional[HistoryRecorder] = (
             HistoryRecorder(detail=history_detail) if record_history
             else None)
+        self.sharding = sharding
+        subscriptions: list[Optional[frozenset]] = [None] * num_secondaries
+        if sharding is not None:
+            sharding.validate_for(num_secondaries)
+            subscriptions = [sharding.subscription_for(i)
+                             for i in range(num_secondaries)]
         self.primary = PrimarySite(self.kernel, recorder=self.recorder)
         self.secondaries: list[SecondarySite] = [
             SecondarySite(self.kernel, name=f"secondary-{i + 1}",
@@ -589,9 +757,17 @@ class ReplicatedSystem:
                           serial_refresh=serial_refresh,
                           applicator_pool=applicator_pool,
                           parallel_refresh=parallel_refresh,
-                          refresh_apply_cost=refresh_apply_cost)
+                          refresh_apply_cost=refresh_apply_cost,
+                          subscription=subscriptions[i],
+                          num_shards=(None if sharding is None
+                                      else sharding.shards))
             for i in range(num_secondaries)
         ]
+        if sharding is not None and self.recorder is not None:
+            for secondary in self.secondaries:
+                self.recorder.record_subscription(
+                    secondary.name, secondary.subscription,
+                    sharding.shards, self.kernel.now)
         self.autovacuums: list[AutovacuumDaemon] = []
         if autovacuum_interval is not None:
             self.autovacuums = [
@@ -602,7 +778,8 @@ class ReplicatedSystem:
             ]
         self.propagator = Propagator(self.kernel, self.primary.log,
                                      delay=propagation_delay,
-                                     batch_interval=batch_interval)
+                                     batch_interval=batch_interval,
+                                     sharding=sharding)
         # Autonomous failover needs link channels for its control plane
         # (heartbeats/leases) and for partitions to have something to
         # cut, even when the channels themselves are fault-free.
@@ -699,6 +876,13 @@ class ReplicatedSystem:
                 f"[0, {len(self.secondaries)})")
         return self.secondaries[index]
 
+    def _shards_of_txn(self, txn: Transaction) -> frozenset:
+        """Shards a committed update's write set touched (empty when
+        sharding is off — the tracker then skips all per-shard state)."""
+        if self.sharding is None:
+            return frozenset()
+        return self.sharding.shards_touched(txn.write_set)
+
     # -- global progress --------------------------------------------------------
     def run(self, until: Optional[float] = None) -> None:
         """Advance the kernel (propagation and refresh make progress)."""
@@ -761,9 +945,44 @@ class ReplicatedSystem:
         if link is not None:
             link.resync()
         state, commit_ts = self.primary.quiesced_copy()
-        secondary.recover(state, commit_ts)
-        self.propagator.replay_to(secondary, after_commit_ts=commit_ts)
-        secondary.track_catch_up(self.primary.latest_commit_ts)
+        if self.sharding is not None:
+            # A partial subscriber reinstalls only its own shards'
+            # keys; the copy stays transaction-consistent at commit_ts
+            # because projection is by key, never by transaction.  The
+            # propagator's per-shard counters (snapshotted here, exact:
+            # the log sniffer is synchronous) reseed the wire sequence
+            # numbers.
+            shards = self.sharding.shards
+            subscription = secondary.subscription
+            state = {key: value for key, value in state.items()
+                     if shard_of(key, shards) in subscription}
+            # Frontier floors are per-shard: the newest commit *touching*
+            # each shard (<= commit_ts since the log sniffer is
+            # synchronous), never the scalar copy timestamp — see
+            # SecondarySite.recover for why inflating them deadlocks.
+            secondary.recover(
+                state, commit_ts,
+                shard_seqs={
+                    shard: self.propagator._shard_seq.get(shard, 0)
+                    for shard in subscription},
+                shard_frontiers={
+                    shard: self.propagator._shard_last_commit_ts.get(
+                        shard, 0)
+                    for shard in subscription})
+            self.propagator.replay_to(secondary, after_commit_ts=commit_ts)
+            # The scalar catch-up target is unreachable for a partial
+            # subscriber (commits outside its shards never advance
+            # seq(DBsec)): aim at the newest commit touching its
+            # subscription instead.
+            secondary.track_catch_up(min(
+                commit_ts if subscription is None else max(
+                    (self.propagator._shard_last_commit_ts.get(shard, 0)
+                     for shard in subscription), default=0),
+                self.primary.latest_commit_ts))
+        else:
+            secondary.recover(state, commit_ts)
+            self.propagator.replay_to(secondary, after_commit_ts=commit_ts)
+            secondary.track_catch_up(self.primary.latest_commit_ts)
 
     def crash_primary(self) -> None:
         """Fail the primary: in-flight update transactions abort (the
@@ -864,6 +1083,24 @@ class ReplicatedSystem:
             up to date.
         """
         latest = self.primary.latest_commit_ts
+        if self.sharding is not None:
+            # Subscription-aware: a partial replica is only as stale as
+            # its own shards — measure each subscribed shard's frontier
+            # against the newest commit touching that shard.
+            newest = self.propagator._shard_last_commit_ts
+            lags = []
+            for secondary in self.secondaries:
+                if not secondary.live:
+                    continue
+                lags.append(max(
+                    (max(0, newest.get(shard, 0)
+                         - secondary.shard_frontier.get(shard, 0))
+                     for shard in secondary.subscription), default=0))
+            if not lags:
+                raise NoLiveSecondariesError(
+                    "max_staleness is undefined: every secondary is "
+                    "crashed or retired")
+            return max(lags)
         lags = [latest - s.seq_db for s in self.secondaries if s.live]
         if not lags:
             raise NoLiveSecondariesError(

@@ -86,6 +86,27 @@ class SiteUnavailableError(ReplicationError):
     """
 
 
+class ShardUnavailableError(ReplicationError):
+    """No live secondary subscribes to every shard a read touches.
+
+    Under partial replication
+    (:class:`~repro.core.sharding.ShardingConfig` with an explicit
+    placement) a read-only transaction must be served by one replica
+    holding *all* the shards its key set maps onto; when no live such
+    replica exists (or none appeared within the session's failover wait
+    budget), this error surfaces the placement gap instead of silently
+    serving a partial view.
+    """
+
+    def __init__(self, shards: frozenset, label: str = ""):
+        self.shards = shards
+        self.label = label
+        super().__init__(
+            f"no live secondary subscribes to all of shards "
+            f"{sorted(shards)}"
+            + (f" (session {label})" if label else ""))
+
+
 class NoLiveSecondariesError(ReplicationError):
     """Every secondary site is crashed, so replica-wide quantities
     (e.g. :meth:`~repro.core.system.ReplicatedSystem.max_staleness`)

@@ -56,8 +56,11 @@ from repro.evaluation.runner import figure_series, run_sweep, write_csv
 #: extends the ``kernel`` block with per-scheduler dispatch microbench
 #: numbers (calendar-queue vs binary heap) and a ``scaleup_95_5`` leg
 #: (wall-clock, events dispatched, events/sec per scheduler, and the
-#: paired speedup vs the pre-calendar-queue kernel).
-BENCH_SCHEMA = 5
+#: paired speedup vs the pre-calendar-queue kernel).  Schema 6 adds
+#: ``partial_replication``: per-secondary apply volume, link volume
+#: fraction and drain speedup of keyspace sharding at subscription
+#: fraction 1/2 vs full replication on the 95/5 mix.
+BENCH_SCHEMA = 6
 
 #: Representative Figure 2 point timed per algorithm (100 clients on the
 #: 5-secondary 80/20 clients sweep — mid-load, past the warm-up knee).
@@ -460,6 +463,144 @@ def bench_parallel_refresh(seed: int = 42) -> dict:
     return result
 
 
+# -- schema 6: keyspace sharding / partial replication -----------------------
+
+SHARD_BENCH_SHARDS = 8
+SHARD_BENCH_SECONDARIES = 4
+#: Secondary ``i`` subscribes to the width-4 shard window starting at
+#: ``2i``: every shard is held by exactly two of the four replicas, so
+#: each replica's subscription fraction — and, for single-shard
+#: transactions, its share of the update volume — is exactly 1/2.
+SHARD_BENCH_PLACEMENT = tuple(
+    tuple((2 * i + j) % SHARD_BENCH_SHARDS for j in range(4))
+    for i in range(SHARD_BENCH_SECONDARIES))
+#: Keys kept per shard pool (large enough for the biggest transaction).
+SHARD_BENCH_POOL = 64
+
+
+def _shard_bench_txns(seed: int) -> list[list]:
+    """A 95/5-mix update stream whose transactions are single-shard.
+
+    Sizes reuse the heavy-tailed shape of :func:`_apply_bench_txns`, but
+    each transaction draws a shard and writes keys only from that
+    shard's pool: a commit then touches exactly one shard, which is
+    what makes the per-secondary volume fraction *exactly* the
+    subscription fraction (a multi-shard commit would be shipped to
+    every subscriber of any touched shard, blurring the bar).
+    """
+    from repro.core.sharding import shard_of
+    from repro.sim.rng import RandomStreams
+
+    pools: list[list[str]] = [[] for _ in range(SHARD_BENCH_SHARDS)]
+    key_index = 0
+    while min(len(pool) for pool in pools) < SHARD_BENCH_POOL:
+        key = f"k{key_index}"
+        pools[shard_of(key, SHARD_BENCH_SHARDS)].append(key)
+        key_index += 1
+    stream = RandomStreams(seed).stream("shard-bench")
+    txns: list[list] = []
+    for _ in range(APPLY_BENCH_OPS):
+        if not stream.bernoulli(0.05):   # 95/5 browsing mix
+            continue
+        size = stream.randint(25, 40) if stream.bernoulli(0.10) \
+            else stream.randint(1, 2)
+        pool = pools[stream.randint(0, SHARD_BENCH_SHARDS - 1)]
+        base = stream.randint(0, len(pool) - 1)
+        txns.append([(pool[(base + j) % len(pool)],
+                      stream.randint(0, 9999))
+                     for j in range(size)])
+    return txns
+
+
+def _shard_bench_drain(txns: list[list], sharding) -> tuple:
+    """Drain time + per-secondary applied-commit counts for one config.
+
+    Same paused-propagator flood as :func:`_drain_throughput`: the whole
+    stream commits at the primary first, then the release-to-quiescence
+    time is pure refresh-pipeline time.
+    """
+    from repro.core.sharding import shard_of
+    from repro.core.system import ReplicatedSystem
+
+    system = ReplicatedSystem(num_secondaries=SHARD_BENCH_SECONDARIES,
+                              propagation_delay=0.1, record_history=False,
+                              refresh_apply_cost=APPLY_BENCH_COST,
+                              sharding=sharding)
+    system.propagator.pause()
+    for updates in txns:
+        _commit_txn(system, updates)
+    released_at = system.kernel.now
+    system.propagator.resume()
+    system.quiesce()
+    drained = system.kernel.now - released_at
+    primary_state = system.primary_state()
+    for index, secondary in enumerate(system.secondaries):
+        expected = primary_state if sharding is None else {
+            key: value for key, value in primary_state.items()
+            if shard_of(key, sharding.shards) in secondary.subscription}
+        if system.secondary_state(index) != expected:
+            raise RuntimeError(       # pragma: no cover - scheduler bug
+                f"partial-replication bench diverged at secondary "
+                f"{index}")
+    applied = [secondary.refresher.refreshes_applied
+               for secondary in system.secondaries]
+    return drained, applied, system.propagator
+
+
+def bench_partial_replication(seed: int = 42) -> dict:
+    """Partial replication vs full replication (schema 6).
+
+    The same single-shard 95/5 update stream drains through two
+    four-secondary systems: the classic fully-replicated one, and a
+    sharded one where every replica subscribes to half the keyspace.
+    Records the per-secondary applied-volume speedup (exactly 2x by
+    construction of the placement), the link volume fraction (commit
+    deliveries per endpoint relative to full replication's
+    one-per-commit) and the drain-time speedup.  All legs run in
+    virtual time — deterministic per seed.
+    """
+    from repro.core.sharding import ShardingConfig
+
+    txns = _shard_bench_txns(seed)
+    total_ops = sum(len(txn) for txn in txns)
+    sharding = ShardingConfig(shards=SHARD_BENCH_SHARDS,
+                              placement=SHARD_BENCH_PLACEMENT)
+
+    full_drain, full_applied, _ = _shard_bench_drain(txns, None)
+    shard_drain, shard_applied, propagator = _shard_bench_drain(
+        txns, sharding)
+
+    commits = len(txns)
+    endpoints = SHARD_BENCH_SECONDARIES
+    full_fraction = sum(full_applied) / (commits * endpoints)
+    shard_fraction = sum(shard_applied) / (commits * endpoints)
+    # Commit-record deliveries per endpoint, relative to full
+    # replication's one-delivery-per-commit-per-endpoint.
+    link_fraction = propagator.records_sent / (commits * endpoints)
+    return {
+        "shards": SHARD_BENCH_SHARDS,
+        "secondaries": endpoints,
+        "placement": [list(entry) for entry in SHARD_BENCH_PLACEMENT],
+        "subscription_fraction": 0.5,
+        "mix": "95/5",
+        "update_txns": commits,
+        "update_ops": total_ops,
+        "apply_cost": APPLY_BENCH_COST,
+        "full": {
+            "drain_seconds": round(full_drain, 3),
+            "per_secondary_commit_fraction": round(full_fraction, 4),
+        },
+        "sharded": {
+            "drain_seconds": round(shard_drain, 3),
+            "per_secondary_commit_fraction": round(shard_fraction, 4),
+        },
+        "per_secondary_volume_speedup": round(
+            full_fraction / shard_fraction, 3),
+        "link_volume_fraction": round(link_fraction, 4),
+        "drain_speedup": round(full_drain / shard_drain, 3),
+    }
+
+
 def run_profile(scale: str = "quick", seed: int = 42, top: int = 20,
                 x: int = RUN_ONCE_X) -> int:
     """``--profile``: cProfile one run_once per algorithm, dump top-N.
@@ -616,6 +757,16 @@ def run_bench(jobs: Optional[int] = None, out: Optional[Path] = None,
               f"(lag {par8['mean_lag']:.1f}) at 8 workers "
               f"-> {stats['throughput_speedup_at_8']:.2f}x")
 
+    print("Benchmarking partial replication vs full replication "
+          f"({SHARD_BENCH_SHARDS} shards, subscription 1/2, 95/5) ...")
+    partial = bench_partial_replication(seed=seed)
+    print(f"  {partial['update_txns']} txns: drain "
+          f"{partial['full']['drain_seconds']:.1f}s full vs "
+          f"{partial['sharded']['drain_seconds']:.1f}s sharded "
+          f"({partial['drain_speedup']:.2f}x), per-secondary volume "
+          f"{partial['per_secondary_volume_speedup']:.2f}x, link "
+          f"fraction {partial['link_volume_fraction']:.2f}")
+
     print(f"Benchmarking figure 2 end-to-end at scale 'small' "
           f"(jobs=1 vs jobs={jobs}) ...")
     figure2 = bench_figure2_small(jobs=jobs, seed=seed)
@@ -642,6 +793,7 @@ def run_bench(jobs: Optional[int] = None, out: Optional[Path] = None,
         "checker_timings": checker_timings,
         "history_bytes": checker_timings["history_bytes"],
         "parallel_refresh": parallel_refresh,
+        "partial_replication": partial,
         "figure2_small": figure2,
     }
     out.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")

@@ -77,6 +77,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="virtual seconds of apply work per update "
                              "operation (default: 0.02 when "
                              "--parallel-refresh is set, else 0)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="keyspace sharding with partial replication: "
+                             "N shards, the first two secondaries "
+                             "full-coverage and the rest subscribing to "
+                             "alternating halves (default: off)")
     parser.add_argument("--scheduler", choices=("calendar", "heap"),
                         default="calendar",
                         help="kernel event scheduler (same-seed runs are "
@@ -109,6 +114,7 @@ def main(argv: list[str] | None = None) -> int:
                              auto_failover=args.auto_failover,
                              parallel_refresh=args.parallel_refresh,
                              refresh_apply_cost=apply_cost,
+                             shards=args.shards,
                              scheduler=args.scheduler)
         result = run_chaos(config)
         if not result.ok:

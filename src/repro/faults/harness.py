@@ -32,11 +32,13 @@ from typing import Optional
 from repro.core.failover import FailoverConfig
 from repro.core.guarantees import Guarantee
 from repro.core.promotion import PromotionConfig
+from repro.core.sharding import ShardingConfig, shard_of
 from repro.core.system import ReplicatedSystem
 from repro.errors import (
     FirstCommitterWinsError,
     LostUpdatesError,
     NoPrimaryError,
+    ShardUnavailableError,
     SiteUnavailableError,
 )
 from repro.faults.channel import ChannelFaults
@@ -115,6 +117,46 @@ class ChaosConfig:
     #: runs are bit-identical between the two (the equivalence CI leg
     #: diffs their summaries); the knob exists for that differential.
     scheduler: str = "calendar"
+    #: Keyspace sharding with partial replication: ``shards=N`` derives a
+    #: placement where the first two secondaries hold every shard (so
+    #: promotion always has a full-coverage candidate through any single
+    #: outage) and each further secondary subscribes to an alternating
+    #: half of the keyspace.  Default off, so classic chaos runs are
+    #: bit-identical.
+    shards: Optional[int] = None
+
+    def sharding_config(self) -> Optional[ShardingConfig]:
+        """The derived :class:`ShardingConfig` (None with sharding off)."""
+        if self.shards is None:
+            return None
+        return ShardingConfig(
+            shards=self.shards,
+            placement=derived_placement(self.shards,
+                                        self.num_secondaries))
+
+
+def derived_placement(shards: int,
+                      num_secondaries: int) -> tuple[frozenset, ...]:
+    """Chaos-harness placement: two full-coverage replicas, then halves.
+
+    Secondaries 0 and 1 subscribe to every shard — the promotion pool
+    stays non-empty through any single-site outage — and each further
+    secondary takes an alternating half of the shard range, so partial
+    subscription, shard-aware routing and per-shard watermarks all get
+    exercised whenever there are three or more secondaries.
+    """
+    full = frozenset(range(shards))
+    if shards < 2:
+        return tuple(full for _ in range(num_secondaries))
+    half = shards // 2
+    halves = (frozenset(range(half)), frozenset(range(half, shards)))
+    placement = []
+    for index in range(num_secondaries):
+        if index < 2:
+            placement.append(full)
+        else:
+            placement.append(halves[index % 2])
+    return tuple(placement)
 
 
 @dataclass
@@ -176,6 +218,10 @@ class ChaosResult:
     peak_queue_depth: int = 0
     timer_cancellations: int = 0
     same_instant_ratio: float = 0.0
+    #: Partial-replication activity (all zero unless ``shards`` is set).
+    shards: int = 0
+    shard_routing_misses: int = 0
+    deferred_reads: int = 0        # no live holder of the touched shard
     #: Storage-maintenance outcome (zero with autovacuum off).
     vacuum_runs: int = 0
     versions_reclaimed: int = 0
@@ -236,6 +282,12 @@ class ChaosResult:
             lines.append(
                 f"  parallel refresh: {self.out_of_order_commits} "
                 f"commits applied out of order")
+        if self.shards:
+            lines.append(
+                f"  sharding: {self.shards} shards, "
+                f"{self.shard_routing_misses} routing misses, "
+                f"{self.deferred_reads} reads deferred "
+                f"(no live shard holder)")
         if self.vacuum_runs:
             lines.append(
                 f"  vacuum: {self.vacuum_runs} runs, "
@@ -274,6 +326,7 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
         channel_faults=config.faults,
         fault_seed=config.seed,
         promotion=promotion,
+        sharding=config.sharding_config(),
         failover=failover)
     plan = FaultPlan.random(
         streams["plan"], horizon=config.horizon,
@@ -333,6 +386,10 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
                 result.reads += 1
             except LostUpdatesError:
                 replace_lost(session)
+            except ShardUnavailableError:
+                # Every replica holding the key's shard is down and the
+                # failover deadline passed; a real client would retry.
+                result.deferred_reads += 1
 
     # Drain the plan, then bring everything back and settle the system.
     if plan.horizon > system.kernel.now:
@@ -363,11 +420,35 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
     # Retired sites share the new primary's engine; convergence is over
     # the replicas that still follow the feed.
     primary_state = system.primary_state()
-    result.converged = all(
-        system.secondary_state(i) == primary_state
-        and system.secondaries[i].seq_db == system.primary.latest_commit_ts
-        for i in range(config.num_secondaries)
-        if not system.secondaries[i].retired)
+    sharding = system.sharding
+    if sharding is None:
+        result.converged = all(
+            system.secondary_state(i) == primary_state
+            and system.secondaries[i].seq_db
+            == system.primary.latest_commit_ts
+            for i in range(config.num_secondaries)
+            if not system.secondaries[i].retired)
+    else:
+        # Partial replication: a subscriber converges when it holds the
+        # primary state *projected onto its subscription* and every
+        # subscribed shard frontier reached the newest commit touching
+        # the shard (the scalar seq_db target is unreachable for partial
+        # subscribers — commits outside their subscription never ship).
+        shard_last = system.propagator._shard_last_commit_ts
+
+        def _shard_converged(index: int) -> bool:
+            secondary = system.secondaries[index]
+            expected = {
+                key: value for key, value in primary_state.items()
+                if shard_of(key, sharding.shards) in secondary.subscription}
+            return (system.secondary_state(index) == expected
+                    and all(secondary.shard_frontier.get(shard, 0)
+                            >= shard_last.get(shard, 0)
+                            for shard in secondary.subscription))
+
+        result.converged = all(
+            _shard_converged(i) for i in range(config.num_secondaries)
+            if not system.secondaries[i].retired)
     result.recorder = system.recorder
     result.history_bytes = system.recorder.nbytes()
     if config.history_detail == "ops":
@@ -395,6 +476,9 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
     result.failovers = sum(s.failovers for s in all_sessions)
     result.no_primary_errors = sum(s.no_primary_errors
                                    for s in all_sessions)
+    result.shards = config.shards or 0
+    result.shard_routing_misses = sum(s.shard_routing_misses
+                                      for s in all_sessions)
     result.primary_crashes = system.primary.crash_count
     result.primary_restarts = system.primary.restart_count
     result.primary_kills = sum(1 for event in injector.applied

@@ -246,11 +246,23 @@ class FaultInjector:
                 system.kill_primary()
         elif action == "promote_secondary":
             secondaries = system.secondaries
+
+            def candidate(site) -> bool:
+                # Under partial replication only a full-coverage replica
+                # can take over as primary; a promote drawn while none is
+                # live is skipped, like one drawn with every replica down.
+                if not site.live:
+                    return False
+                sharding = getattr(system, "sharding", None)
+                if sharding is None:
+                    return True
+                return site.holds_shards(frozenset(range(sharding.shards)))
+
             applicable = (
                 system.promotion is not None
                 and system.primary.crashed
-                and (any(s.live for s in secondaries) if target is None
-                     else secondaries[target].live))
+                and (any(candidate(s) for s in secondaries)
+                     if target is None else candidate(secondaries[target])))
             if applicable:
                 system.promote_secondary(target)
         elif action == "pause_propagator":

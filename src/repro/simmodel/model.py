@@ -68,6 +68,9 @@ class _CommitRecord:
     #: Commit number of the latest earlier commit this one conflicts
     #: with (0: none).  Only nonzero under ``parallel_refresh``.
     dep_ts: int = 0
+    #: Shard the transaction's write set falls in.  Only meaningful
+    #: under ``params.shards``; 0 otherwise.
+    shard: int = 0
 
 
 class _SecondaryModel:
@@ -82,6 +85,12 @@ class _SecondaryModel:
         self.pending: deque[int] = deque()
         self.pending_cond = Condition(kernel, name=f"sec{index}-pending")
         self.started: set[int] = set()
+        #: Shards this secondary subscribes to under partial replication;
+        #: ``None`` (classic full replication) applies every commit.  An
+        #: unsubscribed commit still advances ``seq(DBsec)`` — only its
+        #: apply demand is zero, mirroring the functional system's
+        #: per-shard streams (headers are sequenced, bodies filtered).
+        self.subscription: frozenset[int] | None = None
         #: Commit numbers whose update service finished but which are not
         #: yet at the pending head (zero-process apply path).
         self.serviced: set[int] = set()
@@ -116,6 +125,9 @@ class ModelCounters:
     sessions_started: int = 0
     vacuum_passes: int = 0
     heartbeats_sent: int = 0
+    #: Commit records applied with zero demand because the secondary did
+    #: not subscribe to their shard (partial replication only).
+    sharded_skips: int = 0
     max_pending: dict[int, int] = field(default_factory=dict)
 
 
@@ -144,6 +156,18 @@ class LazyReplicationModel:
         self._conflict_rng = (self.streams.stream("conflicts")
                               if params.parallel_refresh is not None
                               else None)
+        # Shard stamps likewise come from a dedicated stream, drawn only
+        # when partial replication is on, and each secondary subscribes
+        # to a contiguous rotated window of whole shards.
+        self._shard_rng = (self.streams.stream("shards")
+                           if params.shards is not None else None)
+        if params.shards is not None:
+            width = max(1, round(params.shards
+                                 * params.subscription_fraction))
+            for secondary in self.secondaries:
+                secondary.subscription = frozenset(
+                    (secondary.index + offset) % params.shards
+                    for offset in range(width))
         self._propagation_buffer: list = []
         self._session_counter = 0
         #: Sampled replication lag (commits behind the primary) across all
@@ -362,8 +386,11 @@ class LazyReplicationModel:
             # analogue): the refresh scheduler must order the pair.
             dep_ts = self._conflict_rng.randint(
                 max(1, commit_ts - 8), commit_ts - 1)
+        shard = 0
+        if self._shard_rng is not None:
+            shard = self._shard_rng.randint(0, params.shards - 1)
         self._propagate(_CommitRecord(txn_key, commit_ts, update_ops,
-                                      dep_ts))
+                                      dep_ts, shard))
         self.tracker.on_primary_commit(label, commit_ts)
         self.metrics.record_completion("update", submitted, self.kernel._now)
 
@@ -418,6 +445,7 @@ class LazyReplicationModel:
         """
         pending = secondary.pending
         started = secondary.started
+        subscription = secondary.subscription
         op_service_time = self.params.op_service_time
         request_call = secondary.server.request_call
         apply_commit = self._apply_commit
@@ -438,6 +466,10 @@ class LazyReplicationModel:
                         secondary.feed_peak = peak
                         max_pending[secondary.index] = peak
                     demand = record.update_ops * op_service_time
+                    if subscription is not None \
+                            and record.shard not in subscription:
+                        demand = 0.0
+                        self.counters.sharded_skips += 1
                     if demand:
                         request_call(demand, apply_commit, secondary, ts)
                     else:
@@ -568,7 +600,10 @@ class LazyReplicationModel:
 
     def _applicator(self, secondary: _SecondaryModel,
                     record: _CommitRecord):
-        if record.update_ops:
+        subscription = secondary.subscription
+        if subscription is not None and record.shard not in subscription:
+            self.counters.sharded_skips += 1
+        elif record.update_ops:
             yield secondary.server.request(
                 record.update_ops * self.params.op_service_time)
         # Skip the condition round-trip when already at the head: the
@@ -593,9 +628,13 @@ class LazyReplicationModel:
         commit order, so the pending head is always held by some worker
         and head-of-line blocking cannot deadlock."""
         params = self.params
+        subscription = secondary.subscription
         while True:
             record = yield secondary.work.get()
-            if record.update_ops:
+            if subscription is not None \
+                    and record.shard not in subscription:
+                self.counters.sharded_skips += 1
+            elif record.update_ops:
                 yield secondary.server.request(
                     record.update_ops * params.op_service_time)
             if not (secondary.pending
@@ -616,9 +655,13 @@ class LazyReplicationModel:
         ``seq(DBsec)`` advances only at the contiguous watermark so
         readers still observe primary states in order."""
         params = self.params
+        subscription = secondary.subscription
         while True:
             record = yield secondary.work.get()
-            if record.update_ops:
+            if subscription is not None \
+                    and record.shard not in subscription:
+                self.counters.sharded_skips += 1
+            elif record.update_ops:
                 yield secondary.server.request(
                     record.update_ops * params.op_service_time)
             ts = record.commit_ts

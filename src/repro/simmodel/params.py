@@ -82,6 +82,18 @@ class SimulationParameters:
     #: random sequences are untouched.
     conflict_prob: float = 0.2
     freshness_bound: int | None = None  # bounded-staleness reads (extension)
+    #: Keyspace sharding with partial replication (extension): each
+    #: committed update is stamped with a shard drawn uniformly from a
+    #: dedicated RNG stream, and a secondary only spends apply demand on
+    #: commits touching a shard it subscribes to (the commit header still
+    #: arrives and advances ``seq(DBsec)``, mirroring the functional
+    #: system's gap-tolerant per-shard streams).  ``None`` (default)
+    #: keeps every configuration bit-identical to the unsharded model.
+    shards: int | None = None
+    #: Fraction of the keyspace each secondary subscribes to (rounded to
+    #: whole shards, minimum one); secondary ``i`` holds the contiguous
+    #: shard window starting at ``i``.  Only read when ``shards`` is set.
+    subscription_fraction: float = 0.5
     #: Periodic vacuum pass at each secondary server (models the storage
     #: maintenance daemon): every ``autovacuum_interval`` seconds the
     #: server spends ``autovacuum_cost`` seconds of service demand.
@@ -132,6 +144,11 @@ class SimulationParameters:
                     "serial_refresh and applicator_pool")
         if not 0.0 <= self.conflict_prob <= 1.0:
             raise ConfigurationError("conflict_prob must be in [0,1]")
+        if self.shards is not None and self.shards < 2:
+            raise ConfigurationError("shards must be >= 2 when set")
+        if not 0.0 < self.subscription_fraction <= 1.0:
+            raise ConfigurationError(
+                "subscription_fraction must be in (0,1]")
         if self.autovacuum_interval is not None \
                 and self.autovacuum_interval <= 0:
             raise ConfigurationError("autovacuum_interval must be > 0")

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
+from repro.core.records import key_fingerprint
+
 
 @dataclass(frozen=True)
 class LogRecord:
@@ -33,11 +35,22 @@ class StartRecord(LogRecord):
 
 @dataclass(frozen=True)
 class UpdateRecord(LogRecord):
-    """One logical update (a write or a delete) by an open transaction."""
+    """One logical update (a write or a delete) by an open transaction.
+
+    ``key_fp`` caches the key's crc32
+    :func:`~repro.core.records.key_fingerprint` at log-append time, so
+    the propagator's per-commit dependency summary (and shard routing)
+    reads it instead of recomputing the fingerprint per endpoint.
+    """
 
     key: Any = None
     value: Any = None
     deleted: bool = False
+    key_fp: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.key_fp < 0:
+            object.__setattr__(self, "key_fp", key_fingerprint(self.key))
 
 
 @dataclass(frozen=True)

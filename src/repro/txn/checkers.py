@@ -34,10 +34,11 @@ enforce over fault-storm histories.
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.core.records import key_fingerprint
 from repro.errors import CheckerError
 from repro.txn.history import HistoryRecorder, TxnView
 from repro.txn.timeline import IntervalSet, KeyTimelines
@@ -291,6 +292,47 @@ def _shared_prefix_bound(eras: list[_Era], from_era: int,
     regime's states no longer exist on the new axis.
     """
     return min(eras[e].base_ts for e in range(from_era + 1, to_era + 1))
+
+
+def _subscriptions(recorder: HistoryRecorder
+                   ) -> dict[str, tuple[frozenset, int]]:
+    """site -> (subscribed shards, num_shards) from "subscribe" events.
+
+    Subscription events exist only in partial-replication histories, and
+    every sharded audit path is gated on this map being non-empty — so
+    unsharded histories take the classic code paths, byte for byte.
+    """
+    subs: dict[str, tuple[frozenset, int]] = {}
+    for event in recorder.events:
+        if event.kind == "subscribe":
+            subs[event.site] = (frozenset(event.value or ()),
+                                event.commit_ts or 0)
+    return subs
+
+
+def _project(state: dict[Any, Any], subscription: frozenset,
+             num_shards: int) -> dict[Any, Any]:
+    """``state`` restricted to the keys living on subscribed shards."""
+    return {key: value for key, value in state.items()
+            if key_fingerprint(key) % num_shards in subscription}
+
+
+def _read_shard_set(view: TxnView, num_shards: int) -> frozenset:
+    """Shards touched by the transaction's snapshot reads.
+
+    Mirrors :func:`_read_constraints`' event walk: only reads that
+    precede an own write of the same key constrain the snapshot, so only
+    those keys' shards carry freshness obligations.
+    """
+    shards: set[int] = set()
+    written: set[Any] = set()
+    events = sorted(view.reads + view.writes, key=lambda e: e.seq)
+    for event in events:
+        if event.kind == "write":
+            written.add(event.key)
+        elif event.key not in written:
+            shards.add(key_fingerprint(event.key) % num_shards)
+    return frozenset(shards)
 
 
 class _HistoryAnalysis:
@@ -700,10 +742,112 @@ def _era_ordering_violations(analyzed: list[_Analyzed],
     return violations
 
 
+def _sharded_ordering_violations(analyzed: list[_Analyzed],
+                                 same_session_only: bool,
+                                 eras: list[_Era],
+                                 axes: list[list[TxnView]],
+                                 num_shards: int) -> list[Violation]:
+    """Definition 2.1/2.2 pair constraints under partial replication.
+
+    With per-shard propagation streams a replica's freshness is a vector
+    of shard frontiers, and the session guarantee weakens accordingly: a
+    read observing shards R inherits from an earlier transaction Ti only
+    the obligations Ti left *on the shards in R*.  Each transaction
+    therefore publishes a per-shard obligation vector instead of a
+    scalar — an update pins commit_ts on the shards its write set
+    touched; a read-only transaction assigned snapshot ``s`` pins, for
+    each shard it read, the newest axis commit <= ``s`` touching that
+    shard (the projection of S^s onto a shard only changes at commits
+    touching it, so that floor is exactly what the session observed).
+    Every obligation is the timestamp of a commit touching the shard, so
+    requiring ``snapshot >= obligation`` is both necessary and
+    sufficient for the projected states to be ordered.  Cross-era
+    obligations clamp to the shared axis prefix exactly as in
+    :func:`_era_ordering_violations`, and like that function this one
+    serves *both* checker methods: sharded histories are chaos-storm
+    sized, and a single implementation keeps the verdicts
+    method-independent by construction.
+    """
+    axis_shard_commits: list[dict[int, list[int]]] = []
+    for axis in axes:
+        per: dict[int, list[int]] = {}
+        for ts, view in enumerate(axis, start=1):
+            for shard in {key_fingerprint(key) % num_shards
+                          for key in view.final_writes}:
+                per.setdefault(shard, []).append(ts)
+        axis_shard_commits.append(per)
+
+    def shard_floor(era: int, shard: int, snapshot: int) -> int:
+        commits = axis_shard_commits[era].get(shard)
+        if not commits:
+            return 0
+        pos = bisect_right(commits, snapshot)
+        return commits[pos - 1] if pos else 0
+
+    violations: list[Violation] = []
+    ordered = sorted(analyzed, key=lambda a: a.view.begin_seq)
+    obligations: dict[tuple, dict[int, int]] = {}
+    for j, tj in enumerate(ordered):
+        read_shards = _read_shard_set(tj.view, num_shards)
+        lower = 0
+        lower_source = None
+        for ti in ordered[:j]:
+            if ti.view.end_seq < 0:
+                continue
+            if ti.view.end_seq >= tj.view.begin_seq:
+                continue
+            if same_session_only and (
+                    ti.view.session is None
+                    or ti.view.session != tj.view.session):
+                continue
+            vector = obligations[ti.view.key]
+            effective = 0
+            for shard in read_shards:
+                floor = vector.get(shard, 0)
+                if floor > effective:
+                    effective = floor
+            if ti.era != tj.era:
+                effective = min(
+                    effective, _shared_prefix_bound(eras, ti.era, tj.era))
+            if effective > lower:
+                lower = effective
+                lower_source = ti
+        if tj.pinned:
+            snapshot = tj.min_admissible
+            feasible = snapshot >= lower
+            obligations[tj.view.key] = {
+                key_fingerprint(key) % num_shards: tj.commit_index
+                for key in tj.view.final_writes}
+        else:
+            option = tj.first_admissible_at_least(lower)
+            feasible = option is not None
+            snapshot = option if feasible else tj.max_admissible
+            vector = {}
+            for shard in read_shards:
+                floor = shard_floor(tj.era, shard, snapshot)
+                if floor:
+                    vector[shard] = floor
+            obligations[tj.view.key] = vector
+        if not feasible:
+            violations.append(_inversion_violation(
+                tj, snapshot, lower, lower_source, same_session_only))
+    return violations
+
+
 def _ordering(analyzed: list[_Analyzed], same_session_only: bool,
-              method: str,
-              eras: Optional[list[_Era]] = None) -> list[Violation]:
-    if eras is not None and len(eras) > 1:
+              method: str, analysis) -> list[Violation]:
+    eras = analysis.eras
+    subs = _subscriptions(analysis.recorder)
+    if subs:
+        num_shards = next(iter(subs.values()))[1]
+        if len(eras) > 1:
+            axes = _era_axes(analysis.recorder, eras)
+        else:
+            axes = [_primary_updates(analysis.recorder,
+                                     analysis.primary_site)]
+        return _sharded_ordering_violations(
+            analyzed, same_session_only, eras, axes, num_shards)
+    if len(eras) > 1:
         return _era_ordering_violations(analyzed, same_session_only, eras)
     if method == "legacy":
         return _ordering_violations(analyzed, same_session_only)
@@ -717,7 +861,7 @@ def check_strong_si(recorder: HistoryRecorder,
     between *any* pair of committed transactions."""
     analysis = _analysis(recorder, primary_site, method)
     analyzed, violations = analysis.analyze()
-    violations.extend(_ordering(analyzed, False, method, analysis.eras))
+    violations.extend(_ordering(analyzed, False, method, analysis))
     return CheckResult(criterion="strong SI", ok=not violations,
                        violations=violations,
                        checked_transactions=len(analysis.client_views))
@@ -730,7 +874,7 @@ def check_strong_session_si(recorder: HistoryRecorder,
     inversions between pairs with the same session label."""
     analysis = _analysis(recorder, primary_site, method)
     analyzed, violations = analysis.analyze()
-    violations.extend(_ordering(analyzed, True, method, analysis.eras))
+    violations.extend(_ordering(analyzed, True, method, analysis))
     return CheckResult(criterion="strong session SI", ok=not violations,
                        violations=violations,
                        checked_transactions=len(analysis.client_views))
@@ -748,7 +892,7 @@ def count_transaction_inversions(recorder: HistoryRecorder,
     """
     analysis = _analysis(recorder, primary_site, method)
     analyzed, _ = analysis.analyze()
-    return len(_ordering(analyzed, within_sessions, method, analysis.eras))
+    return len(_ordering(analyzed, within_sessions, method, analysis))
 
 
 def _secondary_timeline(recorder: HistoryRecorder,
@@ -1127,6 +1271,150 @@ def _era_completeness(recorder: HistoryRecorder, primary_site: str,
                        checked_transactions=checked)
 
 
+def _sharded_completeness(recorder: HistoryRecorder, primary_site: str,
+                          subs: dict[str, tuple[frozenset, int]],
+                          eras: list[_Era], method: str) -> CheckResult:
+    """Theorem 3.1 under partial replication (both methods, era-aware).
+
+    A subscribing secondary receives only the primary commits whose
+    write sets touch its shards, so its expected timeline is a
+    *subsequence* of the axis, and its state after applying subscribed
+    commit ``c`` is the primary state S^c **projected** onto its
+    subscription.  The audit walks each site's runs along that
+    subscribed subsequence: a gap is legitimate exactly when every
+    skipped commit touches no subscribed shard (the replica was never
+    sent it), while a missing *subscribed* commit still truncates the
+    run — as in :func:`_normalized_timeline`, commits past such a gap
+    never joined a visible snapshot.  A commit that should never have
+    arrived (one touching no subscribed shard) is deliberately kept in
+    the walk so the projected state comparison flags it.  Recovery
+    copies are projected at the source, so they are compared against the
+    projected axis state; promotion fences and the promoted-site cutoff
+    behave exactly as in :func:`_era_completeness`.  One shared
+    implementation serves both checker methods — sharded histories are
+    chaos-storm sized, and the projected full-state comparison keeps the
+    verdicts method-independent by construction.
+    """
+    axes = _era_axes(recorder, eras)
+    axis_states = [_materialise_states(axis) for axis in axes]
+    num_shards = next(iter(subs.values()))[1]
+    # Per-axis, per-commit shard sets (index 0 unused), shared by every
+    # site's projection walk.
+    axis_commit_shards: list[list[frozenset]] = []
+    for axis in axes:
+        shard_sets = [frozenset()]
+        for view in axis:
+            shard_sets.append(frozenset(
+                key_fingerprint(key) % num_shards
+                for key in view.final_writes))
+        axis_commit_shards.append(shard_sets)
+    promoted_at = {era.site: era.start_seq for era in eras[1:]}
+    boundaries = sorted(era.start_seq for era in eras[1:])
+    full = frozenset(range(num_shards))
+    violations: list[Violation] = []
+    checked = 0
+    for site in recorder.sites():
+        if site == eras[0].site:
+            continue
+        subscription = subs.get(site, (full, num_shards))[0]
+        # Ascending subscribed commit timestamps per axis: the expected
+        # refresh subsequence for this site.
+        projected = [
+            [ts for ts in range(1, len(shard_sets))
+             if shard_sets[ts] & subscription]
+            for shard_sets in axis_commit_shards]
+        cutoff = promoted_at.get(site)
+        entries = _secondary_timeline(recorder, site)
+        runs: list[list[tuple[int, str, Any]]] = [[]]
+        cut = 0
+        for entry in entries:
+            while cut < len(boundaries) and entry[0] > boundaries[cut]:
+                cut += 1
+                runs.append([])
+            if entry[1] == "recover":
+                runs.append([])
+            runs[-1].append(entry)
+        current: dict[Any, Any] = {}
+        prev = 0
+        done = False
+        for run in runs:
+            if done:
+                break
+            start = 0
+            if run and run[0][1] == "recover":
+                seq, _, event = run[0]
+                if cutoff is not None and seq > cutoff:
+                    break
+                checked += 1
+                era = _era_of(eras, seq)
+                index = event.commit_ts or 0
+                n = len(axis_states[era]) - 1
+                if not 0 <= index <= n:
+                    violations.append(Violation(
+                        kind="secondary-ahead",
+                        message=(f"site {site!r} produced state S^{index}, "
+                                 f"but the primary only reached S^{n}")))
+                    done = True
+                    break
+                current = dict(event.value or {})
+                expected = _project(axis_states[era][index], subscription,
+                                    num_shards)
+                if current != expected:
+                    violations.append(Violation(
+                        kind="state-divergence",
+                        message=(f"site {site!r} recovery copy S^{index} "
+                                 f"diverges from primary: {current!r} != "
+                                 f"{expected!r}")))
+                    done = True
+                    break
+                prev = index
+                start = 1
+            commits = sorted(
+                run[start:],
+                key=lambda e: e[2].commit_ts
+                if e[2].commit_ts is not None else -1)
+            for seq, _, view in commits:
+                if cutoff is not None and seq > cutoff:
+                    done = True   # promoted: its own commits are the axis
+                    break
+                era = _era_of(eras, seq)
+                ts = view.commit_ts if view.commit_ts is not None else -1
+                proj = projected[era]
+                pos = bisect_right(proj, prev)
+                expected_next = proj[pos] if pos < len(proj) else None
+                if expected_next is not None and ts > expected_next:
+                    break   # gap in the subscribed subsequence: truncated
+                checked += 1
+                n = len(axis_states[era]) - 1
+                if not 0 <= ts <= n:
+                    violations.append(Violation(
+                        kind="secondary-ahead",
+                        message=(f"site {site!r} produced state S^{ts}, but "
+                                 f"the primary only reached S^{n}")))
+                    done = True
+                    break
+                for key, (value, deleted) in view.final_writes.items():
+                    if deleted:
+                        current.pop(key, None)
+                    else:
+                        current[key] = value
+                expected = _project(axis_states[era][ts], subscription,
+                                    num_shards)
+                if current != expected:
+                    violations.append(Violation(
+                        kind="state-divergence",
+                        message=(f"site {site!r} state S^{ts} diverges "
+                                 f"from primary: {current!r} != "
+                                 f"{expected!r}")))
+                    done = True
+                    break
+                if ts == expected_next:
+                    prev = ts
+    return CheckResult(criterion="completeness", ok=not violations,
+                       violations=violations,
+                       checked_transactions=checked)
+
+
 def check_completeness(recorder: HistoryRecorder,
                        primary_site: str = "primary",
                        method: str = "incremental") -> CheckResult:
@@ -1147,10 +1435,18 @@ def check_completeness(recorder: HistoryRecorder,
     for how the audit re-orders each run by commit number (the watermark
     invariant guarantees only such prefixes were ever visible) while
     remaining byte-identical on strict-FIFO histories.
+
+    Partial-replication histories (those with "subscribe" events) route
+    to :func:`_sharded_completeness`, which audits each secondary
+    against the sub-history projected onto its subscription.
     """
     _check_method(method)
     _check_detail(recorder)
     eras = _promotion_eras(recorder, primary_site)
+    subs = _subscriptions(recorder)
+    if subs:
+        return _sharded_completeness(recorder, primary_site, subs, eras,
+                                     method)
     if len(eras) > 1:
         return _era_completeness(recorder, primary_site, eras, method)
     if method == "legacy":

@@ -247,6 +247,33 @@ class HistoryRecorder:
         self.events.append(event)
         return event
 
+    def record_subscription(self, site: str, shards: frozenset,
+                            num_shards: int, time: float) -> HistoryEvent:
+        """Append a shard-subscription event (partial replication).
+
+        Declares, at topology-build time, which keyspace shards ``site``
+        subscribes to out of ``num_shards``.  The checkers project the
+        primary's history onto this subscription when auditing the site:
+        its expected refresh stream is the subsequence of commits whose
+        write sets intersect the subscribed shards, and its states are
+        compared against the primary's states projected onto them.
+        """
+        event = HistoryEvent(
+            seq=self._seq,
+            time=time,
+            kind="subscribe",
+            site=sys.intern(site),
+            txn_id=0,
+            logical_id=None,
+            session=None,
+            refresh_of=None,
+            commit_ts=num_shards,
+            value=frozenset(shards),
+        )
+        self._seq += 1
+        self.events.append(event)
+        return event
+
     def record_promotion(self, old_site: str, new_site: str, time: float,
                          truncation_ts: int) -> HistoryEvent:
         """Append a primary-promotion event (the cluster-epoch boundary).
@@ -288,8 +315,8 @@ class HistoryRecorder:
             return self._views_cache
         views: dict[tuple[str, int], TxnView] = {}
         for event in self.events:
-            if event.kind in ("recover", "promote"):   # site-level events
-                continue
+            if event.kind in ("recover", "promote", "subscribe"):
+                continue   # site-level events, not transactions
             key = (event.site, event.txn_id)
             view = views.get(key)
             if view is None:

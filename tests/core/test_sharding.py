@@ -1,0 +1,293 @@
+"""Keyspace sharding & partial replication (PR 9).
+
+Covers the deterministic key→shard map, ``ShardingConfig`` validation,
+per-shard propagation streams (projection, link volume), shard-aware
+session routing/blocking/failover, recovery floors, promotion under
+partial placement, the SI checkers over subscription-projected
+sub-histories, and the dormant-default contract (``sharding=None``
+builds none of the machinery).
+"""
+
+import pytest
+
+from repro.core.guarantees import Guarantee
+from repro.core.promotion import PromotionConfig
+from repro.core.records import key_fingerprint
+from repro.core.sharding import ShardingConfig, shard_of, shard_of_fp
+from repro.core.system import ReplicatedSystem
+from repro.errors import ConfigurationError, ShardUnavailableError
+from repro.txn.checkers import (
+    check_completeness,
+    check_strong_session_si,
+    check_weak_si,
+)
+
+SHARDS = 8
+
+#: Two secondaries subscribing to complementary halves of the keyspace.
+HALVES = ShardingConfig(shards=SHARDS, placement=((0, 1, 2, 3),
+                                                  (4, 5, 6, 7)))
+
+
+def keys_for(shard, count=3, shards=SHARDS, prefix="key"):
+    """Deterministic keys that map onto ``shard``."""
+    found, i = [], 0
+    while len(found) < count:
+        key = f"{prefix}{i}"
+        if shard_of(key, shards) == shard:
+            found.append(key)
+        i += 1
+    return found
+
+
+def projected(state, subscription, shards=SHARDS):
+    return {key: value for key, value in state.items()
+            if shard_of(key, shards) in subscription}
+
+
+# -- the key→shard map ---------------------------------------------------------
+
+
+def test_shard_of_is_fingerprint_modulo():
+    for key in ("a", "book:42:stock", 17, ("t", 3)):
+        assert shard_of(key, SHARDS) == key_fingerprint(key) % SHARDS
+        assert shard_of(key, SHARDS) == \
+            shard_of_fp(key_fingerprint(key), SHARDS)
+
+
+def test_shard_of_covers_all_shards():
+    seen = {shard_of(f"key{i}", SHARDS) for i in range(200)}
+    assert seen == set(range(SHARDS))
+
+
+# -- configuration validation --------------------------------------------------
+
+
+def test_config_rejects_nonpositive_shards():
+    with pytest.raises(ConfigurationError):
+        ShardingConfig(shards=0)
+
+
+def test_config_rejects_empty_placement_entry():
+    with pytest.raises(ConfigurationError):
+        ShardingConfig(shards=4, placement=((0, 1), ()))
+
+
+def test_config_rejects_out_of_range_shard_ids():
+    with pytest.raises(ConfigurationError):
+        ShardingConfig(shards=4, placement=((0, 1), (2, 4)))
+
+
+def test_config_normalizes_placement():
+    config = ShardingConfig(shards=4, placement=((3, 1, 3), (0, 2)))
+    assert config.placement == ((1, 3), (0, 2))
+    assert config.subscription_for(0) == frozenset({1, 3})
+
+
+def test_validate_for_requires_matching_length_and_coverage():
+    config = ShardingConfig(shards=4, placement=((0, 1), (2, 3)))
+    config.validate_for(2)
+    with pytest.raises(ConfigurationError):
+        config.validate_for(3)
+    with pytest.raises(ConfigurationError):
+        ShardingConfig(shards=4, placement=((0, 1), (1, 2))).validate_for(2)
+
+
+def test_no_placement_means_full_subscription():
+    config = ShardingConfig(shards=4)
+    assert config.subscription_for(0) == frozenset(range(4))
+    config.validate_for(7)  # any secondary count fits
+
+
+def test_system_rejects_misfitting_placement():
+    with pytest.raises(ConfigurationError):
+        ReplicatedSystem(num_secondaries=3, propagation_delay=0.1,
+                         sharding=HALVES)
+
+
+# -- per-shard propagation streams ---------------------------------------------
+
+
+def test_partial_replication_projects_state():
+    """Each secondary converges to exactly the subscription-projected
+    primary state, and ships only its subscribed shards' commits."""
+    system = ReplicatedSystem(num_secondaries=2, propagation_delay=0.1,
+                              sharding=HALVES)
+    session = system.session(Guarantee.STRONG_SESSION_SI)
+    for shard in range(SHARDS):
+        for key in keys_for(shard):
+            session.write(key, f"s{shard}:{key}")
+    system.quiesce()
+    primary = system.primary_state()
+    assert len(primary) == SHARDS * 3
+    for index in range(2):
+        subscription = HALVES.subscription_for(index)
+        assert system.secondary_state(index) == \
+            projected(primary, subscription)
+    # The propagator counted per-shard deliveries, and every commit went
+    # to exactly one endpoint (single-shard write sets, halves placement)
+    # — half the link volume of full replication.
+    shipped = system.propagator.records_shipped_by_shard
+    assert set(shipped) == set(range(SHARDS))
+    assert system.propagator.records_sent == SHARDS * 3
+
+
+def test_unsharded_system_has_no_shard_bookkeeping():
+    """Dormant default: ``sharding=None`` engages none of the machinery
+    and client results match a sharded-but-fully-subscribed system."""
+    def drive(system):
+        session = system.session(Guarantee.STRONG_SESSION_SI)
+        results = []
+        for i in range(12):
+            session.write(f"key{i}", i)
+            results.append(session.read(f"key{i}"))
+        system.quiesce()
+        return results, system.primary_state(), system.secondary_state(0)
+
+    plain = ReplicatedSystem(num_secondaries=2, propagation_delay=0.1)
+    sharded = ReplicatedSystem(num_secondaries=2, propagation_delay=0.1,
+                               sharding=ShardingConfig(shards=SHARDS))
+    assert plain.sharding is None
+    assert drive(plain) == drive(sharded)
+    assert plain.propagator.records_shipped_by_shard == {}
+    assert plain.secondaries[0].subscription is None
+    # No subscribe events pollute an unsharded history.
+    assert not [e for e in plain.recorder.events
+                if getattr(e, "kind", None) == "subscribe"]
+
+
+# -- shard-aware sessions ------------------------------------------------------
+
+
+def test_reads_route_to_a_subscribing_replica():
+    """A session homed on the wrong half is re-routed (and counts the
+    miss); declared keys narrow the wait to the touched shards."""
+    system = ReplicatedSystem(num_secondaries=2, propagation_delay=0.1,
+                              sharding=HALVES)
+    session = system.session(Guarantee.STRONG_SESSION_SI, secondary=0)
+    low = keys_for(0, count=1)[0]       # shard 0 -> secondary 0
+    high = keys_for(4, count=1)[0]      # shard 4 -> secondary 1
+    session.write(low, "lo")
+    session.write(high, "hi")
+    assert session.read(low) == "lo"
+    misses_before = session.shard_routing_misses
+    assert session.read(high) == "hi"   # not on the home secondary
+    assert session.shard_routing_misses > misses_before
+
+
+def test_cross_half_read_without_full_replica_is_unavailable():
+    """No single live replica holds both halves: a read touching both
+    raises the typed error instead of silently merging stale shards."""
+    system = ReplicatedSystem(num_secondaries=2, propagation_delay=0.1,
+                              sharding=HALVES)
+    session = system.session(Guarantee.WEAK_SI)
+    low, high = keys_for(0, count=1)[0], keys_for(4, count=1)[0]
+    session.write(low, 1)
+    session.write(high, 2)
+    system.quiesce()
+    with pytest.raises(ShardUnavailableError):
+        session.read_many([low, high])
+    # Each half alone is still readable.
+    assert session.read(low) == 1
+    assert session.read(high) == 2
+
+
+def test_crash_of_only_holder_raises_shard_unavailable():
+    system = ReplicatedSystem(num_secondaries=2, propagation_delay=0.1,
+                              sharding=HALVES)
+    session = system.session(Guarantee.WEAK_SI)
+    high = keys_for(4, count=1)[0]
+    session.write(high, "hi")
+    system.quiesce()
+    system.crash_secondary(1)
+    with pytest.raises(ShardUnavailableError):
+        session.read(high)
+    system.recover_secondary(1)
+    assert session.read(high) == "hi"
+
+
+def test_strong_session_blocks_on_touched_shard_frontier():
+    """Read-your-writes holds per shard: a strong-session read of a
+    just-written key waits for that shard's frontier, not for a scalar
+    sequence number the partial replica can never reach."""
+    system = ReplicatedSystem(num_secondaries=2, propagation_delay=0.5,
+                              sharding=HALVES)
+    session = system.session(Guarantee.STRONG_SESSION_SI)
+    for shard in (0, 4):
+        for round_no in range(5):
+            key = keys_for(shard, count=1)[0]
+            session.write(key, (shard, round_no))
+            assert session.read(key) == (shard, round_no)
+
+
+# -- recovery & promotion ------------------------------------------------------
+
+
+def test_partial_secondary_recovers_with_exact_frontiers():
+    """Crash a half-subscriber, commit into both halves, recover: the
+    replica converges to the projected state and its sessions stay
+    read-your-writes consistent."""
+    system = ReplicatedSystem(num_secondaries=2, propagation_delay=0.1,
+                              sharding=HALVES)
+    session = system.session(Guarantee.STRONG_SESSION_SI)
+    session.write(keys_for(4, count=1)[0], "before")
+    system.quiesce()
+    system.crash_secondary(1)
+    for shard in range(SHARDS):
+        key = keys_for(shard, count=2)[1]
+        session.write(key, f"during:{shard}")
+    system.recover_secondary(1)
+    system.quiesce()
+    assert system.secondary_state(1) == \
+        projected(system.primary_state(), HALVES.subscription_for(1))
+    key = keys_for(4, count=3)[2]
+    session.write(key, "after")
+    assert session.read(key) == "after"
+
+
+def test_promotion_picks_full_coverage_holder():
+    """Under partial placement only a full-coverage replica can become
+    the new axis; the promoted system keeps serving sharded traffic."""
+    placement = ((0, 1, 2, 3, 4, 5, 6, 7), (0, 1, 2, 3), (4, 5, 6, 7))
+    sharding = ShardingConfig(shards=SHARDS, placement=placement)
+    system = ReplicatedSystem(num_secondaries=3, propagation_delay=0.1,
+                              sharding=sharding,
+                              promotion=PromotionConfig())
+    session = system.session(Guarantee.STRONG_SESSION_SI, secondary=0)
+    for shard in range(SHARDS):
+        session.write(keys_for(shard, count=1)[0], f"pre:{shard}")
+    system.quiesce()
+    system.kill_primary()
+    report = system.promote_secondary()
+    assert report.new_primary == "secondary-1"  # the only full-coverage one
+    writer = system.session(Guarantee.STRONG_SESSION_SI)
+    for shard in (0, 5):
+        key = keys_for(shard, count=2)[1]
+        writer.write(key, f"post:{shard}")
+        assert writer.read(key) == f"post:{shard}"
+    system.quiesce()
+    primary = system.primary_state()
+    for index in (1, 2):
+        assert system.secondary_state(index) == \
+            projected(primary, sharding.subscription_for(index))
+
+
+# -- checkers over projected sub-histories -------------------------------------
+
+
+@pytest.mark.parametrize("method", ["incremental", "legacy"])
+def test_checkers_pass_on_sharded_history(method):
+    system = ReplicatedSystem(num_secondaries=2, propagation_delay=0.2,
+                              sharding=HALVES)
+    sessions = [system.session(Guarantee.STRONG_SESSION_SI),
+                system.session(Guarantee.STRONG_SESSION_SI)]
+    for round_no in range(6):
+        for shard in (0, 2, 4, 6):
+            key = keys_for(shard, count=2)[round_no % 2]
+            sessions[round_no % 2].write(key, (round_no, shard))
+            sessions[round_no % 2].read(key, default=None)
+    system.quiesce()
+    for check in (check_completeness, check_weak_si,
+                  check_strong_session_si):
+        result = check(system.recorder, method=method)
+        assert result.ok, result.summary()

@@ -334,3 +334,60 @@ def test_auto_failover_plan_has_no_scripted_trigger():
     auto_events = [(e.at, e.action, e.target) for e in auto
                    if e.action not in ("partition", "heal")]
     assert scripted_events == auto_events
+
+
+# -- keyspace sharding / partial replication (PR 9) ----------------------------
+
+SHARDED = dict(shards=8)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sharded_storm_converges_and_passes_checkers(seed):
+    """Partial replication under the full fault storm: per-shard
+    convergence (each replica against its subscription-projected primary
+    state) plus completeness/weak-SI/strong-session-SI verified against
+    projected sub-histories, with both checker implementations."""
+    result = run_chaos(ChaosConfig(seed=seed, **SHARDED))
+    assert result.shards == 8
+    assert result.converged, result.describe()
+    for check in result.checks + _legacy_checks(result):
+        assert check.ok, result.describe()
+    assert result.ok
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_sharded_promotion_storm(seed):
+    """A permanent primary kill under partial placement: only a
+    full-coverage replica may be promoted, and the rebuilt per-shard
+    frontier map must keep every surviving session and recovery
+    satisfiable (no frontier-wait deadlocks)."""
+    result = run_chaos(ChaosConfig(seed=seed, primary_kill=True,
+                                   **SHARDED))
+    assert result.primary_kills == 1
+    assert result.promotions == 1
+    assert result.converged, result.describe()
+    for check in result.checks + _legacy_checks(result):
+        assert check.ok, result.describe()
+    assert result.ok
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_sharded_combined_storm(seed):
+    """Sharding composed with everything else at once: partitions,
+    permanent kill and dependency-tracked parallel refresh."""
+    result = run_chaos(ChaosConfig(seed=seed, shards=4, num_secondaries=5,
+                                   partitions=2, primary_kill=True,
+                                   parallel_refresh=4,
+                                   refresh_apply_cost=0.02))
+    assert result.shards == 4
+    assert result.converged, result.describe()
+    for check in result.checks + _legacy_checks(result):
+        assert check.ok, result.describe()
+    assert result.ok
+
+
+def test_sharded_storm_is_deterministic_per_seed():
+    a = run_chaos(ChaosConfig(seed=5, **SHARDED))
+    b = run_chaos(ChaosConfig(seed=5, **SHARDED))
+    assert a.describe() == b.describe()
+    assert a.plan == b.plan

@@ -1,0 +1,72 @@
+"""Partial replication in the Section 5 performance model (PR 9).
+
+``SimulationParameters(shards=N, subscription_fraction=f)`` stamps each
+simulated commit with a shard and zeroes the apply demand at secondaries
+not subscribing to it; the default keeps the knob dormant.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simmodel.model import LazyReplicationModel
+from repro.simmodel.params import SimulationParameters
+
+
+def params(**overrides):
+    defaults = dict(num_sec=4, clients_per_secondary=3, duration=150.0,
+                    warmup=20.0, seed=11)
+    defaults.update(overrides)
+    return SimulationParameters(**defaults)
+
+
+def run_model(**overrides):
+    model = LazyReplicationModel(params(**overrides))
+    metrics = model.run()
+    return model, metrics
+
+
+def test_params_validation():
+    with pytest.raises(ConfigurationError):
+        params(shards=1)
+    with pytest.raises(ConfigurationError):
+        params(shards=8, subscription_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        params(shards=8, subscription_fraction=1.5)
+
+
+def test_dormant_default_builds_nothing():
+    model, _ = run_model()
+    assert model._shard_rng is None
+    assert model.counters.sharded_skips == 0
+    assert all(s.subscription is None for s in model.secondaries)
+
+
+def test_subscriptions_are_rotated_windows():
+    model = LazyReplicationModel(params(shards=8,
+                                        subscription_fraction=0.5))
+    for secondary in model.secondaries:
+        assert secondary.subscription == frozenset(
+            (secondary.index + offset) % 8 for offset in range(4))
+
+
+def test_partial_subscription_filters_applies():
+    """Unsubscribed commits advance seq(DBsec) without apply demand: the
+    skip count lands near (1 - f) of the per-secondary stream and the
+    replicas still track the primary's commit counter."""
+    model, metrics = run_model(shards=8, subscription_fraction=0.5)
+    skips = model.counters.sharded_skips
+    commits = model.counters.update_commits
+    assert metrics.completions() > 0 and commits > 0
+    # Each of the 4 secondaries sees every commit; half are filtered.
+    fraction = skips / (commits * len(model.secondaries))
+    assert 0.35 < fraction < 0.65, fraction
+    assert all(s.seq_db > 0 for s in model.secondaries)
+
+
+def test_sharded_run_is_deterministic():
+    m1, r1 = run_model(shards=8, subscription_fraction=0.5)
+    m2, r2 = run_model(shards=8, subscription_fraction=0.5)
+    assert m1.counters.sharded_skips == m2.counters.sharded_skips
+    assert m1.counters.update_commits == m2.counters.update_commits
+    assert r1.completions() == r2.completions()
+    assert r1.mean_response_time("read") == r2.mean_response_time("read")
