@@ -38,7 +38,7 @@ def baseline():
 
 
 def test_baseline_schema(baseline):
-    assert baseline["schema"] == 6
+    assert baseline["schema"] == 7
     assert baseline["kernel"]["events_per_sec"] > 0
     # Schema 5: per-scheduler dispatch numbers and the scaleup-95-5 leg.
     dispatch = baseline["kernel"]["dispatch"]
@@ -107,6 +107,26 @@ def test_baseline_schema(baseline):
     assert partial["link_volume_fraction"] <= 0.501
     assert partial["drain_speedup"] >= 1.9
     assert partial["sharded"]["per_secondary_commit_fraction"] <= 0.501
+    # Schema 7: overload resilience.  Virtual-time leg, deterministic
+    # per seed; the structural bars are asserted here and the exact
+    # byte-identity re-measurement lives in test_overload_bars.
+    overload = baseline["overload"]
+    on, off = overload["on"], overload["off"]
+    # Admission keeps burst goodput at (or above) the pre-burst steady
+    # state — the bucket admits the sustained rate right through the
+    # flash crowd instead of collapsing.
+    assert on["burst_over_steady"] >= 0.9
+    # The admission-off cliff on the same seed: reads queue behind the
+    # unbounded refresh backlog.
+    assert off["read_p99"] > on["read_p99"]
+    assert off["peak_lag"] > on["peak_lag"]
+    # Every degraded read's reported staleness stayed within its bound.
+    assert on["staleness_within_bounds"] is True
+    # Exact conservation: attempts = admitted + shed; every shed is a
+    # retry or a client-visible error.
+    assert on["attempts_balance_exact"] is True
+    assert on["shed_balance_exact"] is True
+    assert on["client_shed_matches"] is True
     # Schema 3: figure2_small carries the real host parallelism; on a
     # single-CPU host the speedup is null, never a nonsense ratio.
     figure2 = baseline["figure2_small"]
@@ -158,6 +178,32 @@ def test_partial_replication_bars(baseline):
     assert current["link_volume_fraction"] <= 0.501
     assert current["drain_speedup"] >= 1.9
     assert current == baseline["partial_replication"]
+
+
+def test_overload_bars(baseline):
+    """Re-measure the overload leg (virtual time: exact).
+
+    The flash-crowd legs run entirely in virtual time, so a fresh
+    measurement must reproduce the committed baseline byte-for-byte —
+    any drift means admission, backoff, degradation or the refresh path
+    changed behaviour.  The acceptance bars are re-asserted on the
+    fresh numbers, not just the stored ones."""
+    from repro.evaluation.bench import bench_overload
+
+    current = bench_overload()
+    on, off = current["on"], current["off"]
+    # Goodput holds through the burst under admission control ...
+    assert on["burst_over_steady"] >= 0.9
+    # ... while the same seed without admission falls off the
+    # read-latency cliff: reads wait on an unbounded refresh backlog
+    # instead of degrading at the deadline.
+    assert off["read_p99"] > on["read_p99"]
+    assert off["peak_lag"] > on["peak_lag"]
+    # Exact shed/degraded accounting on the fresh run.
+    assert on["attempts"] == on["admitted"] + on["shed"]
+    assert on["shed"] == on["retries"] + on["client_shed"]
+    assert on["staleness_within_bounds"] is True
+    assert current == baseline["overload"]
 
 
 def test_kernel_events_per_sec_within_tolerance(baseline):

@@ -28,11 +28,14 @@ Quickstart
 7
 """
 
+from repro.core.admission import AdmissionConfig, StalenessReport
 from repro.core.guarantees import Guarantee
 from repro.core.sharding import ShardingConfig, shard_of
 from repro.core.system import ClientSession, ReplicatedSystem
 from repro.errors import (
+    CircuitOpenError,
     FirstCommitterWinsError,
+    OverloadError,
     ReproError,
     ShardUnavailableError,
     TransactionAborted,
@@ -58,6 +61,10 @@ __all__ = [
     "ReproError",
     "TransactionAborted",
     "FirstCommitterWinsError",
+    "AdmissionConfig",
+    "StalenessReport",
+    "OverloadError",
+    "CircuitOpenError",
     "ShardingConfig",
     "shard_of",
     "ShardUnavailableError",

@@ -1,0 +1,95 @@
+"""Shared bounded-exponential backoff (optionally with full jitter).
+
+Three components grew their own retry timing — the
+:class:`~repro.core.propagation.ReliableLink` retransmission timer, the
+session promotion-wait loop, and the session failover loop.  All three
+compute the same quantity: ``min(base * factor**attempt, cap)``.  This
+module is the single home for that expression, in two shapes:
+
+* :func:`backoff_wait` — the pure formula, for callers that keep their
+  own attempt counter (the retransmission timer resets its counter on
+  cumulative-ack progress, so it owns the state);
+* :class:`ExponentialBackoff` — a small stateful schedule for retry
+  loops, with optional AWS-style *full jitter* (``wait = rng.random() *
+  deterministic_wait``) drawn from a caller-supplied seeded stream.
+
+Bit-identity note: the legacy loops iterated ``wait = min(wait * 2,
+cap)``.  Because scaling by a power of two is exact in IEEE-754 floats,
+the iterated form equals the closed form ``min(base * 2.0**k, cap)``
+*exactly*, so replacing the loops with this module changes no virtual
+timestamp.  Existing call sites keep jitter off; jitter is only enabled
+by the admission subsystem's client retry path, which draws from its own
+dedicated RNG stream (same-draws discipline).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["backoff_wait", "ExponentialBackoff"]
+
+
+def backoff_wait(attempt: int, base: float, factor: float,
+                 cap: float) -> float:
+    """Deterministic wait before retry number ``attempt`` (0-based).
+
+    ``min(base * factor**attempt, cap)`` — the exact expression the
+    bespoke implementations used, preserved verbatim so extracting them
+    onto this helper is bit-identical.
+    """
+    return min(base * (factor ** attempt), cap)
+
+
+class ExponentialBackoff:
+    """A bounded exponential retry schedule.
+
+    >>> schedule = ExponentialBackoff(0.25, 2.0)
+    >>> [schedule.next_wait() for _ in range(5)]
+    [0.25, 0.5, 1.0, 2.0, 2.0]
+
+    With ``jitter=True`` each wait is ``rng.random()`` times the
+    deterministic wait (full jitter); ``rng`` must then provide a
+    ``random()`` method (a :class:`~repro.sim.rng.RandomStream` does).
+    ``peek()`` returns the *deterministic* wait for the next attempt
+    without advancing or drawing.
+    """
+
+    def __init__(self, base: float, cap: float, *, factor: float = 2.0,
+                 rng: Any = None, jitter: bool = False):
+        if base <= 0:
+            raise ConfigurationError("backoff base must be > 0")
+        if cap < base:
+            raise ConfigurationError("backoff cap must be >= base")
+        if factor < 1.0:
+            raise ConfigurationError("backoff factor must be >= 1")
+        if jitter and rng is None:
+            raise ConfigurationError("jittered backoff needs an rng stream")
+        self.base = base
+        self.cap = cap
+        self.factor = factor
+        self.rng = rng
+        self.jitter = jitter
+        self.attempt = 0
+
+    def peek(self) -> float:
+        """The deterministic (pre-jitter) wait for the next attempt."""
+        return backoff_wait(self.attempt, self.base, self.factor, self.cap)
+
+    def next_wait(self) -> float:
+        """Consume one attempt and return how long to wait before it."""
+        wait = self.peek()
+        self.attempt += 1
+        if self.jitter:
+            return self.rng.random() * wait
+        return wait
+
+    def reset(self) -> None:
+        """Back to attempt 0 (call on success/progress)."""
+        self.attempt = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ExponentialBackoff(base={self.base}, cap={self.cap}, "
+                f"factor={self.factor}, attempt={self.attempt}, "
+                f"jitter={self.jitter})")

@@ -51,6 +51,7 @@ class SiteStatus:
     out_of_order_commits: int = 0   # commits applied ahead of the watermark
     peak_runnable_depth: int = 0    # deepest runnable queue observed
     watermark_lag: int = 0          # newest enqueued commit - watermark
+    peak_pending: int = 0           # deepest refresh backlog ever observed
     # -- partial-replication counters (None with sharding off) ------------
     shards_subscribed: Optional[int] = None
 
@@ -100,6 +101,15 @@ class SystemStatus:
     num_shards: int = 0
     records_shipped_by_shard: tuple[tuple[int, int], ...] = ()
     shard_routing_misses: int = 0
+    # -- admission-control counters (all zero with admission=None) ---------
+    admission_attempts: int = 0
+    admission_admitted: int = 0
+    admission_shed: int = 0
+    admission_throttled: int = 0
+    admission_peak_queue: int = 0
+    admission_brownouts: int = 0
+    admission_min_brownout_factor: float = 1.0
+    admission_degraded_reads: int = 0
     # -- kernel scheduler counters (properties of the dispatched event
     # stream, so identical under the calendar and heap schedulers) --------
     kernel_scheduler: str = ""
@@ -203,6 +213,20 @@ class SystemStatus:
                 f"  sharding: shards={self.num_shards}  "
                 f"routing-misses={self.shard_routing_misses}  "
                 f"shipped=[{shipped}]  subscribed=[{subscribed}]")
+        # Admission line, only once the controller saw traffic, so
+        # admission-disabled reports stay byte-identical.
+        if self.admission_attempts:
+            line = (f"  admission: attempts={self.admission_attempts}  "
+                    f"admitted={self.admission_admitted}  "
+                    f"shed={self.admission_shed}  "
+                    f"throttled={self.admission_throttled}  "
+                    f"peak-queue={self.admission_peak_queue}  "
+                    f"degraded-reads={self.admission_degraded_reads}")
+            if self.admission_brownouts:
+                line += (f"  brownouts={self.admission_brownouts} "
+                         f"(min-rate="
+                         f"{self.admission_min_brownout_factor:.0%})")
+            lines.append(line)
         # Kernel scheduler line: the counters are mode-identical, so the
         # line diffs clean between calendar and heap runs of one seed.
         if self.kernel_events_dispatched:
@@ -300,10 +324,12 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
             out_of_order_commits=secondary.refresher.out_of_order_commits,
             peak_runnable_depth=secondary.refresher.max_runnable_depth,
             watermark_lag=secondary.refresher.watermark_lag,
+            peak_pending=getattr(secondary.refresher, "peak_pending", 0),
             shards_subscribed=(len(secondary.subscription)
                                if secondary.sharded else None),
         ))
     sharding = getattr(system, "sharding", None)
+    admission = getattr(system, "admission_controller", None)
     return SystemStatus(now=system.kernel.now,
                         primary_commit_ts=primary_ts,
                         primary=primary,
@@ -337,6 +363,21 @@ def system_status(system: "ReplicatedSystem") -> SystemStatus:
                         shard_routing_misses=sum(
                             session.shard_routing_misses
                             for session in system._sessions),
+                        admission_attempts=getattr(
+                            admission, "attempts", 0),
+                        admission_admitted=getattr(
+                            admission, "admitted", 0),
+                        admission_shed=getattr(admission, "shed", 0),
+                        admission_throttled=getattr(
+                            admission, "throttled", 0),
+                        admission_peak_queue=getattr(
+                            admission, "peak_queue_depth", 0),
+                        admission_brownouts=getattr(
+                            admission, "brownouts", 0),
+                        admission_min_brownout_factor=getattr(
+                            admission, "min_brownout_factor", 1.0),
+                        admission_degraded_reads=getattr(
+                            admission, "degraded_reads", 0),
                         kernel_scheduler=kernel_counters["scheduler"],
                         kernel_events_dispatched=kernel_counters[
                             "events_dispatched"],
@@ -363,6 +404,11 @@ class SessionStats:
     no_primary_errors: int = 0
     lost_sessions: int = 0
     shard_routing_misses: int = 0
+    # -- overload counters (zero with admission=None) ---------------------
+    overload_errors: int = 0        # sheds that exhausted the retry budget
+    overload_retries: int = 0       # backed-off re-submissions after a shed
+    circuit_open_errors: int = 0    # fast-fails from an open breaker
+    degraded_reads: int = 0         # reads served stale under degradation
 
     @property
     def blocked_fraction(self) -> float:
@@ -389,6 +435,11 @@ def aggregate_sessions(sessions: list["ClientSession"]) -> SessionStats:
         stats.no_primary_errors += getattr(session, "no_primary_errors", 0)
         stats.shard_routing_misses += getattr(
             session, "shard_routing_misses", 0)
+        stats.overload_errors += getattr(session, "overload_errors", 0)
+        stats.overload_retries += getattr(session, "overload_retries", 0)
+        stats.circuit_open_errors += getattr(
+            session, "circuit_open_errors", 0)
+        stats.degraded_reads += getattr(session, "degraded_reads", 0)
         if getattr(session, "_lost_window", None) is not None:
             stats.lost_sessions += 1
     return stats

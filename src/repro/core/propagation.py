@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Protocol
 
+from repro.core.backoff import backoff_wait
 from repro.errors import ReplicationError
 from repro.faults.channel import NO_FAULTS, ChannelFaults, FaultyChannel
 from repro.core.records import (
@@ -159,8 +160,11 @@ class ReliableLink:
         if self._timer_armed:
             return
         self._timer_armed = True
-        wait = min(self.timeout * (self.backoff ** self._consecutive_timeouts),
-                   self.max_timeout)
+        # Shared bounded-exponential helper; the link owns the attempt
+        # counter because cumulative-ack progress (not success of one
+        # attempt) is what resets it.
+        wait = backoff_wait(self._consecutive_timeouts, self.timeout,
+                            self.backoff, self.max_timeout)
         self.kernel.call_at(self.kernel.now + wait, self._on_timer)
 
     def _site_live(self) -> bool:

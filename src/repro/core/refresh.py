@@ -195,6 +195,10 @@ class Refresher:
         #: Peak of ``_max_enqueued_ts - watermark`` observed at apply
         #: time (parallel mode): how far the backlog stretched.
         self.max_watermark_lag = 0
+        #: Peak accepted-but-unapplied backlog (any mode) — the
+        #: unbounded-queue evidence the overload bench compares across
+        #: admission-on/off runs.
+        self.peak_pending = 0
         self.process: Optional[Process] = None
         self.start()
 
@@ -392,6 +396,8 @@ class Refresher:
                         lambda: not self.pending)
                     self._begin_refresh(record.txn_id, None)
             self.pending.append(record.commit_ts)
+            if len(self.pending) > self.peak_pending:
+                self.peak_pending = len(self.pending)
             if self._work is not None:
                 self._work.put(record)
             else:
@@ -440,6 +446,8 @@ class Refresher:
         ts = record.commit_ts
         inflight = self._inflight
         inflight.add(ts)
+        if len(inflight) > self.peak_pending:
+            self.peak_pending = len(inflight)
         fp_last = self._fp_last_writer
         dep_ts = record.dep_ts
         blockers: Optional[set[int]] = None

@@ -105,6 +105,20 @@ class SequenceTracker:
         """Newest commit timestamp touching ``shard`` (0 if none)."""
         return self._global_shard_seq.get(shard, 0)
 
+    def staleness(self, guarantee: Guarantee, label: str,
+                  seq_db: int) -> int:
+        """Sequence shortfall of a snapshot at ``seq_db`` for this session.
+
+        How many commits short of the guarantee's current requirement a
+        read served from ``seq_db`` would be — 0 when the snapshot
+        satisfies the guarantee.  This is the quantity a graceful-
+        degradation :class:`~repro.core.admission.StalenessReport`
+        bounds (the degradation path itself additionally folds in the
+        session's monotonic-read floor, which can only tighten the
+        requirement beyond the tracker's).
+        """
+        return max(0, self.required_sequence(guarantee, label) - seq_db)
+
     def truncate(self, truncation_ts: int) -> dict[str, tuple[int, int]]:
         """Reconcile every seq(c) across a primary promotion.
 

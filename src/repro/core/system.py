@@ -28,7 +28,14 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from repro.core.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    CircuitBreaker,
+    StalenessReport,
+)
 from repro.core.autovacuum import AutovacuumDaemon
+from repro.core.backoff import ExponentialBackoff
 from repro.core.failover import AutoFailover, FailoverConfig
 from repro.core.guarantees import Guarantee
 from repro.core.promotion import PromotionConfig, PromotionReport, promote
@@ -37,6 +44,7 @@ from repro.core.sessions import SequenceTracker
 from repro.core.sharding import ShardingConfig, shard_of
 from repro.core.site import PrimarySite, SecondarySite
 from repro.errors import (
+    CircuitOpenError,
     ConfigurationError,
     FirstCommitterWinsError,
     FreshnessTimeoutError,
@@ -44,6 +52,7 @@ from repro.errors import (
     LostUpdatesError,
     NoLiveSecondariesError,
     NoPrimaryError,
+    OverloadError,
     ReplicationError,
     SessionClosedError,
     ShardUnavailableError,
@@ -71,7 +80,8 @@ class ClientSession:
     def __init__(self, system: "ReplicatedSystem", label: str,
                  guarantee: Guarantee, secondary: SecondarySite,
                  freshness_bound: Optional[int] = None,
-                 failover_wait: float = 0.0):
+                 failover_wait: float = 0.0,
+                 priority: int = 0):
         self.system = system
         self.label = label
         self.guarantee = guarantee
@@ -109,6 +119,29 @@ class ClientSession:
         self._lost_window: Optional[tuple[int, int]] = None
         #: Update attempts that exhausted the promotion wait budget.
         self.no_primary_errors = 0
+        #: Shed-policy rank under ``by-session-priority`` admission
+        #: shedding: higher keeps its queue slot over lower.
+        self.priority = priority
+        #: Updates shed by admission control after the retry budget.
+        self.overload_errors = 0
+        #: Shed updates retried within the budget (backoff + jitter).
+        self.overload_retries = 0
+        #: Updates failed fast by this session's open circuit breaker.
+        self.circuit_open_errors = 0
+        #: Reads served from a stale snapshot under graceful degradation,
+        #: each with an explicit :class:`StalenessReport` appended to
+        #: :attr:`staleness_reports`.
+        self.degraded_reads = 0
+        self.staleness_reports: list[StalenessReport] = []
+        self._breaker: Optional[CircuitBreaker] = None
+        controller = system.admission_controller
+        if controller is not None \
+                and controller.config.breaker_threshold > 0:
+            self._breaker = CircuitBreaker(
+                system.kernel, label,
+                controller.config.breaker_threshold,
+                controller.config.breaker_cooldown,
+                controller.config.breaker_cooldown_cap)
 
     # -- context manager ---------------------------------------------------
     def __enter__(self) -> "ClientSession":
@@ -137,10 +170,24 @@ class ClientSession:
         handle; on a first-committer-wins conflict the transaction is
         retried against a fresh snapshot up to ``max_retries`` times.
         Returns ``work``'s return value.
+
+        With admission control configured
+        (:class:`~repro.core.admission.AdmissionConfig`) the update
+        first passes the token-bucket gate — waiting in the bounded
+        queue, retrying within the session's retry budget, and
+        surfacing :class:`~repro.errors.OverloadError` /
+        :class:`~repro.errors.CircuitOpenError` when shed.  ``work``
+        must not drive the kernel on that path (no nested session
+        operations).
         """
         self._check_open()
         self._check_not_lost()
         system = self.system
+        if system.admission_controller is not None:
+            process = system.kernel.spawn(
+                self._update_process(work, max_retries=max_retries),
+                name=f"update@{self.label}")
+            return system.kernel.run_until_complete(process)
         attempts = 0
         while True:
             primary = system.primary
@@ -181,6 +228,105 @@ class ClientSession:
         self.updates_committed += 1
         return result
 
+    def _update_process(self, work: TransactionBody, *,
+                        max_retries: int = 25):
+        """Kernel-process form of :meth:`execute_update`.
+
+        Used on the admission-control path and by open-loop drivers
+        that submit many concurrent client operations (the overload
+        bench/storm) — sessions stay sequential internally, but distinct
+        sessions' operations overlap, which is what fills the bounded
+        admission queue.  ``work`` must not drive the kernel.
+        """
+        self._check_open()
+        self._check_not_lost()
+        system = self.system
+        controller = system.admission_controller
+        breaker = self._breaker
+        if controller is not None:
+            yield from self._admission_gate(controller)
+        attempts = 0
+        try:
+            while True:
+                primary = system.primary
+                try:
+                    txn = primary.begin_update(metadata={
+                        "logical_id": system._txn_ids.next(),
+                        "session": self.label,
+                    })
+                except SiteUnavailableError:
+                    if system.promotion is None:
+                        raise
+                    yield from self._await_primary_body()
+                    self._check_not_lost()
+                    continue
+                try:
+                    result = work(txn)
+                    commit_ts = txn.commit()
+                except FirstCommitterWinsError:
+                    attempts += 1
+                    self.fcw_retries += 1
+                    if attempts > max_retries:
+                        raise
+                    continue
+                except TransactionStateError as exc:
+                    if txn.txn_id in primary.demote_aborted:
+                        raise LeaseExpiredError(txn.txn_id,
+                                                primary.name) from exc
+                    raise
+                break
+        except (SiteUnavailableError, NoPrimaryError, LeaseExpiredError):
+            # A struggling or absent primary: the breaker counts it so
+            # the session fails fast instead of hammering the cluster.
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        system.tracker.on_primary_commit(self.label, commit_ts,
+                                         system._shards_of_txn(txn))
+        self.updates_committed += 1
+        if breaker is not None:
+            breaker.record_success()
+        return result
+
+    def _admission_gate(self, controller: AdmissionController):
+        """Kernel sub-process gating one update attempt.
+
+        Checks the circuit breaker, then acquires admission — retrying
+        shed attempts within the configured retry budget with bounded
+        exponential backoff and full jitter from the session's dedicated
+        stream.  Raises :class:`~repro.errors.CircuitOpenError` or
+        :class:`~repro.errors.OverloadError`.
+        """
+        breaker = self._breaker
+        if breaker is not None:
+            try:
+                breaker.check()
+            except CircuitOpenError:
+                self.circuit_open_errors += 1
+                raise
+        config = controller.config
+        retries_left = config.retry_budget
+        schedule: Optional[ExponentialBackoff] = None
+        while True:
+            try:
+                yield from controller.acquire(self)
+                return
+            except OverloadError:
+                if retries_left <= 0:
+                    self.overload_errors += 1
+                    if breaker is not None:
+                        breaker.record_failure()
+                    raise
+                retries_left -= 1
+                self.overload_retries += 1
+                if schedule is None:
+                    schedule = ExponentialBackoff(
+                        config.retry_base, config.retry_cap,
+                        rng=(controller.retry_rng(self.label)
+                             if config.retry_jitter else None),
+                        jitter=config.retry_jitter)
+                yield self.system.kernel.sleep(schedule.next_wait())
+
     def update_transaction(self) -> "_InteractiveUpdate":
         """Interactive update transaction spanning multiple statements.
 
@@ -190,10 +336,16 @@ class ClientSession:
 
         Commits on normal exit (no automatic FCW retry — the caller sees
         :class:`~repro.errors.FirstCommitterWinsError` and decides);
-        aborts if the body raises.
+        aborts if the body raises.  Admission control (when configured)
+        gates the begin exactly like :meth:`execute_update`.
         """
         self._check_open()
         self._check_not_lost()
+        if self.system.admission_controller is not None:
+            process = self.system.kernel.spawn(
+                self._admission_gate(self.system.admission_controller),
+                name=f"admit@{self.label}")
+            self.system.kernel.run_until_complete(process)
         if self.system.promotion is not None and self.system.primary.crashed:
             self._await_primary()
             self._check_not_lost()
@@ -208,26 +360,24 @@ class ClientSession:
         ``promotion_wait`` budget; raises
         :class:`~repro.errors.NoPrimaryError` on exhaustion.
         """
+        process = self.system.kernel.spawn(
+            self._await_primary_body(), name=f"await-primary@{self.label}")
+        self.system.kernel.run_until_complete(process)
+
+    def _await_primary_body(self):
         system = self.system
         config = system.promotion
-
-        def body():
-            kernel = system.kernel
-            deadline = kernel.now + config.promotion_wait
-            backoff = config.retry_backoff
-            while system.primary.crashed:
-                if kernel.now >= deadline:
-                    self.no_primary_errors += 1
-                    raise NoPrimaryError(
-                        f"session {self.label}: no live primary appeared "
-                        f"within the promotion wait budget "
-                        f"({config.promotion_wait}s)")
-                yield kernel.sleep(min(backoff, deadline - kernel.now))
-                backoff = min(backoff * 2, config.max_backoff)
-
-        process = system.kernel.spawn(
-            body(), name=f"await-primary@{self.label}")
-        system.kernel.run_until_complete(process)
+        kernel = system.kernel
+        deadline = kernel.now + config.promotion_wait
+        retry = ExponentialBackoff(config.retry_backoff, config.max_backoff)
+        while system.primary.crashed:
+            if kernel.now >= deadline:
+                self.no_primary_errors += 1
+                raise NoPrimaryError(
+                    f"session {self.label}: no live primary appeared "
+                    f"within the promotion wait budget "
+                    f"({config.promotion_wait}s)")
+            yield kernel.sleep(min(retry.next_wait(), deadline - kernel.now))
 
     # -- read-only transactions ------------------------------------------------
     def execute_read_only(self, work: TransactionBody, *,
@@ -253,12 +403,56 @@ class ClientSession:
         :class:`~repro.errors.FreshnessTimeoutError`; ``'stale'``
         downgrades this one transaction to the current replica snapshot
         (an explicit, observable weak-SI escape hatch).
+
+        With admission control configured, a read passing no explicit
+        ``max_wait`` inherits the config's ``read_deadline``; with
+        ``degrade_to_stale=True`` a deadline expiry serves the freshest
+        available snapshot and appends a
+        :class:`~repro.core.admission.StalenessReport` to
+        :attr:`staleness_reports` — the guarantee is relaxed *only*
+        through that explicit, audited opt-in.
         """
         self._check_open()
         self._check_not_lost()
         if on_timeout not in ("error", "stale"):
             raise ConfigurationError(
                 f"on_timeout must be 'error' or 'stale', got {on_timeout!r}")
+        system = self.system
+        max_wait, on_timeout, degrade = self._read_defaults(max_wait,
+                                                            on_timeout)
+        kind, touched, required = self._read_plan(keys)
+        if kind == "sharded":
+            process = system.kernel.spawn(
+                self._read_process_sharded(work, touched, required,
+                                           max_wait, on_timeout,
+                                           degrade=degrade),
+                name=f"read@{self.label}")
+            return system.kernel.run_until_complete(process)
+        process = system.kernel.spawn(
+            self._read_process(work, required, max_wait, on_timeout,
+                               degrade=degrade),
+            name=f"read@{self.label}")
+        return system.kernel.run_until_complete(process)
+
+    def _read_defaults(self, max_wait: Optional[float],
+                       on_timeout: str) -> tuple:
+        """Apply the admission config's read-deadline defaults.
+
+        An explicit caller ``max_wait`` always wins; degradation is only
+        engaged through the config's ``degrade_to_stale`` opt-in.
+        """
+        controller = self.system.admission_controller
+        if (controller is None or max_wait is not None
+                or controller.config.read_deadline is None):
+            return max_wait, on_timeout, False
+        if controller.config.degrade_to_stale:
+            return controller.config.read_deadline, "stale", True
+        return controller.config.read_deadline, on_timeout, False
+
+    def _read_plan(self, keys: Optional[list]) -> tuple:
+        """Freshness requirement for a read-only txn submitted *now*:
+        ``("sharded", touched, {shard: seq})`` under partial
+        replication, else ``("classic", None, seq)``."""
         system = self.system
         if system.sharding is not None:
             sharding = system.sharding
@@ -277,11 +471,7 @@ class ClientSession:
                              - self.freshness_bound)
                     if floor > required[shard]:
                         required[shard] = floor
-            process = system.kernel.spawn(
-                self._read_process_sharded(work, touched, required,
-                                           max_wait, on_timeout),
-                name=f"read@{self.label}")
-            return system.kernel.run_until_complete(process)
+            return "sharded", touched, required
         required = system.tracker.required_sequence(self.guarantee,
                                                     self.label)
         if self.guarantee.orders_reads_within_session:
@@ -291,10 +481,31 @@ class ClientSession:
         if self.freshness_bound is not None:
             required = max(
                 required, system.tracker.global_seq - self.freshness_bound)
-        process = system.kernel.spawn(
-            self._read_process(work, required, max_wait, on_timeout),
-            name=f"read@{self.label}")
-        return system.kernel.run_until_complete(process)
+        return "classic", None, required
+
+    def _read_only_process(self, work: TransactionBody,
+                           keys: Optional[list] = None,
+                           max_wait: Optional[float] = None,
+                           on_timeout: str = "error"):
+        """Kernel-process form of :meth:`execute_read_only` for open-loop
+        drivers (the requirement is computed when the op actually runs).
+        ``work`` must not drive the kernel."""
+        self._check_open()
+        self._check_not_lost()
+        if on_timeout not in ("error", "stale"):
+            raise ConfigurationError(
+                f"on_timeout must be 'error' or 'stale', got {on_timeout!r}")
+        max_wait, on_timeout, degrade = self._read_defaults(max_wait,
+                                                            on_timeout)
+        kind, touched, required = self._read_plan(keys)
+        if kind == "sharded":
+            result = yield from self._read_process_sharded(
+                work, touched, required, max_wait, on_timeout,
+                degrade=degrade)
+        else:
+            result = yield from self._read_process(
+                work, required, max_wait, on_timeout, degrade=degrade)
+        return result
 
     def execute_read_only_at(self, sequence: int,
                              work: TransactionBody) -> Any:
@@ -343,10 +554,12 @@ class ClientSession:
         return self.system.kernel.run_until_complete(process)
 
     def _read_process(self, work: TransactionBody, required: int,
-                      max_wait: Optional[float], on_timeout: str):
+                      max_wait: Optional[float], on_timeout: str,
+                      degrade: bool = False):
         from repro.kernel import Timeout, TimeoutExpired
         while True:
             secondary = self.secondary
+            degrade_bound: Optional[int] = None
             if not secondary.live:
                 # Client-session failover: retry on a live replica; the
                 # seq(c) <= seq(DBsec) blocking rule still applies below,
@@ -375,6 +588,13 @@ class ClientSession:
                                 f"replica {secondary.name} not at sequence "
                                 f"{required} within {max_wait}s "
                                 f"(seq(DBsec)={secondary.seq_db})")
+                        if degrade:
+                            # The bound promised to the client, fixed at
+                            # the degradation instant; seq(DBsec) is
+                            # monotone, so the snapshot actually served
+                            # (taken below) is never staler than this.
+                            degrade_bound = max(
+                                0, required - secondary.seq_db)
                         # 'stale': fall through and read what is there now.
                 self.total_read_wait += self.system.kernel.now - started
                 if self._lost_window is not None:
@@ -385,14 +605,35 @@ class ClientSession:
                     continue   # replica died/retired mid-wait: fail over
             txn = secondary.begin_read_only(metadata={
                 "logical_id": self.system._txn_ids.next(),
-                "session": self.label,
+                # A degraded read opts out of session ordering (like a
+                # time-travel read): it is *documented* stale, so it
+                # carries its own label instead of flagging as an
+                # inversion in the strong-session checker.
+                "session": (f"{self.label}@d{self.degraded_reads}"
+                            if degrade_bound is not None else self.label),
             })
+            if degrade_bound is not None:
+                self._record_degraded_read(required, secondary.seq_db,
+                                           degrade_bound)
             self.last_observed_seq = max(self.last_observed_seq,
                                          secondary.seq_db)
             result = work(txn)
             txn.commit()
             self.reads_executed += 1
             return result
+
+    def _record_degraded_read(self, required: int, served: int,
+                              bound: int) -> None:
+        """Account one degraded read and its explicit staleness report."""
+        self.degraded_reads += 1
+        report = StalenessReport(
+            session=self.label, guarantee=self.guarantee.value,
+            required_seq=required, served_seq=served, bound=bound,
+            time=self.system.kernel.now)
+        self.staleness_reports.append(report)
+        controller = self.system.admission_controller
+        if controller is not None:
+            controller.degraded_reads += 1
 
     def _failover(self, required: int, backoff: float = 0.25):
         """Rebind this session to a live replica (kernel sub-process).
@@ -407,6 +648,7 @@ class ClientSession:
         system = self.system
         kernel = system.kernel
         deadline = kernel.now + self.failover_wait
+        retry = ExponentialBackoff(backoff, 8.0)
         while True:
             live = [s for s in system.secondaries if s.live]
             if live:
@@ -421,19 +663,20 @@ class ClientSession:
                     f"session {self.label}: every secondary is down and "
                     f"none recovered within the failover wait budget "
                     f"({self.failover_wait}s)")
-            yield kernel.sleep(min(backoff, deadline - kernel.now))
-            backoff = min(backoff * 2, 8.0)
+            yield kernel.sleep(min(retry.next_wait(), deadline - kernel.now))
 
     def _read_process_sharded(self, work: TransactionBody,
                               touched: frozenset,
                               required: dict[int, int],
-                              max_wait: Optional[float], on_timeout: str):
+                              max_wait: Optional[float], on_timeout: str,
+                              degrade: bool = False):
         """Sharded read: route to a replica holding every touched shard
         and block on those shards' frontiers instead of the scalar
         ``seq(DBsec)`` (which a partial subscriber may never reach)."""
         from repro.kernel import Timeout, TimeoutExpired
         while True:
             secondary = self.secondary
+            degrade_worst: Optional[tuple[int, int, int]] = None
             if not secondary.live or not secondary.holds_shards(touched):
                 if secondary.live:
                     # Wrong placement, not a failure: the bound replica
@@ -467,6 +710,20 @@ class ClientSession:
                                 f"replica {secondary.name} not at the "
                                 f"required frontiers for shards "
                                 f"{sorted(touched)} within {max_wait}s")
+                        if degrade:
+                            # Bound fixed at the degradation instant,
+                            # described by the worst-shortfall shard;
+                            # frontiers are monotone, so the snapshot
+                            # served below never exceeds it.
+                            frontier = secondary.shard_frontier
+                            worst = max(
+                                required,
+                                key=lambda s: required[s]
+                                - frontier.get(s, 0))
+                            degrade_worst = (
+                                worst, required[worst],
+                                max(0, required[worst]
+                                    - frontier.get(worst, 0)))
                         # 'stale': fall through and read what is there now.
                 self.total_read_wait += self.system.kernel.now - started
                 if self._lost_window is not None:
@@ -475,8 +732,16 @@ class ClientSession:
                     continue   # replica died/retired mid-wait: fail over
             txn = secondary.begin_read_only(metadata={
                 "logical_id": self.system._txn_ids.next(),
-                "session": self.label,
+                # Degraded reads opt out of session ordering — see
+                # _read_process for the rationale.
+                "session": (f"{self.label}@d{self.degraded_reads}"
+                            if degrade_worst is not None else self.label),
             })
+            if degrade_worst is not None:
+                shard, shard_required, bound = degrade_worst
+                self._record_degraded_read(
+                    shard_required,
+                    secondary.shard_frontier.get(shard, 0), bound)
             self.last_observed_seq = max(self.last_observed_seq,
                                          secondary.seq_db)
             for shard in touched:
@@ -504,6 +769,7 @@ class ClientSession:
         system = self.system
         kernel = system.kernel
         deadline = kernel.now + self.failover_wait
+        retry = ExponentialBackoff(backoff, 8.0)
         while True:
             live = [s for s in system.secondaries if s.live]
             holders = [s for s in live if s.holds_shards(touched)]
@@ -527,8 +793,7 @@ class ClientSession:
                     f"session {self.label}: every secondary is down and "
                     f"none recovered within the failover wait budget "
                     f"({self.failover_wait}s)")
-            yield kernel.sleep(min(backoff, deadline - kernel.now))
-            backoff = min(backoff * 2, 8.0)
+            yield kernel.sleep(min(retry.next_wait(), deadline - kernel.now))
 
     def move_to(self, secondary_index: int) -> None:
         """Rebind this session to another secondary (e.g. fail-over).
@@ -718,6 +983,19 @@ class ReplicatedSystem:
         control plane has channels to ride on.  ``None`` (the default)
         builds none of it: no daemons, no control traffic, no extra
         random draws — bit-identical to the pre-failover system.
+    admission:
+        Optional :class:`~repro.core.admission.AdmissionConfig` enabling
+        **overload protection** in front of the primary: a token-bucket
+        rate limiter with a bounded admission queue and a configurable
+        shed policy (typed :class:`~repro.errors.OverloadError`),
+        client-side retry budgets with jittered exponential backoff from
+        a dedicated seeded stream, per-session circuit breakers
+        (:class:`~repro.errors.CircuitOpenError`), brownout backpressure
+        driven by secondary refresh backlog, and opt-in graceful
+        degradation of blocking reads to an explicitly-reported stale
+        snapshot.  ``None`` (the default) builds none of it: no
+        processes, no RNG draws, bit-identical to the pre-admission
+        system.
     """
 
     def __init__(self, num_secondaries: int = 1, *,
@@ -737,10 +1015,15 @@ class ReplicatedSystem:
                  retransmit_timeout: Optional[float] = None,
                  promotion: Optional[PromotionConfig] = None,
                  sharding: Optional[ShardingConfig] = None,
-                 failover: Optional[FailoverConfig] = None):
+                 failover: Optional[FailoverConfig] = None,
+                 admission: Optional[AdmissionConfig] = None):
         if num_secondaries < 1:
             raise ConfigurationError("need at least one secondary site")
         self.kernel = kernel or Kernel()
+        #: Admission control is constructed before any session: sessions
+        #: consult the controller for breakers and read deadlines.
+        self.admission = admission
+        self.admission_controller: Optional[AdmissionController] = None
         self.recorder: Optional[HistoryRecorder] = (
             HistoryRecorder(detail=history_detail) if record_history
             else None)
@@ -834,19 +1117,24 @@ class ReplicatedSystem:
         if failover is not None:
             self.auto_failover = AutoFailover(self, failover)
             self.auto_failover.start()
+        if admission is not None:
+            self.admission_controller = AdmissionController(self, admission)
 
     # -- sessions -------------------------------------------------------------
     def session(self, guarantee: Guarantee = Guarantee.STRONG_SESSION_SI,
                 secondary: Optional[int] = None,
                 freshness_bound: Optional[int] = None,
-                failover_wait: float = 0.0) -> ClientSession:
+                failover_wait: float = 0.0,
+                priority: int = 0) -> ClientSession:
         """Open a client session bound to a secondary (round-robin default).
 
         ``freshness_bound`` optionally caps staleness: every read waits
         until its replica is within that many commits of the primary.
         ``failover_wait`` bounds how long a read waits for *any* replica
         to come back when every secondary is crashed (failover to an
-        already-live replica is immediate regardless).
+        already-live replica is immediate regardless).  ``priority``
+        ranks the session under ``by-session-priority`` admission
+        shedding (higher keeps its queue slot; ignored otherwise).
         """
         if freshness_bound is not None and freshness_bound < 0:
             raise ConfigurationError("freshness_bound must be >= 0")
@@ -865,7 +1153,8 @@ class ReplicatedSystem:
         session = ClientSession(self, self._session_ids.next(), guarantee,
                                 self._secondary_at(index),
                                 freshness_bound=freshness_bound,
-                                failover_wait=failover_wait)
+                                failover_wait=failover_wait,
+                                priority=priority)
         self._sessions.append(session)
         return session
 
@@ -907,6 +1196,9 @@ class ReplicatedSystem:
                 raise ReplicationError("quiesce did not converge")
 
     def _replication_idle(self) -> bool:
+        if self.admission_controller is not None \
+                and not self.admission_controller.idle:
+            return False
         if not self.propagator.idle:
             return False
         for secondary in self.secondaries:

@@ -180,6 +180,48 @@ class FreshnessTimeoutError(ReplicationError):
     """
 
 
+class OverloadError(ReplicationError):
+    """The admission controller shed this request.
+
+    Raised by the admission subsystem
+    (:class:`~repro.core.admission.AdmissionConfig`) when the token
+    bucket is empty and the bounded admission queue is full — or when the
+    configured shed policy evicted this request from the queue while it
+    waited.  Attributes: ``label`` (the shedding session), ``policy``
+    (the shed policy that fired) and ``queue_depth`` (queue occupancy at
+    the shed instant).
+    """
+
+    def __init__(self, label: str, policy: str, queue_depth: int):
+        self.label = label
+        self.policy = policy
+        self.queue_depth = queue_depth
+        super().__init__(
+            f"session {label}: update shed by admission control "
+            f"(policy {policy}, queue depth {queue_depth})"
+        )
+
+
+class CircuitOpenError(ReplicationError):
+    """A per-session circuit breaker is open: fail fast, do not retry.
+
+    After ``breaker_threshold`` consecutive failures the session's
+    breaker opens and subsequent updates fail immediately with this
+    error instead of hammering a struggling (or demoted) primary; after
+    ``retry_after`` virtual seconds the breaker goes half-open and
+    admits a single probe.  Attributes: ``label`` (the session) and
+    ``retry_after`` (virtual seconds until the next probe is allowed).
+    """
+
+    def __init__(self, label: str, retry_after: float):
+        self.label = label
+        self.retry_after = retry_after
+        super().__init__(
+            f"session {label}: circuit breaker open, retry in "
+            f"{retry_after:.3f}s"
+        )
+
+
 class CheckerError(ReproError):
     """A correctness checker was given a malformed history."""
 
@@ -190,3 +232,34 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid experiment or system configuration."""
+
+
+#: Public taxonomy.  Every exception class the library raises is exported
+#: here; ``tests/test_errors.py`` pins the list against the module's
+#: contents so a new error class cannot ship unexported or untested.
+__all__ = [
+    "ReproError",
+    "KernelError",
+    "DeadlockError",
+    "ProcessKilled",
+    "StorageError",
+    "TransactionAborted",
+    "FirstCommitterWinsError",
+    "ExplicitAbort",
+    "TransactionStateError",
+    "KeyNotFound",
+    "ReplicationError",
+    "SiteUnavailableError",
+    "ShardUnavailableError",
+    "NoLiveSecondariesError",
+    "NoPrimaryError",
+    "LostUpdatesError",
+    "LeaseExpiredError",
+    "SessionClosedError",
+    "FreshnessTimeoutError",
+    "OverloadError",
+    "CircuitOpenError",
+    "CheckerError",
+    "SimulationError",
+    "ConfigurationError",
+]

@@ -27,7 +27,13 @@ tolerance):
   calendar-queue and binary-heap schedulers, plus wall-clock and
   events/sec of one ``scaleup-95-5`` figure leg under each, and the
   paired speedup vs the pre-calendar-queue kernel recorded at
-  re-baseline time.
+  re-baseline time;
+* **overload** (schema 7) — a flash-crowd burst driven open-loop
+  through per-session runner processes, admission control on vs off on
+  the same seed: sustained burst goodput and bounded read p99 under
+  admission vs the unbounded-queue read-latency cliff without it, plus
+  exact shed/retry/degraded-read accounting.  Runs in virtual time —
+  deterministic per seed.
 """
 
 from __future__ import annotations
@@ -59,8 +65,11 @@ from repro.evaluation.runner import figure_series, run_sweep, write_csv
 #: paired speedup vs the pre-calendar-queue kernel).  Schema 6 adds
 #: ``partial_replication``: per-secondary apply volume, link volume
 #: fraction and drain speedup of keyspace sharding at subscription
-#: fraction 1/2 vs full replication on the 95/5 mix.
-BENCH_SCHEMA = 6
+#: fraction 1/2 vs full replication on the 95/5 mix.  Schema 7 adds
+#: ``overload``: flash-crowd goodput and read p99 with admission
+#: control on vs off, peak refresh backlog, and exact shed/degraded
+#: accounting (virtual time, deterministic per seed).
+BENCH_SCHEMA = 7
 
 #: Representative Figure 2 point timed per algorithm (100 clients on the
 #: 5-secondary 80/20 clients sweep — mid-load, past the warm-up knee).
@@ -601,6 +610,233 @@ def bench_partial_replication(seed: int = 42) -> dict:
     }
 
 
+# -- schema 7: overload resilience --------------------------------------------
+
+OVERLOAD_BENCH_OPS = 600
+OVERLOAD_BENCH_SESSIONS = 8
+OVERLOAD_BENCH_HORIZON = 120.0
+OVERLOAD_BENCH_KEYS = 64
+#: Keys written per update transaction; with ``OVERLOAD_BENCH_COST`` of
+#: apply work per write, every commit costs the secondary 0.3 s of
+#: refresh work.  The burst offers ~30 updates/s — far past the ~3.3
+#: commits/s one secondary can absorb, the regime where an unprotected
+#: system's refresh backlog (and freshness-wait latency) explodes.
+OVERLOAD_BENCH_WRITES = 6
+OVERLOAD_BENCH_UPDATE_PROB = 0.7
+OVERLOAD_BENCH_COST = 0.05
+#: Flash-crowd burst window of :func:`~repro.workload.arrival_times`:
+#: 90% of the ops arrive inside the middle tenth of the horizon.
+OVERLOAD_BURST_WINDOW = (0.45 * OVERLOAD_BENCH_HORIZON,
+                         0.55 * OVERLOAD_BENCH_HORIZON)
+
+
+def _overload_admission():
+    """The admission-on configuration of the overload leg.
+
+    ``rate`` is deliberately a shade *supercritical* (4 commits/s x
+    0.3 s = 1.2 s of refresh work per second), so the token bucket alone
+    cannot hold the line and every protection layer gets exercised:
+    ``queue_limit`` sits below the session count so a full-burst
+    convergence actually sheds, ``lag_bound`` brownouts the admitted
+    rate when the refresh backlog drifts anyway, and reads past
+    ``read_deadline`` degrade to a reported bounded-staleness snapshot
+    instead of queueing behind the backlog.
+    """
+    from repro.core.admission import AdmissionConfig
+    return AdmissionConfig(rate=4.0, queue_limit=4, retry_budget=3,
+                           lag_bound=10, read_deadline=1.0,
+                           degrade_to_stale=True)
+
+
+def _overload_ops(seed: int) -> list[tuple]:
+    """The deterministic flash-crowd op stream, one tuple per op.
+
+    Arrival instants and the op mix come from dedicated streams
+    (``overload-arrivals`` / ``overload-mix``), so both legs replay the
+    identical offered load and no other consumer's sequences shift.
+    """
+    from repro.sim.rng import RandomStreams
+    from repro.workload.generator import arrival_times
+
+    streams = RandomStreams(seed)
+    arrivals = arrival_times("flash-crowd", OVERLOAD_BENCH_OPS,
+                             OVERLOAD_BENCH_HORIZON,
+                             streams["overload-arrivals"])
+    mix = streams["overload-mix"]
+    ops = []
+    for when in arrivals:
+        index = mix.randint(0, OVERLOAD_BENCH_SESSIONS - 1)
+        base = mix.randint(0, OVERLOAD_BENCH_KEYS - 1)
+        if mix.bernoulli(OVERLOAD_BENCH_UPDATE_PROB):
+            writes = {f"k{(base + j) % OVERLOAD_BENCH_KEYS}":
+                      mix.randint(0, 9999)
+                      for j in range(OVERLOAD_BENCH_WRITES)}
+            ops.append((when, index, writes, None))
+        else:
+            ops.append((when, index, None, f"k{base}"))
+    return ops
+
+
+def _overload_run(ops: list[tuple], admission) -> dict:
+    """Drive one open-loop flash-crowd leg; return its raw measurements.
+
+    Ops are handed to per-session runner processes at their arrival
+    instants (the same dispatch shape as the ``--overload`` chaos storm):
+    sessions execute concurrently with each other, serialized internally,
+    so the burst genuinely converges on the admission queue — and, with
+    admission off, on the secondary's unbounded refresh backlog.
+    """
+    from repro.core.guarantees import Guarantee
+    from repro.core.system import ReplicatedSystem
+    from repro.errors import OverloadError
+    from repro.kernel.sync import Condition
+
+    system = ReplicatedSystem(num_secondaries=1, propagation_delay=0.1,
+                              record_history=False,
+                              refresh_apply_cost=OVERLOAD_BENCH_COST,
+                              admission=admission)
+    sessions = [system.session(Guarantee.STRONG_SESSION_SI)
+                for _ in range(OVERLOAD_BENCH_SESSIONS)]
+    kernel = system.kernel
+    pending: list[list] = [[] for _ in sessions]
+    closed = [False]
+    cond = Condition(kernel, name="overload-ops")
+    commit_times: list[float] = []
+    read_latencies: list[float] = []
+    client_shed = [0]
+    peak_lag = [0]
+
+    def sample_lag() -> None:
+        # The same backlog gauge the brownout watches: shipped-but-
+        # unapplied commits plus the in-flight refresh watermark gap.
+        for secondary in system.secondaries:
+            lag = secondary.lag + secondary.refresher.watermark_lag
+            if lag > peak_lag[0]:
+                peak_lag[0] = lag
+
+    def runner(i: int):
+        session = sessions[i]
+        while True:
+            if not pending[i]:
+                if closed[0]:
+                    return
+                yield cond.wait_for(lambda: pending[i] or closed[0])
+                continue
+            writes, key = pending[i].pop(0)
+            if writes is not None:
+                def work(txn, w=writes):
+                    for k, v in w.items():
+                        txn.write(k, v)
+                try:
+                    yield from session._update_process(work)
+                    commit_times.append(kernel.now)
+                except OverloadError:
+                    client_shed[0] += 1
+            else:
+                started = kernel.now
+                yield from session._read_only_process(
+                    lambda txn, k=key: txn.read(k, default=None),
+                    keys=[key])
+                # Service time (start-of-execution to completion): the
+                # freshness wait that read_deadline governs, isolated
+                # from same-session queueing, which both legs share.
+                read_latencies.append(kernel.now - started)
+
+    runners = [kernel.spawn(runner(i), name=f"overload-client@{i}")
+               for i in range(len(sessions))]
+    for when, index, writes, key in ops:
+        if when > kernel.now:
+            system.run(until=when)
+        sample_lag()
+        pending[index].append((writes, key))
+        cond.notify_all()
+    closed[0] = True
+    cond.notify_all()
+    for process in runners:
+        kernel.run_until_complete(process)
+    system.quiesce()
+
+    burst_lo, burst_hi = OVERLOAD_BURST_WINDOW
+    steady = sum(1 for t in commit_times if t < burst_lo) / burst_lo
+    burst = sum(1 for t in commit_times if burst_lo <= t <= burst_hi) \
+        / (burst_hi - burst_lo)
+    p99 = 0.0
+    if read_latencies:
+        ordered = sorted(read_latencies)
+        p99 = ordered[int(0.99 * (len(ordered) - 1))]
+    leg = {
+        "updates_committed": len(commit_times),
+        "reads": len(read_latencies),
+        "steady_goodput": round(steady, 4),
+        "burst_goodput": round(burst, 4),
+        "burst_over_steady": round(burst / steady, 4) if steady else None,
+        "read_p99": round(p99, 4),
+        "peak_lag": peak_lag[0],
+        "finished_at": round(kernel.now, 4),
+    }
+    controller = system.admission_controller
+    if controller is not None:
+        retries = sum(s.overload_retries for s in sessions)
+        errors = sum(s.overload_errors for s in sessions)
+        reports = [r for s in sessions for r in s.staleness_reports]
+        leg.update({
+            "attempts": controller.attempts,
+            "admitted": controller.admitted,
+            "shed": controller.shed,
+            "throttled": controller.throttled,
+            "peak_queue": controller.peak_queue_depth,
+            "brownouts": controller.brownouts,
+            "min_brownout_factor": round(
+                controller.min_brownout_factor, 4),
+            "retries": retries,
+            "client_shed": errors,
+            "degraded_reads": controller.degraded_reads,
+            "max_reported_staleness": max(
+                (r.staleness for r in reports), default=0),
+            # Exact conservation laws, asserted by the perf test:
+            # every attempt is admitted or shed, every shed is either
+            # retried or surfaced, every degraded read kept its bound.
+            "attempts_balance_exact":
+                controller.attempts
+                == controller.admitted + controller.shed,
+            "shed_balance_exact":
+                controller.shed == retries + errors,
+            "client_shed_matches": errors == client_shed[0],
+            "staleness_within_bounds":
+                all(r.staleness <= r.bound for r in reports),
+        })
+    return leg
+
+
+def bench_overload(seed: int = 42) -> dict:
+    """Admission on vs off under the same flash crowd (schema 7)."""
+    admission = _overload_admission()
+    ops = _overload_ops(seed)
+    on = _overload_run(ops, admission)
+    off = _overload_run(ops, None)
+    return {
+        "ops": OVERLOAD_BENCH_OPS,
+        "sessions": OVERLOAD_BENCH_SESSIONS,
+        "horizon": OVERLOAD_BENCH_HORIZON,
+        "update_prob": OVERLOAD_BENCH_UPDATE_PROB,
+        "writes_per_update": OVERLOAD_BENCH_WRITES,
+        "apply_cost": OVERLOAD_BENCH_COST,
+        "burst_window": list(OVERLOAD_BURST_WINDOW),
+        "admission": {
+            "rate": admission.rate,
+            "queue_limit": admission.queue_limit,
+            "retry_budget": admission.retry_budget,
+            "lag_bound": admission.lag_bound,
+            "read_deadline": admission.read_deadline,
+        },
+        "on": on,
+        "off": off,
+        "read_p99_ratio_off_over_on": round(
+            off["read_p99"] / on["read_p99"], 3)
+            if on["read_p99"] else None,
+    }
+
+
 def run_profile(scale: str = "quick", seed: int = 42, top: int = 20,
                 x: int = RUN_ONCE_X) -> int:
     """``--profile``: cProfile one run_once per algorithm, dump top-N.
@@ -767,6 +1003,24 @@ def run_bench(jobs: Optional[int] = None, out: Optional[Path] = None,
           f"{partial['per_secondary_volume_speedup']:.2f}x, link "
           f"fraction {partial['link_volume_fraction']:.2f}")
 
+    print("Benchmarking overload resilience under a flash crowd "
+          "(admission on vs off) ...")
+    overload = bench_overload(seed=seed)
+    on, off = overload["on"], overload["off"]
+    print(f"  on : burst {on['burst_goodput']:.2f} c/s vs steady "
+          f"{on['steady_goodput']:.2f} c/s "
+          f"({on['burst_over_steady']:.2f}x), read p99 "
+          f"{on['read_p99']:.2f}s, {on['shed']} shed "
+          f"({on['client_shed']} client-visible), "
+          f"{on['degraded_reads']} degraded reads "
+          f"(max staleness {on['max_reported_staleness']}), "
+          f"peak lag {on['peak_lag']}")
+    print(f"  off: burst {off['burst_goodput']:.2f} c/s, read p99 "
+          f"{off['read_p99']:.2f}s, peak lag "
+          f"{off['peak_lag']} "
+          f"(p99 ratio off/on "
+          f"{overload['read_p99_ratio_off_over_on']:.1f}x)")
+
     print(f"Benchmarking figure 2 end-to-end at scale 'small' "
           f"(jobs=1 vs jobs={jobs}) ...")
     figure2 = bench_figure2_small(jobs=jobs, seed=seed)
@@ -794,6 +1048,7 @@ def run_bench(jobs: Optional[int] = None, out: Optional[Path] = None,
         "history_bytes": checker_timings["history_bytes"],
         "parallel_refresh": parallel_refresh,
         "partial_replication": partial,
+        "overload": overload,
         "figure2_small": figure2,
     }
     out.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")

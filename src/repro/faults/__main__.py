@@ -9,6 +9,12 @@ exits non-zero if any run fails its convergence or SI checks —
 reproduce a failure exactly with ``--seed <n>``.  With
 ``--auto-failover`` the promotion is unscripted: the heartbeat/lease
 control plane must detect the kill and elect a successor on its own.
+With ``--overload`` each run becomes a flash-crowd storm under
+admission control: shaped arrivals, a token bucket with a bounded shed
+queue, client retry budgets with jittered backoff, circuit breakers,
+lag-driven brownout and degraded bounded-staleness reads — composable
+with every other fault flag (e.g. ``--overload --primary-kill
+--auto-failover`` kills the primary mid-burst).
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.core.admission import SHED_POLICIES, AdmissionConfig
 from repro.faults.channel import ChannelFaults
 from repro.faults.harness import DEFAULT_FAULTS, ChaosConfig, run_chaos
 
@@ -82,6 +89,26 @@ def main(argv: list[str] | None = None) -> int:
                              "N shards, the first two secondaries "
                              "full-coverage and the rest subscribing to "
                              "alternating halves (default: off)")
+    parser.add_argument("--arrival",
+                        choices=("uniform", "flash-crowd", "diurnal"),
+                        default=None,
+                        help="client-op arrival pattern (default: uniform; "
+                             "--overload defaults to flash-crowd)")
+    parser.add_argument("--overload", action="store_true",
+                        help="flash-crowd overload storm under admission "
+                             "control: token-bucket rate limiting, a "
+                             "bounded shed queue, retry budgets, circuit "
+                             "breakers, lag-driven brownout and degraded "
+                             "bounded-staleness reads")
+    parser.add_argument("--admission-rate", type=float, default=2.0,
+                        metavar="R",
+                        help="sustained admitted updates per virtual "
+                             "second under --overload "
+                             "(default: %(default)s)")
+    parser.add_argument("--shed-policy", choices=SHED_POLICIES,
+                        default="reject-newest",
+                        help="which waiter a full admission queue sheds "
+                             "(default: %(default)s)")
     parser.add_argument("--scheduler", choices=("calendar", "heap"),
                         default="calendar",
                         help="kernel event scheduler (same-seed runs are "
@@ -100,8 +127,32 @@ def main(argv: list[str] | None = None) -> int:
     apply_cost = args.refresh_apply_cost
     if apply_cost is None:
         # Free applies finish instantly and in order; charge a default
-        # cost so parallel runs actually exercise reordering.
-        apply_cost = 0.02 if args.parallel_refresh is not None else 0.0
+        # cost so parallel runs actually exercise reordering — and so
+        # overload storms build the refresh backlog the brownout watches.
+        apply_cost = 0.02 if (args.parallel_refresh is not None
+                              or args.overload) else 0.0
+
+    arrival = args.arrival or "uniform"
+    admission = None
+    if args.overload:
+        # A burst-prone storm: flash-crowd arrivals (unless overridden),
+        # a bucket refilling slower than the burst arrives, a small shed
+        # queue, a modest retry budget with jittered backoff, breakers
+        # against a dead primary, brownout on refresh lag, and reads
+        # that degrade to a bounded-staleness snapshot at the deadline.
+        arrival = args.arrival or "flash-crowd"
+        # queue_limit sits *below* the session count so a full-burst
+        # convergence of all four chaos sessions can actually shed.
+        admission = AdmissionConfig(
+            rate=args.admission_rate,
+            queue_limit=2,
+            shed_policy=args.shed_policy,
+            retry_budget=3,
+            breaker_threshold=6,
+            breaker_cooldown=2.0,
+            lag_bound=24,
+            read_deadline=5.0,
+            degrade_to_stale=True)
 
     failures = 0
     for seed in seeds:
@@ -115,7 +166,9 @@ def main(argv: list[str] | None = None) -> int:
                              parallel_refresh=args.parallel_refresh,
                              refresh_apply_cost=apply_cost,
                              shards=args.shards,
-                             scheduler=args.scheduler)
+                             scheduler=args.scheduler,
+                             arrival_pattern=arrival,
+                             admission=admission)
         result = run_chaos(config)
         if not result.ok:
             failures += 1

@@ -29,22 +29,28 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.core.admission import AdmissionConfig
 from repro.core.failover import FailoverConfig
 from repro.core.guarantees import Guarantee
 from repro.core.promotion import PromotionConfig
 from repro.core.sharding import ShardingConfig, shard_of
 from repro.core.system import ReplicatedSystem
 from repro.errors import (
+    CircuitOpenError,
     FirstCommitterWinsError,
+    FreshnessTimeoutError,
     LostUpdatesError,
     NoPrimaryError,
+    OverloadError,
     ShardUnavailableError,
     SiteUnavailableError,
 )
 from repro.faults.channel import ChannelFaults
 from repro.faults.plan import FaultInjector, FaultPlan
 from repro.kernel import Kernel
+from repro.kernel.sync import Condition
 from repro.sim.rng import RandomStreams
+from repro.workload.generator import arrival_times
 from repro.txn.checkers import (
     CheckResult,
     check_completeness,
@@ -117,6 +123,19 @@ class ChaosConfig:
     #: runs are bit-identical between the two (the equivalence CI leg
     #: diffs their summaries); the knob exists for that differential.
     scheduler: str = "calendar"
+    #: Client arrival shaping ("uniform", "flash-crowd" or "diurnal").
+    #: "uniform" keeps the classic sorted-uniform op times (bit-identical
+    #: replay); the shaped patterns draw op instants from a dedicated
+    #: "arrivals" stream, so the workload stream's draw sequence — and
+    #: thus every op's session/key/value choice — is untouched.
+    arrival_pattern: str = "uniform"
+    #: Admission control / overload protection.  Default ``None`` keeps
+    #: the classic closed-loop driver and a controller-free system
+    #: (bit-identical).  When set, client ops are dispatched *open-loop*:
+    #: per-session runner processes execute them concurrently across
+    #: sessions (serialized within each), which is what actually fills
+    #: the bounded admission queue during a burst.
+    admission: Optional[AdmissionConfig] = None
     #: Keyspace sharding with partial replication: ``shards=N`` derives a
     #: placement where the first two secondaries hold every shard (so
     #: promotion always has a full-coverage candidate through any single
@@ -222,6 +241,20 @@ class ChaosResult:
     shards: int = 0
     shard_routing_misses: int = 0
     deferred_reads: int = 0        # no live holder of the touched shard
+    #: Overload / admission activity (all zero unless ``admission`` set).
+    shed_updates: int = 0          # updates shed after the retry budget
+    overload_retries: int = 0      # backed-off re-submissions
+    breaker_fast_fails: int = 0    # updates failed fast by an open breaker
+    breaker_opens: int = 0
+    degraded_reads: int = 0        # reads served stale under degradation
+    max_reported_staleness: int = 0
+    read_timeouts: int = 0         # freshness deadline hit, no degradation
+    admission_attempts: int = 0
+    admission_admitted: int = 0
+    admission_shed: int = 0        # controller-side sheds (incl. retried)
+    admission_throttled: int = 0
+    admission_peak_queue: int = 0
+    brownouts: int = 0
     #: Storage-maintenance outcome (zero with autovacuum off).
     vacuum_runs: int = 0
     versions_reclaimed: int = 0
@@ -288,6 +321,24 @@ class ChaosResult:
                 f"{self.shard_routing_misses} routing misses, "
                 f"{self.deferred_reads} reads deferred "
                 f"(no live shard holder)")
+        if self.admission_attempts:
+            lines.append(
+                f"  admission: {self.admission_attempts} attempts, "
+                f"{self.admission_admitted} admitted, "
+                f"{self.admission_shed} shed "
+                f"({self.shed_updates} client-visible after "
+                f"{self.overload_retries} retries), "
+                f"{self.admission_throttled} throttled, "
+                f"peak queue {self.admission_peak_queue}, "
+                f"{self.brownouts} brownouts")
+        if (self.degraded_reads or self.read_timeouts
+                or self.breaker_opens):
+            lines.append(
+                f"  degradation: {self.degraded_reads} degraded reads "
+                f"(max staleness {self.max_reported_staleness}), "
+                f"{self.read_timeouts} freshness timeouts, "
+                f"{self.breaker_opens} breaker opens "
+                f"({self.breaker_fast_fails} fast-fails)")
         if self.vacuum_runs:
             lines.append(
                 f"  vacuum: {self.vacuum_runs} runs, "
@@ -303,62 +354,14 @@ class ChaosResult:
         return "\n".join(lines)
 
 
-def run_chaos(config: ChaosConfig) -> ChaosResult:
-    """Execute one seeded chaos schedule and audit the result."""
-    streams = RandomStreams(config.seed)
-    promotion = (PromotionConfig(promotion_wait=config.promotion_wait)
-                 if config.primary_kill or config.auto_failover else None)
-    failover = (FailoverConfig(
-        heartbeat_interval=config.heartbeat_interval,
-        suspicion_timeout=config.suspicion_timeout,
-        lease_duration=config.lease_duration)
-        if config.auto_failover else None)
-    system = ReplicatedSystem(
-        kernel=Kernel(scheduler=config.scheduler),
-        num_secondaries=config.num_secondaries,
-        propagation_delay=config.propagation_delay,
-        batch_interval=config.batch_interval,
-        applicator_pool=config.applicator_pool,
-        parallel_refresh=config.parallel_refresh,
-        refresh_apply_cost=config.refresh_apply_cost,
-        autovacuum_interval=config.autovacuum_interval,
-        history_detail=config.history_detail,
-        channel_faults=config.faults,
-        fault_seed=config.seed,
-        promotion=promotion,
-        sharding=config.sharding_config(),
-        failover=failover)
-    plan = FaultPlan.random(
-        streams["plan"], horizon=config.horizon,
-        num_secondaries=config.num_secondaries,
-        secondary_outages=config.secondary_outages,
-        primary_crash=config.primary_crash,
-        propagator_stall=config.propagator_stall,
-        permanent_primary_kill=config.primary_kill,
-        partitions=config.partitions,
-        scripted_promotion=not config.auto_failover)
-    injector = FaultInjector(system, plan)
-    injector.start()
+def _dispatch_closed_loop(system, config, result, workload, op_times,
+                          sessions, replace_lost) -> None:
+    """The classic serialized driver: one op at a time, in arrival order.
 
-    # All sessions run at the strictest level: strong session SI must
-    # hold for each of them through every fault in the plan.
-    sessions = [system.session(Guarantee.STRONG_SESSION_SI,
-                               failover_wait=config.failover_wait)
-                for _ in range(config.num_sessions)]
-    all_sessions = list(sessions)      # replaced sessions still count
-
-    def replace_lost(session) -> None:
-        """Swap a session poisoned by ``LostUpdatesError`` for a fresh
-        one — the client-side answer to a truncated session."""
-        fresh = system.session(Guarantee.STRONG_SESSION_SI,
-                               failover_wait=config.failover_wait)
-        sessions[sessions.index(session)] = fresh
-        all_sessions.append(fresh)
-
-    result = ChaosResult(seed=config.seed, converged=False, plan=plan)
-    workload = streams["workload"]
-    op_times = sorted(workload.uniform(0.0, config.horizon)
-                      for _ in range(config.ops))
+    Ops never overlap (the driver blocks on each), so no admission queue
+    can ever fill — this is the ``admission=None`` path, kept draw-for-
+    draw identical to the pre-admission harness.
+    """
     for when in op_times:
         if when > system.kernel.now:
             system.run(until=when)
@@ -390,6 +393,166 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
                 # Every replica holding the key's shard is down and the
                 # failover deadline passed; a real client would retry.
                 result.deferred_reads += 1
+
+
+def _dispatch_open_loop(system, config, result, workload, op_times,
+                        sessions, replace_lost) -> None:
+    """The overload driver: per-session runners execute ops concurrently.
+
+    Each op is handed to its session's runner process at the arrival
+    instant and the driver moves straight on to the next arrival, so
+    distinct sessions' operations overlap — during a flash crowd the
+    token bucket empties and the bounded admission queue actually fills.
+    Within one session ops stay serialized (a session is one client).
+    """
+    kernel = system.kernel
+    pending: list[list] = [[] for _ in range(config.num_sessions)]
+    closed = [False]
+    cond = Condition(kernel, name="chaos-ops")
+
+    def runner(index: int):
+        while True:
+            if not pending[index]:
+                if closed[0]:
+                    return
+                yield cond.wait_for(
+                    lambda: pending[index] or closed[0])
+                continue
+            is_update, key, value = pending[index].pop(0)
+            session = sessions[index]
+            if is_update:
+                try:
+                    yield from session._update_process(
+                        lambda txn, k=key, v=value: txn.write(k, v))
+                    result.updates += 1
+                except (SiteUnavailableError, NoPrimaryError):
+                    result.deferred_updates += 1
+                except LostUpdatesError:
+                    replace_lost(session)
+                except FirstCommitterWinsError:
+                    result.fcw_aborts += 1
+                except OverloadError:
+                    # Shed after the session's whole retry budget.
+                    result.shed_updates += 1
+                except CircuitOpenError:
+                    result.breaker_fast_fails += 1
+            else:
+                try:
+                    yield from session._read_only_process(
+                        lambda txn, k=key: txn.read(k, default=None),
+                        keys=[key])
+                    result.reads += 1
+                except LostUpdatesError:
+                    replace_lost(session)
+                except ShardUnavailableError:
+                    result.deferred_reads += 1
+                except FreshnessTimeoutError:
+                    # read_deadline hit with degradation off.
+                    result.read_timeouts += 1
+
+    runners = [kernel.spawn(runner(i), name=f"client@{i}")
+               for i in range(config.num_sessions)]
+    for when in op_times:
+        if when > kernel.now:
+            system.run(until=when)
+        index = workload.randint(0, config.num_sessions - 1)
+        key = f"k{workload.randint(0, config.keys - 1)}"
+        if workload.bernoulli(config.update_fraction):
+            pending[index].append(
+                (True, key, workload.randint(0, 10_000)))
+        else:
+            pending[index].append((False, key, None))
+        cond.notify_all()
+    closed[0] = True
+    cond.notify_all()
+    # Drain: every queued op (including backed-off retries past the
+    # horizon) finishes before the fault plan is settled and audited.
+    for process in runners:
+        kernel.run_until_complete(process)
+
+
+def run_chaos(config: ChaosConfig) -> ChaosResult:
+    """Execute one seeded chaos schedule and audit the result."""
+    streams = RandomStreams(config.seed)
+    promotion = (PromotionConfig(promotion_wait=config.promotion_wait)
+                 if config.primary_kill or config.auto_failover else None)
+    failover = (FailoverConfig(
+        heartbeat_interval=config.heartbeat_interval,
+        suspicion_timeout=config.suspicion_timeout,
+        lease_duration=config.lease_duration)
+        if config.auto_failover else None)
+    system = ReplicatedSystem(
+        kernel=Kernel(scheduler=config.scheduler),
+        num_secondaries=config.num_secondaries,
+        propagation_delay=config.propagation_delay,
+        batch_interval=config.batch_interval,
+        applicator_pool=config.applicator_pool,
+        parallel_refresh=config.parallel_refresh,
+        refresh_apply_cost=config.refresh_apply_cost,
+        autovacuum_interval=config.autovacuum_interval,
+        history_detail=config.history_detail,
+        channel_faults=config.faults,
+        fault_seed=config.seed,
+        promotion=promotion,
+        sharding=config.sharding_config(),
+        failover=failover,
+        admission=config.admission)
+    plan = FaultPlan.random(
+        streams["plan"], horizon=config.horizon,
+        num_secondaries=config.num_secondaries,
+        secondary_outages=config.secondary_outages,
+        primary_crash=config.primary_crash,
+        propagator_stall=config.propagator_stall,
+        permanent_primary_kill=config.primary_kill,
+        partitions=config.partitions,
+        scripted_promotion=not config.auto_failover,
+        overload=(config.admission is not None
+                  and config.arrival_pattern == "flash-crowd"))
+    injector = FaultInjector(system, plan)
+    injector.start()
+
+    # All sessions run at the strictest level: strong session SI must
+    # hold for each of them through every fault in the plan.  Priorities
+    # only differ (alternating high/low) when the shed policy actually
+    # ranks by them, so the other policies see the classic flat field.
+    def session_priority(index: int) -> int:
+        if (config.admission is not None
+                and config.admission.shed_policy == "by-session-priority"):
+            return index % 2
+        return 0
+
+    sessions = [system.session(Guarantee.STRONG_SESSION_SI,
+                               failover_wait=config.failover_wait,
+                               priority=session_priority(i))
+                for i in range(config.num_sessions)]
+    all_sessions = list(sessions)      # replaced sessions still count
+
+    def replace_lost(session) -> None:
+        """Swap a session poisoned by ``LostUpdatesError`` for a fresh
+        one — the client-side answer to a truncated session."""
+        fresh = system.session(Guarantee.STRONG_SESSION_SI,
+                               failover_wait=config.failover_wait,
+                               priority=session.priority)
+        sessions[sessions.index(session)] = fresh
+        all_sessions.append(fresh)
+
+    result = ChaosResult(seed=config.seed, converged=False, plan=plan)
+    workload = streams["workload"]
+    if config.arrival_pattern == "uniform":
+        # The classic draw, verbatim: uniform runs replay bit-identically.
+        op_times = sorted(workload.uniform(0.0, config.horizon)
+                          for _ in range(config.ops))
+    else:
+        # Shaped arrivals come from a dedicated stream, so the workload
+        # stream's draw sequence is untouched by the pattern choice.
+        op_times = arrival_times(config.arrival_pattern, config.ops,
+                                 config.horizon, streams["arrivals"])
+    if config.admission is None:
+        _dispatch_closed_loop(system, config, result, workload, op_times,
+                              sessions, replace_lost)
+    else:
+        _dispatch_open_loop(system, config, result, workload, op_times,
+                            sessions, replace_lost)
 
     # Drain the plan, then bring everything back and settle the system.
     if plan.horizon > system.kernel.now:
@@ -494,6 +657,23 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
         result.false_suspicions = detector.false_suspicions
         result.lease_expiries = detector.lease_expiries
         result.auto_promotions = detector.auto_promotions
+    controller = system.admission_controller
+    if controller is not None:
+        result.admission_attempts = controller.attempts
+        result.admission_admitted = controller.admitted
+        result.admission_shed = controller.shed
+        result.admission_throttled = controller.throttled
+        result.admission_peak_queue = controller.peak_queue_depth
+        result.brownouts = controller.brownouts
+        result.degraded_reads = controller.degraded_reads
+        result.overload_retries = sum(s.overload_retries
+                                      for s in all_sessions)
+        result.breaker_opens = sum(
+            s._breaker.opens for s in all_sessions
+            if s._breaker is not None)
+        result.max_reported_staleness = max(
+            (report.staleness for s in all_sessions
+             for report in s.staleness_reports), default=0)
     result.partitions = sum(1 for event in injector.applied
                             if event.action == "partition")
     result.heals = sum(1 for event in injector.applied

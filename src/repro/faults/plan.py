@@ -103,7 +103,8 @@ class FaultPlan:
                propagator_stall: bool = True,
                permanent_primary_kill: bool = False,
                partitions: int = 0,
-               scripted_promotion: bool = True) -> "FaultPlan":
+               scripted_promotion: bool = True,
+               overload: bool = False) -> "FaultPlan":
         """Draw a seeded schedule of fault windows within
         ``(0.05*horizon, 0.9*horizon)``.
 
@@ -123,6 +124,13 @@ class FaultPlan:
         ``promote_secondary`` event is emitted — the plan then expects
         an :class:`~repro.core.failover.AutoFailover` coordinator to
         detect the death and promote on its own.
+
+        With ``overload`` the primary failure window is drawn inside
+        ``(0.40*horizon, 0.60*horizon)`` — straddling the flash-crowd
+        burst (the middle tenth of the horizon) — instead of anywhere in
+        the run, so overload storms compose the admission machinery with
+        a mid-burst failover.  The draw count is unchanged, so toggling
+        the flag never shifts any later seeded choice.
 
         ``partitions`` adds that many seeded ``partition``/``heal``
         windows, each severing one secondary's link (sequential windows,
@@ -154,7 +162,16 @@ class FaultPlan:
                                      action="recover_secondary",
                                      target=target))
         if primary_crash:
-            down = rng.uniform(lo, 0.8 * horizon)
+            if overload:
+                # Overload storms: land the primary failure inside (or
+                # right next to) the flash-crowd burst window — the
+                # middle tenth of the horizon — so admission shedding
+                # and promotion retries are exercised *together*.  Same
+                # draw count as the classic window, so every later
+                # seeded choice (stall, partitions) replays unchanged.
+                down = rng.uniform(0.40 * horizon, 0.60 * horizon)
+            else:
+                down = rng.uniform(lo, 0.8 * horizon)
             up = rng.uniform(down + 0.01 * horizon, hi)
             if permanent_primary_kill:
                 # Same draws as the crash/restart pair, so turning the

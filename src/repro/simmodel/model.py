@@ -35,6 +35,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Union
 
+from repro.core.admission import TokenBucket
 from repro.core.sessions import SequenceTracker
 from repro.errors import ConfigurationError
 from repro.kernel import Condition, Kernel, Queue, Sleep
@@ -128,6 +129,9 @@ class ModelCounters:
     #: Commit records applied with zero demand because the secondary did
     #: not subscribe to their shard (partial replication only).
     sharded_skips: int = 0
+    #: Update transactions shed at the door by the admission token
+    #: bucket (``admission_rate`` only) — zero demand, zero RNG draws.
+    updates_shed: int = 0
     max_pending: dict[int, int] = field(default_factory=dict)
 
 
@@ -168,6 +172,13 @@ class LazyReplicationModel:
                 secondary.subscription = frozenset(
                     (secondary.index + offset) % params.shards
                     for offset in range(width))
+        # Admission control at the primary: a purely arithmetic token
+        # bucket (no kernel events, no RNG), so every configuration with
+        # admission_rate=None is bit-identical to earlier versions.
+        self._admission_bucket = (
+            TokenBucket(params.admission_rate,
+                        max(params.admission_rate, 1.0))
+            if params.admission_rate is not None else None)
         self._propagation_buffer: list = []
         self._session_counter = 0
         #: Sampled replication lag (commits behind the primary) across all
@@ -352,6 +363,14 @@ class LazyReplicationModel:
     # -- update transactions (primary) -----------------------------------------------
     def _update_transaction(self, rng: RandomStream, label: str):
         params = self.params
+        bucket = self._admission_bucket
+        if bucket is not None \
+                and not bucket.try_acquire(self.kernel._now):
+            # Shed at the door: no service demand reaches the primary
+            # and — crucially — no RNG draw happens, so the admitted
+            # traffic's random sequences match the unthrottled model's.
+            self.counters.updates_shed += 1
+            return
         submitted = self.kernel._now
         n_ops = rng.randint(params.tran_size_min, params.tran_size_max)
         update_ops = sum(1 for _ in range(n_ops)

@@ -108,6 +108,14 @@ class SimulationParameters:
     #: daemons (Table 1 behaviour, bit-identical).
     heartbeat_interval: float | None = None
     heartbeat_cost: float = 0.001
+    #: Admission control at the primary (extension): update transactions
+    #: pass a token bucket refilling at this rate (burst = one second's
+    #: tokens) and are *shed at the door* — zero service demand, counted
+    #: in ``counters.updates_shed`` — when no token is available.  The
+    #: shed check runs before any RNG draw, so admitted traffic's random
+    #: sequences match the unthrottled model's.  ``None`` (default)
+    #: disables the bucket, bit-identical to earlier versions.
+    admission_rate: float | None = None
     #: Kernel event scheduler: "calendar" (calendar-queue/timing-wheel,
     #: default) or "heap" (single binary heap).  Same-seed runs are
     #: bit-identical between the two; the knob exists for differential
@@ -159,6 +167,8 @@ class SimulationParameters:
             raise ConfigurationError("heartbeat_interval must be > 0")
         if self.heartbeat_cost < 0:
             raise ConfigurationError("heartbeat_cost must be >= 0")
+        if self.admission_rate is not None and self.admission_rate <= 0:
+            raise ConfigurationError("admission_rate must be > 0 when set")
         if self.scheduler not in ("calendar", "heap"):
             raise ConfigurationError(
                 f"unknown scheduler {self.scheduler!r} "
